@@ -1,0 +1,667 @@
+// Benchmarks reproducing the paper's artifacts, one per table/figure of
+// the experiment index in DESIGN.md. Absolute numbers are not comparable
+// to the 2010 production deployment (different substrate); the benchmarks
+// pin down the cost of every demonstrated behaviour and the scaling shape
+// of the annotation, import and search machinery.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/genload"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+	"repro/internal/vocab"
+)
+
+// benchSystem builds a lean system (no search/audit unless asked) with one
+// project and one scientist.
+func benchSystem(b *testing.B, opts core.Options) (*core.System, int64) {
+	b.Helper()
+	sys := core.MustNew(opts)
+	var project int64
+	err := sys.Update(func(tx *store.Tx) error {
+		alice, err := sys.DB.CreateUser(tx, "bench", model.User{Login: "alice", Active: true})
+		if err != nil {
+			return err
+		}
+		project, err = sys.DB.CreateProject(tx, "bench", model.Project{
+			Name: "bench", Members: []int64{alice},
+		})
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, project
+}
+
+// --- T1: deployment statistics table -----------------------------------------
+
+func BenchmarkT1_DeploymentLoad(b *testing.B) {
+	for _, scale := range []float64{0.01, 0.1, 1.0} {
+		p := genload.FGCZJan2010.Scaled(scale)
+		entities := p.Organizations + p.Institutes + p.Users + p.Projects +
+			p.Samples + p.Extracts + p.Workunits + p.DataResources
+		b.Run(fmt.Sprintf("scale=%.2f", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := core.MustNew(core.Options{DisableSearch: true, DisableAudit: true})
+				if err := genload.Generate(sys, p); err != nil {
+					b.Fatal(err)
+				}
+				st := sys.DB.CollectStats()
+				if st.DataResources != p.DataResources {
+					b.Fatalf("stats mismatch: %+v", st)
+				}
+			}
+			b.ReportMetric(float64(entities*b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}
+
+// --- F2/F3: sample and extract registration ------------------------------------
+
+func BenchmarkF2_RegisterSample(b *testing.B) {
+	sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			_, err := sys.DB.CreateSample(tx, "alice", model.Sample{
+				Name: fmt.Sprintf("s%d", i), Project: project,
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF3_RegisterExtractBatch(b *testing.B) {
+	for _, batch := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+			var sample int64
+			_ = sys.Update(func(tx *store.Tx) error {
+				var err error
+				sample, err = sys.DB.CreateSample(tx, "alice", model.Sample{Name: "s", Project: project})
+				return err
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := sys.Update(func(tx *store.Tx) error {
+					_, err := sys.DB.BatchCreateExtracts(tx, "alice", model.Extract{
+						Name: "tpl", Sample: sample,
+					}, fmt.Sprintf("b%d", i), batch)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "extracts/s")
+		})
+	}
+}
+
+// --- F4: annotation release ------------------------------------------------------
+
+func BenchmarkF4_ReleaseAnnotation(b *testing.B) {
+	sys, _ := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	// Seed terms in bounded batches: the unique index checks scan a
+	// transaction's pending writes, so one giant setup transaction would
+	// degrade quadratically (see BenchmarkAblationTxBatchSize).
+	terms := make([]vocab.Term, b.N)
+	const setupBatch = 1000
+	for start := 0; start < b.N; start += setupBatch {
+		end := start + setupBatch
+		if end > b.N {
+			end = b.N
+		}
+		err := sys.Update(func(tx *store.Tx) error {
+			for i := start; i < end; i++ {
+				t, err := sys.Vocab.AddTerm(tx, "alice", model.VocabTissue, fmt.Sprintf("tissue-%d", i), false)
+				if err != nil {
+					return err
+				}
+				terms[i] = t
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			return sys.Vocab.Release(tx, "eva", terms[i].ID)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F5: similarity scan ------------------------------------------------------------
+
+func BenchmarkF5_SimilarityScan(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("terms=%d", size), func(b *testing.B) {
+			sys, _ := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+			err := sys.Update(func(tx *store.Tx) error {
+				for i := 0; i < size; i++ {
+					if _, err := sys.Vocab.AddTerm(tx, "g", model.VocabDiseaseState,
+						fmt.Sprintf("disease state %06d", i), true); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := sys.View(func(tx *store.Tx) error {
+					_, err := sys.Vocab.Similar(tx, model.VocabDiseaseState, "disease state 00004Z")
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "comparisons/s")
+		})
+	}
+}
+
+// --- F7: merge with re-association ---------------------------------------------------
+
+func BenchmarkF7_MergeReassociation(b *testing.B) {
+	for _, refs := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("referrers=%d", refs), func(b *testing.B) {
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+				var keep, drop vocab.Term
+				err := sys.Update(func(tx *store.Tx) error {
+					var err error
+					keep, err = sys.Vocab.AddTerm(tx, "a", model.VocabDiseaseState, "Hopeless", true)
+					if err != nil {
+						return err
+					}
+					drop, err = sys.Vocab.AddTerm(tx, "b", model.VocabDiseaseState, "Hopeles", false)
+					if err != nil {
+						return err
+					}
+					for j := 0; j < refs; j++ {
+						if _, err := sys.DB.CreateSample(tx, "b", model.Sample{
+							Name: fmt.Sprintf("s%d", j), Project: project, DiseaseState: "Hopeles",
+						}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				err = sys.Update(func(tx *store.Tx) error {
+					res, err := sys.Vocab.Merge(tx, "eva", keep.ID, drop.ID, "")
+					if err != nil {
+						return err
+					}
+					if res.Reassociated[model.KindSample] != refs {
+						return fmt.Errorf("reassociated %v", res.Reassociated)
+					}
+					return nil
+				})
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F8: task list ---------------------------------------------------------------------
+
+func BenchmarkF8_TaskList(b *testing.B) {
+	sys, _ := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	// 1000 open tasks for the expert role.
+	err := sys.Update(func(tx *store.Tx) error {
+		for i := 0; i < 1000; i++ {
+			if _, err := sys.Vocab.AddTerm(tx, "alice", model.VocabTissue,
+				fmt.Sprintf("t%04d", i), false); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.View(func(tx *store.Tx) error {
+			ts, err := sys.Tasks.ListOpen(tx, "eva", "expert")
+			if err != nil {
+				return err
+			}
+			if len(ts) != 1000 {
+				return fmt.Errorf("tasks = %d", len(ts))
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F9/F10: import -----------------------------------------------------------------------
+
+func benchImportSystem(b *testing.B, files int) (*core.System, int64) {
+	b.Helper()
+	sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	samples := make([]string, files)
+	for i := range samples {
+		samples[i] = fmt.Sprintf("arr-%04d", i)
+	}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		b.Fatal(err)
+	}
+	return sys, project
+}
+
+func BenchmarkF9_ImportWorkunit(b *testing.B) {
+	for _, files := range []int{10, 100} {
+		for _, mode := range []importer.Mode{importer.Copy, importer.Link} {
+			b.Run(fmt.Sprintf("files=%d/mode=%s", files, mode), func(b *testing.B) {
+				sys, project := benchImportSystem(b, files)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := sys.Update(func(tx *store.Tx) error {
+						res, err := sys.Importer.Import(tx, importer.Request{
+							Provider: "genechip", Mode: mode,
+							WorkunitName: fmt.Sprintf("wu-%d", i),
+							Project:      project, Actor: "alice",
+						})
+						if err != nil {
+							return err
+						}
+						if len(res.Resources) != files {
+							return fmt.Errorf("resources = %d", len(res.Resources))
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(files*b.N)/b.Elapsed().Seconds(), "files/s")
+			})
+		}
+	}
+}
+
+func BenchmarkF10_ImportWorkflow(b *testing.B) {
+	// Measures the workflow round trip: import → assign → save → ready.
+	sys, project := benchImportSystem(b, 4)
+	var extracts []int64
+	err := sys.Update(func(tx *store.Tx) error {
+		sid, err := sys.DB.CreateSample(tx, "alice", model.Sample{Name: "s", Project: project})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			eid, err := sys.DB.CreateExtract(tx, "alice", model.Extract{
+				Name: fmt.Sprintf("arr-%04d", i), Sample: sid,
+			})
+			if err != nil {
+				return err
+			}
+			extracts = append(extracts, eid)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			res, err := sys.Importer.Import(tx, importer.Request{
+				Provider: "genechip", Mode: importer.Link,
+				WorkunitName: fmt.Sprintf("flow-%d", i),
+				Project:      project, Actor: "alice",
+			})
+			if err != nil {
+				return err
+			}
+			matches, err := sys.Importer.BestMatches(tx, res.Workunit)
+			if err != nil {
+				return err
+			}
+			if err := sys.Importer.ApplyMatches(tx, "alice", matches); err != nil {
+				return err
+			}
+			return sys.Importer.CompleteImport(tx, "alice", res.WorkflowInstance)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F11: best-match computation ---------------------------------------------------------
+
+func BenchmarkF11_BestMatch(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sys, project := benchImportSystem(b, n)
+			var wu int64
+			err := sys.Update(func(tx *store.Tx) error {
+				sid, err := sys.DB.CreateSample(tx, "alice", model.Sample{Name: "s", Project: project})
+				if err != nil {
+					return err
+				}
+				for i := 0; i < n; i++ {
+					if _, err := sys.DB.CreateExtract(tx, "alice", model.Extract{
+						Name: fmt.Sprintf("arr_%04d", i), Sample: sid,
+					}); err != nil {
+						return err
+					}
+				}
+				res, err := sys.Importer.Import(tx, importer.Request{
+					Provider: "genechip", Mode: importer.Link,
+					WorkunitName: "wu", Project: project, Actor: "alice",
+				})
+				wu = res.Workunit
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := sys.View(func(tx *store.Tx) error {
+					matches, err := sys.Importer.BestMatches(tx, wu)
+					if err != nil {
+						return err
+					}
+					if len(matches) != n {
+						return fmt.Errorf("matches = %d", len(matches))
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*n*b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// --- F12/F13: registration ------------------------------------------------------------------
+
+func BenchmarkF12_RegisterApplication(b *testing.B) {
+	sys, _ := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			_, err := sys.DB.CreateApplication(tx, "admin", model.Application{
+				Name: fmt.Sprintf("app-%d", i), Connector: "rserve", Program: "x.R",
+				InputSpec: []string{"resources"}, Active: true,
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF13_ExperimentDefinition(b *testing.B) {
+	sys, project := benchImportSystem(b, 8)
+	var resources []int64
+	err := sys.Update(func(tx *store.Tx) error {
+		res, err := sys.Importer.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Link,
+			WorkunitName: "wu", Project: project, Actor: "alice",
+		})
+		resources = res.Resources
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			_, err := sys.DB.CreateExperiment(tx, "alice", model.Experiment{
+				Name: fmt.Sprintf("exp-%d", i), Project: project,
+				Resources:  resources,
+				Attributes: map[string]string{"species": "A. thaliana", "treatment": "light"},
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F14/F15/F16: experiment execution ---------------------------------------------------------
+
+// benchExperiment prepares an importable 2x2 design with an experiment and
+// registered application.
+func benchExperiment(b *testing.B) (*core.System, int64, int64) {
+	b.Helper()
+	sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
+	samples := []string{"a-1-control", "a-2-control", "a-1-treated", "a-2-treated"}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		b.Fatal(err)
+	}
+	var expID, appID int64
+	err := sys.Update(func(tx *store.Tx) error {
+		res, err := sys.Importer.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Copy,
+			WorkunitName: "arrays", Project: project, Actor: "alice",
+		})
+		if err != nil {
+			return err
+		}
+		appID, err = sys.DB.CreateApplication(tx, "admin", model.Application{
+			Name: "two group analysis", Connector: "rserve", Program: "twogroup.R",
+			ParamSpec: []string{"reference_group"}, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		expID, err = sys.DB.CreateExperiment(tx, "alice", model.Experiment{
+			Name: "exp", Project: project, Resources: res.Resources,
+		})
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, expID, appID
+}
+
+func BenchmarkF14_RunExperiment(b *testing.B) {
+	sys, expID, appID := benchExperiment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			res, err := sys.Executor.RunExperiment(tx, apps.RunRequest{
+				Experiment: expID, Application: appID,
+				WorkunitName: fmt.Sprintf("run-%d", i),
+				Params:       map[string]string{"reference_group": "control"},
+				Actor:        "alice",
+			})
+			if err != nil {
+				return err
+			}
+			if res.Failed {
+				return fmt.Errorf("run failed: %s", res.Error)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF15_ExperimentWorkflow(b *testing.B) {
+	// Isolates the workflow-engine overhead of an experiment run using a
+	// no-op program on the same path.
+	sys, expID, _ := benchExperiment(b)
+	conn, err := sys.Connectors.Get("rserve")
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn.(*apps.SimConnector).RegisterProgram("noop.R", func(apps.RunContext) ([]apps.OutputFile, error) {
+		return []apps.OutputFile{{Name: "out.txt", Format: "txt", Data: []byte("ok")}}, nil
+	})
+	var noopApp int64
+	_ = sys.Update(func(tx *store.Tx) error {
+		noopApp, _ = sys.DB.CreateApplication(tx, "admin", model.Application{
+			Name: "noop", Connector: "rserve", Program: "noop.R", Active: true,
+		})
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := sys.Update(func(tx *store.Tx) error {
+			res, err := sys.Executor.RunExperiment(tx, apps.RunRequest{
+				Experiment: expID, Application: noopApp,
+				WorkunitName: fmt.Sprintf("noop-%d", i), Actor: "alice",
+			})
+			if err != nil {
+				return err
+			}
+			if res.Failed {
+				return fmt.Errorf("run failed: %s", res.Error)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF16_ResultZip(b *testing.B) {
+	outputs := []apps.OutputFile{
+		{Name: "results.csv", Data: make([]byte, 64<<10)},
+		{Name: "report.txt", Data: make([]byte, 8<<10)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := apps.ZipOutputs(outputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apps.ReadZip(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(64<<10 + 8<<10))
+}
+
+// --- S-FT: full-text search ---------------------------------------------------------------------
+
+func benchSearchSystem(b *testing.B, docs int) *core.System {
+	b.Helper()
+	sys, project := benchSystem(b, core.Options{DisableAudit: true})
+	err := sys.Update(func(tx *store.Tx) error {
+		for i := 0; i < docs; i++ {
+			if _, err := sys.DB.CreateSample(tx, "alice", model.Sample{
+				Name:        fmt.Sprintf("sample-%06d", i),
+				Project:     project,
+				Description: fmt.Sprintf("replicate %d of the arabidopsis light series batch %d", i%7, i%13),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func BenchmarkSFT_Index(b *testing.B) {
+	for _, docs := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			sys := benchSearchSystem(b, docs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Search.ReindexAll()
+				sys.Search.Flush()
+			}
+			b.ReportMetric(float64(docs*b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}
+
+func BenchmarkSFT_Query(b *testing.B) {
+	for _, docs := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			sys := benchSearchSystem(b, docs)
+			if _, err := sys.Search.Search("", "arabidopsis"); err != nil { // warm index
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits, err := sys.Search.Search("", "arabidopsis light")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) != docs {
+					b.Fatalf("hits = %d", len(hits))
+				}
+			}
+		})
+	}
+}
+
+// --- S-AU: audit logging --------------------------------------------------------------------------
+
+func BenchmarkSAU_AuditLog(b *testing.B) {
+	// Measures the overhead the audit subscription adds to entity writes.
+	for _, audited := range []bool{false, true} {
+		b.Run(fmt.Sprintf("audit=%v", audited), func(b *testing.B) {
+			sys, project := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: !audited})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := sys.Update(func(tx *store.Tx) error {
+					_, err := sys.DB.CreateSample(tx, "alice", model.Sample{
+						Name: fmt.Sprintf("s%d", i), Project: project,
+					})
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

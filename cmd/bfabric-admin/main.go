@@ -1,0 +1,333 @@
+// Command bfabric-admin provides B-Fabric's administrative functions from
+// the shell: generating and inspecting deployments, reviewing pending
+// annotations, merging duplicates, querying the audit log, and exporting
+// object tables — operating on store snapshot files.
+//
+// Usage:
+//
+//	bfabric-admin gen    -out deploy.gob [-scale 0.1]
+//	bfabric-admin stats  -in deploy.gob
+//	bfabric-admin list   -in deploy.gob -kind sample [-limit 20]
+//	bfabric-admin pending -in deploy.gob
+//	bfabric-admin release -in deploy.gob -id 7 -actor eva -out deploy.gob
+//	bfabric-admin merge  -in deploy.gob -keep 3 -drop 9 -actor eva -out deploy.gob
+//	bfabric-admin audit  -in deploy.gob [-actor alice] [-n 20]
+//	bfabric-admin export -in deploy.gob -kind sample
+//	bfabric-admin export-project -in deploy.gob -project 3 -out project.zip
+//	bfabric-admin import-project -in deploy.gob -archive project.zip -out deploy.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/genload"
+	"repro/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "stats":
+		err = cmdStats(args)
+	case "list":
+		err = cmdList(args)
+	case "pending":
+		err = cmdPending(args)
+	case "release":
+		err = cmdRelease(args)
+	case "merge":
+		err = cmdMerge(args)
+	case "audit":
+		err = cmdAudit(args)
+	case "export":
+		err = cmdExport(args)
+	case "export-project":
+		err = cmdExportProject(args)
+	case "import-project":
+		err = cmdImportProject(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatalf("bfabric-admin %s: %v", cmd, err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project} [flags]")
+	os.Exit(2)
+}
+
+// openSystem loads a snapshot and wires a system over it. Search is
+// disabled: admin commands never need the index and skipping it keeps
+// start-up instant on large snapshots.
+func openSystem(path string) (*core.System, error) {
+	s := store.New()
+	if err := s.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return core.NewWithStore(s, core.Options{DisableSearch: true})
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "deploy.gob", "snapshot output path")
+	scale := fs.Float64("scale", 1.0, "population scale (1.0 = full FGCZ)")
+	_ = fs.Parse(args)
+	sys := core.MustNew(core.Options{DisableSearch: true, DisableAudit: true})
+	p := genload.FGCZJan2010.Scaled(*scale)
+	if err := genload.Generate(sys, p); err != nil {
+		return err
+	}
+	if err := sys.Store.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("generated deployment (scale %.3f) -> %s\n", *scale, *out)
+	fmt.Print(genload.StatsTable(sys.DB.CollectStats()))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	_ = fs.Parse(args)
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(genload.StatsTable(sys.DB.CollectStats()))
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	kind := fs.String("kind", "sample", "entity kind")
+	limit := fs.Int("limit", 20, "max rows")
+	_ = fs.Parse(args)
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	n := 0
+	return sys.View(func(tx *store.Tx) error {
+		return tx.Scan(*kind, func(r store.Record) bool {
+			name := r.String("name")
+			if name == "" {
+				name = r.String("value")
+			}
+			fmt.Printf("%6d  %s\n", r.ID(), name)
+			n++
+			return n < *limit
+		})
+	})
+}
+
+func cmdPending(args []string) error {
+	fs := flag.NewFlagSet("pending", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	_ = fs.Parse(args)
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	return sys.View(func(tx *store.Tx) error {
+		pend, err := sys.Vocab.Pending(tx)
+		if err != nil {
+			return err
+		}
+		if len(pend) == 0 {
+			fmt.Println("no pending annotations")
+			return nil
+		}
+		recs, err := sys.Vocab.Recommendations(tx)
+		if err != nil {
+			return err
+		}
+		for _, t := range pend {
+			fmt.Printf("%6d  %-20s %-24s by %s\n", t.ID, t.Vocabulary, t.Value, t.CreatedBy)
+			for _, c := range recs[t.ID] {
+				fmt.Printf("        similar to %d %q (score %.3f) — consider merge\n",
+					c.Term.ID, c.Term.Value, c.Score)
+			}
+		}
+		return nil
+	})
+}
+
+func cmdRelease(args []string) error {
+	fs := flag.NewFlagSet("release", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	out := fs.String("out", "", "output snapshot (default: overwrite input)")
+	id := fs.Int64("id", 0, "annotation id")
+	actor := fs.String("actor", "admin", "reviewing expert login")
+	_ = fs.Parse(args)
+	if *out == "" {
+		*out = *in
+	}
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	if err := sys.Update(func(tx *store.Tx) error {
+		return sys.Vocab.Release(tx, *actor, *id)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("released annotation %d\n", *id)
+	return sys.Store.SaveFile(*out)
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	out := fs.String("out", "", "output snapshot (default: overwrite input)")
+	keep := fs.Int64("keep", 0, "annotation id to keep")
+	drop := fs.Int64("drop", 0, "annotation id to drop")
+	newValue := fs.String("value", "", "optional new spelling for the merged term")
+	actor := fs.String("actor", "admin", "merging expert login")
+	_ = fs.Parse(args)
+	if *out == "" {
+		*out = *in
+	}
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	if err := sys.Update(func(tx *store.Tx) error {
+		res, err := sys.Vocab.Merge(tx, *actor, *keep, *drop, *newValue)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged into %q; re-associated: %v\n", res.Winner.Value, res.Reassociated)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return sys.Store.SaveFile(*out)
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	actor := fs.String("actor", "", "filter by actor login")
+	n := fs.Int("n", 20, "max entries")
+	_ = fs.Parse(args)
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	return sys.View(func(tx *store.Tx) error {
+		entries, err := sys.Audit.Recent(tx, *n)
+		if err != nil {
+			return err
+		}
+		if *actor != "" {
+			entries, err = sys.Audit.ByActor(tx, *actor)
+			if err != nil {
+				return err
+			}
+			if len(entries) > *n {
+				entries = entries[len(entries)-*n:]
+			}
+		}
+		for _, e := range entries {
+			fmt.Printf("seq=%-6d %-24s %s/%d by %s\n", e.Seq, e.Topic, e.Kind, e.Ref, e.Actor)
+		}
+		return nil
+	})
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	kind := fs.String("kind", "sample", "entity kind")
+	limit := fs.Int("limit", 1000, "max rows")
+	_ = fs.Parse(args)
+	s := store.New()
+	if err := s.LoadFile(*in); err != nil {
+		return err
+	}
+	sys, err := core.NewWithStore(s, core.Options{DisableAudit: true})
+	if err != nil {
+		return err
+	}
+	var ids []int64
+	if err := sys.View(func(tx *store.Tx) error {
+		return tx.Scan(*kind, func(r store.Record) bool {
+			ids = append(ids, r.ID())
+			return len(ids) < *limit
+		})
+	}); err != nil {
+		return err
+	}
+	return sys.Search.ExportRecordsCSV(os.Stdout, *kind, ids)
+}
+
+// cmdExportProject writes a self-contained project archive.
+func cmdExportProject(args []string) error {
+	fs := flag.NewFlagSet("export-project", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	project := fs.Int64("project", 0, "project id to export")
+	out := fs.String("out", "project.zip", "archive output path")
+	_ = fs.Parse(args)
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := exchange.Export(sys, *project, f); err != nil {
+		f.Close()
+		os.Remove(*out)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("exported project %d -> %s\n", *project, *out)
+	return nil
+}
+
+// cmdImportProject ingests a project archive into a snapshot.
+func cmdImportProject(args []string) error {
+	fs := flag.NewFlagSet("import-project", flag.ExitOnError)
+	in := fs.String("in", "deploy.gob", "snapshot path")
+	archive := fs.String("archive", "project.zip", "archive to import")
+	out := fs.String("out", "", "output snapshot (default: overwrite input)")
+	actor := fs.String("actor", "admin", "importing login")
+	_ = fs.Parse(args)
+	if *out == "" {
+		*out = *in
+	}
+	sys, err := openSystem(*in)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*archive)
+	if err != nil {
+		return err
+	}
+	res, err := exchange.Import(sys, data, *actor)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported project %d: %d samples, %d extracts, %d workunits, %d resources, %d experiments (%d terms added, %d payloads)\n",
+		res.Project, res.Samples, res.Extracts, res.Workunits, res.Resources,
+		res.Experiments, res.TermsAdded, res.PayloadsStored)
+	return sys.Store.SaveFile(*out)
+}

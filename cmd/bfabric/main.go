@@ -1,0 +1,123 @@
+// Command bfabric runs the B-Fabric web portal. It wires a complete
+// in-memory system, optionally seeds a demo deployment (instrument
+// providers, users, vocabularies) and serves the portal over HTTP.
+//
+// Usage:
+//
+//	bfabric [-addr :8077] [-seed]
+//
+// With -seed the server starts with the demo fixture of the paper's
+// Section 2: users alice (scientist), eva (expert) and root (admin), all
+// with password "demo", project p1000, a simulated Affymetrix GeneChip
+// provider, and the two-group-analysis application registered.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/portal"
+	"repro/internal/provider"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	seed := flag.Bool("seed", false, "seed the demo deployment")
+	flag.Parse()
+
+	sys, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatalf("bfabric: wiring system: %v", err)
+	}
+	if *seed {
+		if err := seedDemo(sys); err != nil {
+			log.Fatalf("bfabric: seeding demo data: %v", err)
+		}
+		log.Printf("seeded demo deployment: logins alice/eva/root, password %q", "demo")
+	}
+
+	srv := portal.New(sys)
+	log.Printf("B-Fabric portal listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// seedDemo builds the Section 2 starting state.
+func seedDemo(sys *core.System) error {
+	samples := []string{"AT-1-control", "AT-2-control", "AT-1-treated", "AT-2-treated"}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		return err
+	}
+	ms, msStore := provider.NewMassSpec("ltqft", []string{"MS-run-1", "MS-run-2"}, 200)
+	sys.Storage.Mount(msStore)
+	if err := sys.Providers.Register(ms); err != nil {
+		return err
+	}
+	return sys.Update(func(tx *store.Tx) error {
+		org, err := sys.DB.CreateOrganization(tx, "seed", model.Organization{Name: "University of Zurich", Country: "CH"})
+		if err != nil {
+			return err
+		}
+		inst, err := sys.DB.CreateInstitute(tx, "seed", model.Institute{Name: "FGCZ", Organization: org})
+		if err != nil {
+			return err
+		}
+		users := []model.User{
+			{Login: "alice", FullName: "Alice Scientist", Role: model.RoleScientist, Institute: inst, Active: true},
+			{Login: "eva", FullName: "Eva Expert", Role: model.RoleExpert, Institute: inst, Active: true},
+			{Login: "root", FullName: "Root Admin", Role: model.RoleAdmin, Institute: inst, Active: true},
+		}
+		var alice int64
+		for _, u := range users {
+			id, err := sys.DB.CreateUser(tx, "seed", u)
+			if err != nil {
+				return err
+			}
+			if u.Login == "alice" {
+				alice = id
+			}
+			if err := sys.Auth.SetPassword(tx, u.Login, "demo"); err != nil {
+				return err
+			}
+		}
+		if _, err := sys.DB.CreateProject(tx, "seed", model.Project{
+			Name: "p1000", Description: "Arabidopsis thaliana light response",
+			Members: []int64{alice}, Institute: inst, Area: "genomics",
+		}); err != nil {
+			return err
+		}
+		for vocabName, terms := range map[string][]string{
+			model.VocabSpecies:          {"Arabidopsis thaliana", "Homo sapiens", "Mus musculus"},
+			model.VocabTissue:           {"Leaf", "Root"},
+			model.VocabTreatment:        {"Light", "Dark"},
+			model.VocabExtractionMethod: {"TRIzol"},
+		} {
+			for _, term := range terms {
+				if _, err := sys.Vocab.AddTerm(tx, "seed", vocabName, term, true); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := sys.DB.CreateApplication(tx, "seed", model.Application{
+			Name: "two group analysis", Description: "Differential expression between two groups",
+			Connector: "rserve", Program: "twogroup.R",
+			InputSpec: []string{"resources"}, ParamSpec: []string{"reference_group"},
+			Active: true,
+		}); err != nil {
+			return err
+		}
+		_, err = sys.DB.CreateApplication(tx, "seed", model.Application{
+			Name: "array QC", Description: "Per-array quality control",
+			Connector: "rserve", Program: "qc.R",
+			InputSpec: []string{"resources"}, Active: true,
+		})
+		return err
+	})
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "B-Fabric: The Swiss
+// Army Knife for Life Sciences" (Türker et al., EDBT 2010): an integrated
+// system for managing experimental life-sciences data and annotations, and
+// an extensible platform for coupling user applications on the fly.
+//
+// The implementation lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), the binaries under cmd/, runnable
+// walk-throughs under examples/, and the paper-artifact benchmarks in
+// bench_test.go next to this file.
+package repro

@@ -1,0 +1,200 @@
+// Arabidopsis: the complete demonstration scenario of Section 2 of the
+// paper. A scientist investigates the effect of a gene and of light on
+// Arabidopsis thaliana: samples and extracts are registered (with a
+// misspelled annotation that the expert later merges), instrument data is
+// imported and assigned, the "two group analysis" application is
+// registered and run, and the results arrive as a ready workunit with a
+// downloadable zip.
+//
+//	go run ./examples/arabidopsis
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+)
+
+func main() {
+	sys := core.MustNew(core.Options{})
+	arrays := []string{"AT-1-control", "AT-2-control", "AT-3-control",
+		"AT-1-treated", "AT-2-treated", "AT-3-treated"}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", arrays)
+	sys.Storage.Mount(gpStore)
+	must(sys.Providers.Register(gp))
+
+	// --- people and project -------------------------------------------------
+	var project, alice int64
+	must(sys.Update(func(tx *store.Tx) error {
+		var err error
+		alice, err = sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "alice", Role: model.RoleScientist, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "eva", Role: model.RoleExpert, Active: true,
+		}); err != nil {
+			return err
+		}
+		project, err = sys.DB.CreateProject(tx, "setup", model.Project{
+			Name: "p1000", Description: "Effect of gene X and light on Arabidopsis thaliana",
+			Members: []int64{alice}, Area: "genomics",
+		})
+		return err
+	}))
+
+	// --- register samples/extracts with annotations (Figures 2-3) ------------
+	fmt.Println("== registering samples and extracts ==")
+	must(sys.Update(func(tx *store.Tx) error {
+		// Alice adds a new annotation; it enters review (Figure 2).
+		if _, err := sys.Vocab.AddTerm(tx, "alice", model.VocabSpecies, "Arabidopsis thaliana", false); err != nil {
+			return err
+		}
+		sample, err := sys.DB.CreateSample(tx, "alice", model.Sample{
+			Name: "AT-pool", Project: project, Owner: alice,
+			Species: "Arabidopsis thaliana",
+		})
+		if err != nil {
+			return err
+		}
+		for _, name := range arrays {
+			if _, err := sys.DB.CreateExtract(tx, "alice", model.Extract{
+				Name: name, Sample: sample,
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("sample AT-pool with %d extracts registered\n", len(arrays))
+		return nil
+	}))
+
+	// Bob misspells the species; the detector flags it; Eva merges (Figs 4-7).
+	fmt.Println("\n== annotation review and merge ==")
+	must(sys.Update(func(tx *store.Tx) error {
+		// Eva reviews and releases Alice's correctly spelled term (Figure 4).
+		term, err := sys.Vocab.Lookup(tx, model.VocabSpecies, "Arabidopsis thaliana")
+		if err != nil {
+			return err
+		}
+		if err := sys.Vocab.Release(tx, "eva", term.ID); err != nil {
+			return err
+		}
+		// Bob recreates it with a typo; it enters review as pending.
+		_, err = sys.Vocab.AddTerm(tx, "bob", model.VocabSpecies, "Arabidopsis thalian", false)
+		return err
+	}))
+	must(sys.Update(func(tx *store.Tx) error {
+		recs, err := sys.Vocab.Recommendations(tx)
+		if err != nil {
+			return err
+		}
+		for pendingID, cands := range recs {
+			pending, _ := sys.Vocab.Get(tx, pendingID)
+			for _, c := range cands {
+				fmt.Printf("detector: %q looks like %q (score %.3f)\n",
+					pending.Value, c.Term.Value, c.Score)
+				res, err := sys.Vocab.Merge(tx, "eva", c.Term.ID, pendingID, "")
+				if err != nil {
+					return err
+				}
+				fmt.Printf("eva merged; surviving term: %q\n", res.Winner.Value)
+				break
+			}
+			break
+		}
+		return nil
+	}))
+
+	// --- import and assign (Figures 9-11) -------------------------------------
+	fmt.Println("\n== instrument import ==")
+	var imp importer.Result
+	must(sys.Update(func(tx *store.Tx) error {
+		var err error
+		imp, err = sys.Importer.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Copy,
+			WorkunitName: "GeneChip arrays", Project: project,
+			Owner: alice, Actor: "alice",
+		})
+		if err != nil {
+			return err
+		}
+		matches, err := sys.Importer.BestMatches(tx, imp.Workunit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %d arrays; %d best matches suggested\n", len(imp.Resources), len(matches))
+		if err := sys.Importer.ApplyMatches(tx, "alice", matches); err != nil {
+			return err
+		}
+		return sys.Importer.CompleteImport(tx, "alice", imp.WorkflowInstance)
+	}))
+
+	// --- register app, define and run experiment (Figures 12-16) ----------------
+	fmt.Println("\n== two group analysis ==")
+	var run apps.RunResult
+	must(sys.Update(func(tx *store.Tx) error {
+		appID, err := sys.DB.CreateApplication(tx, "eva", model.Application{
+			Name: "two group analysis", Connector: "rserve", Program: "twogroup.R",
+			InputSpec: []string{"resources"}, ParamSpec: []string{"reference_group"},
+			Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		expID, err := sys.DB.CreateExperiment(tx, "alice", model.Experiment{
+			Name: "AT light effect", Project: project, Owner: alice,
+			Resources:  imp.Resources,
+			Attributes: map[string]string{"species": "Arabidopsis thaliana", "treatment": "light"},
+		})
+		if err != nil {
+			return err
+		}
+		run, err = sys.Executor.RunExperiment(tx, apps.RunRequest{
+			Experiment: expID, Application: appID,
+			WorkunitName: "AT light results",
+			Params:       map[string]string{"reference_group": "control"},
+			Actor:        "alice", Owner: alice,
+		})
+		return err
+	}))
+	if run.Failed {
+		log.Fatalf("experiment failed: %s", run.Error)
+	}
+
+	must(sys.View(func(tx *store.Tx) error {
+		wu, err := sys.DB.GetWorkunit(tx, run.Workunit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("result workunit %d: %s\n", run.Workunit, wu.State)
+		rs, _ := sys.DB.ResourcesOfWorkunit(tx, run.Workunit)
+		for _, r := range rs {
+			if r.Name != "report.txt" {
+				continue
+			}
+			data, err := sys.Storage.Open(r.URI)
+			if err != nil {
+				return err
+			}
+			fmt.Println("\n--- report.txt (first lines) ---")
+			lines := strings.SplitN(string(data), "\n", 14)
+			fmt.Println(strings.Join(lines[:len(lines)-1], "\n"))
+		}
+		return nil
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Proteomics: a mass-spectrometry workflow through B-Fabric. RAW
+// acquisitions from a simulated LTQ-FT instrument are linked (not copied)
+// into the repository, the MS QC application summarises them, and the
+// results are inspected — demonstrating link-mode import, a second
+// instrument class, and a second registered application.
+//
+//	go run ./examples/proteomics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+)
+
+func main() {
+	sys := core.MustNew(core.Options{})
+	runs := []string{"plasma-01", "plasma-02", "plasma-03"}
+	ms, msStore := provider.NewMassSpec("ltqft", runs, 500)
+	sys.Storage.Mount(msStore)
+	must(sys.Providers.Register(ms))
+
+	var project int64
+	var imp importer.Result
+	must(sys.Update(func(tx *store.Tx) error {
+		var err error
+		project, err = sys.DB.CreateProject(tx, "setup", model.Project{
+			Name: "p2000", Description: "Plasma proteome profiling", Area: "proteomics",
+		})
+		if err != nil {
+			return err
+		}
+		sample, err := sys.DB.CreateSample(tx, "carol", model.Sample{
+			Name: "plasma-pool", Project: project,
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range runs {
+			if _, err := sys.DB.CreateExtract(tx, "carol", model.Extract{
+				Name: r, Sample: sample,
+			}); err != nil {
+				return err
+			}
+		}
+		// Link mode: the RAW files stay on the instrument store; B-Fabric
+		// records references and serves the bytes transparently.
+		imp, err = sys.Importer.Import(tx, importer.Request{
+			Provider: "ltqft", Mode: importer.Link,
+			WorkunitName: "LTQ-FT acquisitions", Project: project, Actor: "carol",
+		})
+		if err != nil {
+			return err
+		}
+		matches, err := sys.Importer.BestMatches(tx, imp.Workunit)
+		if err != nil {
+			return err
+		}
+		if err := sys.Importer.ApplyMatches(tx, "carol", matches); err != nil {
+			return err
+		}
+		return sys.Importer.CompleteImport(tx, "carol", imp.WorkflowInstance)
+	}))
+
+	must(sys.View(func(tx *store.Tx) error {
+		rs, err := sys.DB.ResourcesOfWorkunit(tx, imp.Workunit)
+		if err != nil {
+			return err
+		}
+		fmt.Println("linked data resources:")
+		for _, r := range rs {
+			fmt.Printf("  %-16s linked=%v %s\n", r.Name, r.Linked, r.URI)
+		}
+		return nil
+	}))
+
+	// Run the MS QC application over the linked acquisitions.
+	var run apps.RunResult
+	must(sys.Update(func(tx *store.Tx) error {
+		appID, err := sys.DB.CreateApplication(tx, "admin", model.Application{
+			Name: "MS QC", Connector: "rserve", Program: "msqc.R",
+			InputSpec: []string{"resources"}, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		expID, err := sys.DB.CreateExperiment(tx, "carol", model.Experiment{
+			Name: "plasma QC", Project: project, Resources: imp.Resources,
+		})
+		if err != nil {
+			return err
+		}
+		run, err = sys.Executor.RunExperiment(tx, apps.RunRequest{
+			Experiment: expID, Application: appID,
+			WorkunitName: "plasma QC results", Actor: "carol",
+		})
+		return err
+	}))
+	if run.Failed {
+		log.Fatalf("QC failed: %s", run.Error)
+	}
+	must(sys.View(func(tx *store.Tx) error {
+		rs, _ := sys.DB.ResourcesOfWorkunit(tx, run.Workunit)
+		for _, r := range rs {
+			if r.Name != "msqc.csv" {
+				continue
+			}
+			data, err := sys.Storage.Open(r.URI)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\nQC report:\n%s", data)
+		}
+		return nil
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

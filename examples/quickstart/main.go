@@ -1,0 +1,92 @@
+// Quickstart: the minimal end-to-end B-Fabric walk-through.
+//
+// It wires a system, registers a project, a sample and an extract, imports
+// one instrument file, assigns the extract, and searches for the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+)
+
+func main() {
+	sys := core.MustNew(core.Options{})
+
+	// Attach a simulated instrument as a data provider.
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", []string{"demo-sample"})
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		log.Fatal(err)
+	}
+
+	var project int64
+	var imp importer.Result
+	err := sys.Update(func(tx *store.Tx) error {
+		var err error
+		project, err = sys.DB.CreateProject(tx, "quickstart", model.Project{
+			Name: "p1000", Description: "Quickstart project",
+		})
+		if err != nil {
+			return err
+		}
+		sample, err := sys.DB.CreateSample(tx, "quickstart", model.Sample{
+			Name: "demo-sample", Project: project,
+		})
+		if err != nil {
+			return err
+		}
+		extract, err := sys.DB.CreateExtract(tx, "quickstart", model.Extract{
+			Name: "demo-sample", Sample: sample,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered sample %d and extract %d\n", sample, extract)
+
+		// Import the instrument file (copying it into internal storage).
+		imp, err = sys.Importer.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Copy,
+			WorkunitName: "first import", Project: project, Actor: "quickstart",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %d file(s) into workunit %d\n", len(imp.Resources), imp.Workunit)
+
+		// The system suggests which extract belongs to which file.
+		matches, err := sys.Importer.BestMatches(tx, imp.Workunit)
+		if err != nil {
+			return err
+		}
+		if err := sys.Importer.ApplyMatches(tx, "quickstart", matches); err != nil {
+			return err
+		}
+		return sys.Importer.CompleteImport(tx, "quickstart", imp.WorkflowInstance)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workunit is ready; everything is searchable.
+	_ = sys.View(func(tx *store.Tx) error {
+		wu, _ := sys.DB.GetWorkunit(tx, imp.Workunit)
+		fmt.Printf("workunit state: %s\n", wu.State)
+		return nil
+	})
+	hits, err := sys.Search.Search("quickstart", "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full-text search for %q found %d object(s):\n", "demo", len(hits))
+	for _, h := range hits {
+		fmt.Printf("  %s/%d (score %.1f)\n", h.Kind, h.ID, h.Score)
+	}
+}

@@ -1,0 +1,490 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/workflow"
+)
+
+func TestSimConnectorProgramRegistry(t *testing.T) {
+	c := NewSimConnector("sim")
+	if c.Name() != "sim" {
+		t.Error("name wrong")
+	}
+	c.RegisterProgram("b.R", func(RunContext) ([]OutputFile, error) { return nil, nil })
+	c.RegisterProgram("a.R", func(RunContext) ([]OutputFile, error) { return nil, nil })
+	ps := c.Programs()
+	if len(ps) != 2 || ps[0] != "a.R" {
+		t.Errorf("Programs = %v", ps)
+	}
+	_, err := c.Run(RunContext{Program: "missing.R"})
+	if !errors.Is(err, ErrUnknownProgram) {
+		t.Errorf("missing program: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(NewSimConnector("rserve")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(NewSimConnector("rserve")); err == nil {
+		t.Error("duplicate connector accepted")
+	}
+	if _, err := r.Get("rserve"); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrUnknownConnector) {
+		t.Errorf("missing connector: %v", err)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "rserve" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func celInput(sample string) InputFile {
+	return InputFile{Name: sample + ".cel", Data: provider.CELContent(sample)}
+}
+
+func TestTwoGroupAnalysisFindsSignal(t *testing.T) {
+	// Treated samples have probes 0-9 shifted +3 by construction; the
+	// analysis must rank those probes on top.
+	ctx := RunContext{
+		Program: "twogroup.R",
+		Params:  map[string]string{"reference_group": "control"},
+		Inputs: []InputFile{
+			celInput("s1-control"), celInput("s2-control"), celInput("s3-control"),
+			celInput("s1-treated"), celInput("s2-treated"), celInput("s3-treated"),
+		},
+		Attributes: map[string]string{"species": "A. thaliana"},
+	}
+	outs, err := TwoGroupAnalysis(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	var csv, report string
+	for _, o := range outs {
+		switch o.Name {
+		case "results.csv":
+			csv = string(o.Data)
+		case "report.txt":
+			report = string(o.Data)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != provider.GeneCount+1 {
+		t.Errorf("csv lines = %d", len(lines))
+	}
+	// The top differential probes must be among probe_0..probe_9.
+	topSection := false
+	topHits := 0
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "Top differential probes") {
+			topSection = true
+			continue
+		}
+		if !topSection || !strings.Contains(line, "probe_") {
+			continue
+		}
+		for g := 0; g < 10; g++ {
+			if strings.Contains(line, fmt.Sprintf("probe_%d ", g)) {
+				topHits++
+				break
+			}
+		}
+	}
+	if topHits < 8 {
+		t.Errorf("only %d/10 top probes are true positives:\n%s", topHits, report)
+	}
+	if !strings.Contains(report, "attribute species=A. thaliana") {
+		t.Error("experiment attributes missing from report")
+	}
+}
+
+func TestTwoGroupAnalysisValidation(t *testing.T) {
+	if _, err := TwoGroupAnalysis(RunContext{Inputs: []InputFile{celInput("a"), celInput("b")}}); err == nil {
+		t.Error("missing reference_group accepted")
+	}
+	if _, err := TwoGroupAnalysis(RunContext{
+		Params: map[string]string{"reference_group": "x"},
+		Inputs: []InputFile{celInput("a")},
+	}); err == nil {
+		t.Error("single input accepted")
+	}
+	// All inputs in one group.
+	if _, err := TwoGroupAnalysis(RunContext{
+		Params: map[string]string{"reference_group": "ctrl"},
+		Inputs: []InputFile{celInput("a"), celInput("b")},
+	}); err == nil {
+		t.Error("degenerate grouping accepted")
+	}
+	// Garbage input.
+	if _, err := TwoGroupAnalysis(RunContext{
+		Params: map[string]string{"reference_group": "ctrl"},
+		Inputs: []InputFile{{Name: "ctrl.cel", Data: []byte("junk")}, celInput("b")},
+	}); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestQCReport(t *testing.T) {
+	outs, err := QCReport(RunContext{Inputs: []InputFile{celInput("x"), celInput("y")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(outs[0].Data)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Errorf("qc lines = %v", lines)
+	}
+	if _, err := QCReport(RunContext{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestMSQCReport(t *testing.T) {
+	in := InputFile{Name: "m1.raw", Data: provider.RAWContent("m1", 25)}
+	outs, err := MSQCReport(RunContext{Inputs: []InputFile{in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(outs[0].Data), "m1.raw,25,") {
+		t.Errorf("msqc = %s", outs[0].Data)
+	}
+	if _, err := MSQCReport(RunContext{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MSQCReport(RunContext{Inputs: []InputFile{{Name: "bad.raw", Data: []byte("no peaks")}}}); err == nil {
+		t.Error("peakless input accepted")
+	}
+}
+
+func TestZipRoundTrip(t *testing.T) {
+	outs := []OutputFile{
+		{Name: "a.txt", Data: []byte("alpha")},
+		{Name: "b.csv", Data: []byte("1,2,3")},
+	}
+	data, err := ZipOutputs(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := ReadZip(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names["a.txt"] != 5 || names["b.csv"] != 5 {
+		t.Errorf("zip contents = %v", names)
+	}
+	if _, err := ReadZip([]byte("not a zip")); err == nil {
+		t.Error("garbage zip accepted")
+	}
+}
+
+// --- end-to-end executor fixture ------------------------------------------
+
+type fixture struct {
+	s         *store.Store
+	db        *model.DB
+	mgr       *storage.Manager
+	wf        *workflow.Engine
+	te        *tasks.Engine
+	imp       *importer.Service
+	ex        *Executor
+	registry  *Registry
+	project   int64
+	appID     int64
+	expID     int64
+	importRes importer.Result
+}
+
+// newFixture builds the full Arabidopsis scenario: import 4 arrays
+// (2 control, 2 treated), assign extracts, register the two-group app and
+// an experiment over all imported resources.
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	s := store.New()
+	bus := events.NewBus()
+	rg := entity.NewRegistry(s, bus)
+	if err := model.RegisterSchema(rg); err != nil {
+		t.Fatal(err)
+	}
+	db := model.NewDB(rg)
+	mgr := storage.NewManager()
+	hub := provider.NewHub()
+	wf := workflow.NewEngine(s)
+	te := tasks.New(s, bus)
+	samples := []string{"AT-1-control", "AT-2-control", "AT-1-treated", "AT-2-treated"}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	mgr.Mount(gpStore)
+	if err := hub.Register(gp); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := importer.New(db, mgr, hub, wf, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry()
+	if err := registry.Register(NewRserveConnector()); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(db, mgr, registry, wf, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{s: s, db: db, mgr: mgr, wf: wf, te: te, imp: imp, ex: ex, registry: registry}
+	err = s.Update(func(tx *store.Tx) error {
+		var err error
+		fx.project, err = db.CreateProject(tx, "setup", model.Project{Name: "p1000"})
+		if err != nil {
+			return err
+		}
+		fx.importRes, err = imp.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Copy, WorkunitName: "arrays",
+			Project: fx.project, Actor: "alice",
+		})
+		if err != nil {
+			return err
+		}
+		sid, err := db.CreateSample(tx, "alice", model.Sample{Name: "AT", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		for _, name := range samples {
+			if _, err := db.CreateExtract(tx, "alice", model.Extract{Name: name, Sample: sid}); err != nil {
+				return err
+			}
+		}
+		matches, err := imp.BestMatches(tx, fx.importRes.Workunit)
+		if err != nil {
+			return err
+		}
+		if err := imp.ApplyMatches(tx, "alice", matches); err != nil {
+			return err
+		}
+		if err := imp.CompleteImport(tx, "alice", fx.importRes.WorkflowInstance); err != nil {
+			return err
+		}
+		fx.appID, err = db.CreateApplication(tx, "admin", model.Application{
+			Name: "two group analysis", Connector: "rserve", Program: "twogroup.R",
+			InputSpec: []string{"resources"}, ParamSpec: []string{"reference_group"},
+			Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		fx.expID, err = db.CreateExperiment(tx, "alice", model.Experiment{
+			Name: "AT light response", Project: fx.project,
+			Resources:  fx.importRes.Resources,
+			Attributes: map[string]string{"species": "A. thaliana", "treatment": "light"},
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func TestRunExperimentEndToEnd(t *testing.T) {
+	fx := newFixture(t)
+	var res RunResult
+	err := fx.s.Update(func(tx *store.Tx) error {
+		var err error
+		res, err = fx.ex.RunExperiment(tx, RunRequest{
+			Experiment: fx.expID, Application: fx.appID,
+			WorkunitName: "AT analysis results",
+			Params:       map[string]string{"reference_group": "control"},
+			Actor:        "alice",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("run failed: %s", res.Error)
+	}
+	// Outputs: results.csv, report.txt, results.zip
+	if len(res.Resources) != 3 {
+		t.Fatalf("resources = %v", res.Resources)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		wu, _ := fx.db.GetWorkunit(tx, res.Workunit)
+		if wu.State != model.WorkunitReady {
+			t.Errorf("workunit state = %q", wu.State)
+		}
+		if wu.Application != fx.appID {
+			t.Errorf("workunit application = %d", wu.Application)
+		}
+		inst, _ := fx.wf.Get(tx, res.WorkflowInstance)
+		if inst.State != workflow.StateCompleted {
+			t.Errorf("workflow state = %q", inst.State)
+		}
+		all, _ := fx.db.ResourcesOfWorkunit(tx, res.Workunit)
+		// 4 input markers + 3 outputs
+		if len(all) != 7 {
+			t.Fatalf("workunit resources = %d", len(all))
+		}
+		inputs, outputs := 0, 0
+		var zipURI string
+		for _, r := range all {
+			if r.IsInput {
+				inputs++
+			} else {
+				outputs++
+				if r.Name == "results.zip" {
+					zipURI = r.URI
+				}
+			}
+		}
+		if inputs != 4 || outputs != 3 {
+			t.Errorf("inputs=%d outputs=%d", inputs, outputs)
+		}
+		// The zip is downloadable and contains both outputs.
+		data, err := fx.mgr.Open(zipURI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names, err := ReadZip(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 2 || names["report.txt"] == 0 || names["results.csv"] == 0 {
+			t.Errorf("zip = %v", names)
+		}
+		return nil
+	})
+}
+
+func TestRunExperimentConnectorFailureRecorded(t *testing.T) {
+	fx := newFixture(t)
+	var res RunResult
+	err := fx.s.Update(func(tx *store.Tx) error {
+		var err error
+		res, err = fx.ex.RunExperiment(tx, RunRequest{
+			Experiment: fx.expID, Application: fx.appID,
+			WorkunitName: "doomed",
+			// Missing reference_group makes twogroup.R fail.
+			Params: map[string]string{},
+			Actor:  "alice",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || !strings.Contains(res.Error, "reference_group") {
+		t.Fatalf("res = %+v", res)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		wu, _ := fx.db.GetWorkunit(tx, res.Workunit)
+		if wu.State != model.WorkunitFailed {
+			t.Errorf("workunit state = %q", wu.State)
+		}
+		// An admin error-review task exists.
+		open, _ := fx.te.ListOpen(tx, "", model.RoleAdmin)
+		found := false
+		for _, tk := range open {
+			if tk.Type == tasks.TypeReviewError && tk.Ref == res.Workunit {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no review_error task: %+v", open)
+		}
+		// Failed workflow instance visible to admins.
+		failed, _ := fx.wf.FailedInstances(tx)
+		if len(failed) != 1 {
+			t.Errorf("failed instances = %v", failed)
+		}
+		return nil
+	})
+}
+
+func TestRunExperimentValidation(t *testing.T) {
+	fx := newFixture(t)
+	// Unknown experiment.
+	err := fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.ex.RunExperiment(tx, RunRequest{Experiment: 9999, Application: fx.appID, WorkunitName: "x", Actor: "a"})
+		return err
+	})
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("unknown experiment: %v", err)
+	}
+	// Inactive application.
+	var inactive int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		inactive, _ = fx.db.CreateApplication(tx, "admin", model.Application{
+			Name: "retired", Connector: "rserve", Program: "twogroup.R", Active: false,
+		})
+		return nil
+	})
+	err = fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.ex.RunExperiment(tx, RunRequest{Experiment: fx.expID, Application: inactive, WorkunitName: "x", Actor: "a"})
+		return err
+	})
+	if !errors.Is(err, ErrInactiveApplication) {
+		t.Errorf("inactive app: %v", err)
+	}
+	// Empty workunit name.
+	err = fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.ex.RunExperiment(tx, RunRequest{Experiment: fx.expID, Application: fx.appID, Actor: "a"})
+		return err
+	})
+	if err == nil {
+		t.Error("empty workunit name accepted")
+	}
+	// Unknown connector.
+	var badApp int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		badApp, _ = fx.db.CreateApplication(tx, "admin", model.Application{
+			Name: "orphan", Connector: "galaxy", Program: "x", Active: true,
+		})
+		return nil
+	})
+	err = fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.ex.RunExperiment(tx, RunRequest{Experiment: fx.expID, Application: badApp, WorkunitName: "x", Actor: "a"})
+		return err
+	})
+	if !errors.Is(err, ErrUnknownConnector) {
+		t.Errorf("unknown connector: %v", err)
+	}
+}
+
+func TestResultsAreSearchableContent(t *testing.T) {
+	// Output resources carry their text content for the full-text index.
+	fx := newFixture(t)
+	var res RunResult
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		res, _ = fx.ex.RunExperiment(tx, RunRequest{
+			Experiment: fx.expID, Application: fx.appID,
+			WorkunitName: "searchable",
+			Params:       map[string]string{"reference_group": "control"},
+			Actor:        "alice",
+		})
+		return nil
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		all, _ := fx.db.ResourcesOfWorkunit(tx, res.Workunit)
+		for _, r := range all {
+			if r.Name == "report.txt" && !strings.Contains(r.Content, "Two group analysis report") {
+				t.Errorf("report content not stored: %q", r.Content[:50])
+			}
+		}
+		return nil
+	})
+}

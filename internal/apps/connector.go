@@ -1,0 +1,158 @@
+// Package apps implements B-Fabric's on-the-fly application coupling
+// (Figures 12–16): connectors abstract how a class of applications is
+// executed (the original system shipped e.g. an Rserve connector for R
+// scripts), applications are registered at run time with a small input
+// interface, and experiments invoke registered applications on selections
+// of data resources, producing result workunits whose files are also
+// packaged as a zip for download.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// InputFile is one resolved experiment input handed to a connector.
+type InputFile struct {
+	// Name is the data resource name (file name).
+	Name string
+	// Data is the file content.
+	Data []byte
+}
+
+// OutputFile is one file produced by an application run.
+type OutputFile struct {
+	// Name is the output file name.
+	Name string
+	// Format tags the file format ("csv", "txt", ...).
+	Format string
+	// Data is the file content.
+	Data []byte
+}
+
+// RunContext carries everything a connector needs for one invocation.
+type RunContext struct {
+	// Program identifies the registered program (e.g. an R script name).
+	Program string
+	// Params are the experiment-specific parameters (e.g. reference group).
+	Params map[string]string
+	// Inputs are the resolved input files.
+	Inputs []InputFile
+	// Attributes are the experiment definition's free attributes.
+	Attributes map[string]string
+}
+
+// Connector executes programs of one kind. Implementations must be safe
+// for concurrent use.
+type Connector interface {
+	// Name is the connector identifier referenced by applications.
+	Name() string
+	// Run executes the program and returns its output files.
+	Run(ctx RunContext) ([]OutputFile, error)
+}
+
+// Sentinel errors.
+var (
+	// ErrUnknownConnector is returned for unregistered connector names.
+	ErrUnknownConnector = errors.New("unknown connector")
+	// ErrUnknownProgram is returned when a connector has no such program.
+	ErrUnknownProgram = errors.New("unknown program")
+)
+
+// Program is a callable unit registered with a simulated connector. In the
+// original system this would be an R script executed by Rserve; here it is
+// a Go function exercising the same interface.
+type Program func(ctx RunContext) ([]OutputFile, error)
+
+// SimConnector is a program-registry connector used to simulate Rserve and
+// shell execution backends.
+type SimConnector struct {
+	name     string
+	mu       sync.RWMutex
+	programs map[string]Program
+}
+
+// NewSimConnector creates an empty simulated connector.
+func NewSimConnector(name string) *SimConnector {
+	return &SimConnector{name: name, programs: make(map[string]Program)}
+}
+
+// Name implements Connector.
+func (c *SimConnector) Name() string { return c.name }
+
+// RegisterProgram adds a program under the given identifier.
+func (c *SimConnector) RegisterProgram(id string, p Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.programs[id] = p
+}
+
+// Programs returns the sorted registered program identifiers.
+func (c *SimConnector) Programs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.programs))
+	for id := range c.programs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run implements Connector.
+func (c *SimConnector) Run(ctx RunContext) ([]OutputFile, error) {
+	c.mu.RLock()
+	p, ok := c.programs[ctx.Program]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("apps: connector %s: program %q: %w", c.name, ctx.Program, ErrUnknownProgram)
+	}
+	return p(ctx)
+}
+
+// Registry holds the available connectors.
+type Registry struct {
+	mu         sync.RWMutex
+	connectors map[string]Connector
+}
+
+// NewRegistry creates an empty connector registry.
+func NewRegistry() *Registry {
+	return &Registry{connectors: make(map[string]Connector)}
+}
+
+// Register adds a connector; duplicates are an error.
+func (r *Registry) Register(c Connector) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.connectors[c.Name()]; ok {
+		return fmt.Errorf("apps: connector %q already registered", c.Name())
+	}
+	r.connectors[c.Name()] = c
+	return nil
+}
+
+// Get returns the named connector.
+func (r *Registry) Get(name string) (Connector, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.connectors[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: %q: %w", name, ErrUnknownConnector)
+	}
+	return c, nil
+}
+
+// Names returns the sorted connector names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.connectors))
+	for n := range r.connectors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,331 @@
+package apps
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/workflow"
+)
+
+// WorkflowName is the registered experiment-execution workflow definition
+// (the "generate an R report" single-step workflow of Figure 15).
+const WorkflowName = "run-experiment"
+
+const stepGenerate = 1
+
+// ErrInactiveApplication is returned when invoking a deactivated
+// application.
+var ErrInactiveApplication = errors.New("application is not active")
+
+// RunRequest describes one experiment invocation (Figure 14).
+type RunRequest struct {
+	// Experiment is the experiment definition to run.
+	Experiment int64
+	// Application is the registered application to invoke.
+	Application int64
+	// WorkunitName names the result workunit.
+	WorkunitName string
+	// Params are the run parameters (e.g. reference group).
+	Params map[string]string
+	// Actor is the invoking user's login.
+	Actor string
+	// Owner is the invoking user's id (optional).
+	Owner int64
+}
+
+// RunResult reports an experiment run.
+type RunResult struct {
+	// Workunit is the result container (Figures 15–16).
+	Workunit int64
+	// WorkflowInstance is the execution workflow instance.
+	WorkflowInstance int64
+	// Resources are the produced data resource ids (outputs + zip), empty
+	// on failure.
+	Resources []int64
+	// Failed reports a connector failure; the workunit is in the failed
+	// state and an error-review task exists for the administrators.
+	Failed bool
+	// Error is the failure message when Failed.
+	Error string
+}
+
+// Executor runs experiments through registered applications.
+type Executor struct {
+	db       *model.DB
+	mgr      *storage.Manager
+	registry *Registry
+	wf       *workflow.Engine
+	tasks    *tasks.Engine
+
+	// lastOutputs carries the resource ids produced by the workflow
+	// post-function back to RunExperiment within a single call. Guarded by
+	// the store's exclusive write lock (the whole run happens inside one
+	// Update transaction).
+	lastOutputs []int64
+}
+
+// NewExecutor wires the executor and registers the run-experiment workflow.
+func NewExecutor(db *model.DB, mgr *storage.Manager, registry *Registry, wf *workflow.Engine, te *tasks.Engine) (*Executor, error) {
+	ex := &Executor{db: db, mgr: mgr, registry: registry, wf: wf, tasks: te}
+	wf.RegisterFunction("appsExecute", ex.fnExecute)
+	def := workflow.Definition{
+		Name:    WorkflowName,
+		Initial: stepGenerate,
+		Steps: []workflow.Step{
+			{
+				ID:   stepGenerate,
+				Name: "generate report",
+				Actions: []workflow.Action{
+					{
+						Name:          "run",
+						Result:        workflow.Finish,
+						Auto:          true,
+						PostFunctions: []string{"appsExecute"},
+					},
+				},
+			},
+		},
+	}
+	if err := wf.RegisterDefinition(def); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// RunExperiment performs the full Figure 14–16 flow inside the caller's
+// transaction: a result workunit is created in the processing state, the
+// experiment's input resources are recorded as input-marked members of the
+// workunit, and the execution workflow runs the application through its
+// connector. On success the outputs (plus a results.zip) become data
+// resources and the workunit turns ready; on connector failure the workunit
+// turns failed and an error-review task is opened for the administrators —
+// the run failure is recorded, not rolled back.
+func (ex *Executor) RunExperiment(tx *store.Tx, req RunRequest) (RunResult, error) {
+	exp, err := ex.db.GetExperiment(tx, req.Experiment)
+	if err != nil {
+		return RunResult{}, err
+	}
+	app, err := ex.db.GetApplication(tx, req.Application)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if !app.Active {
+		return RunResult{}, fmt.Errorf("apps: %s: %w", app.Name, ErrInactiveApplication)
+	}
+	if req.WorkunitName == "" {
+		return RunResult{}, fmt.Errorf("apps: empty result workunit name")
+	}
+	if _, err := ex.registry.Get(app.Connector); err != nil {
+		return RunResult{}, err
+	}
+
+	wu, err := ex.db.CreateWorkunit(tx, req.Actor, model.Workunit{
+		Name:        req.WorkunitName,
+		Project:     exp.Project,
+		Owner:       req.Owner,
+		Application: app.ID,
+		State:       model.WorkunitProcessing,
+		Parameters:  req.Params,
+		Description: fmt.Sprintf("Result of application %q on experiment %q", app.Name, exp.Name),
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	// Mark the experiment's inputs as input resources of the result
+	// workunit ("some of these data resources are marked as input
+	// resources meaning that they were the inputs of the processing step").
+	for _, rid := range exp.Resources {
+		in, err := ex.db.GetDataResource(tx, rid)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if _, err := ex.db.CreateDataResource(tx, req.Actor, model.DataResource{
+			Name:      in.Name,
+			Workunit:  wu,
+			Extract:   in.Extract,
+			URI:       in.URI,
+			Format:    in.Format,
+			IsInput:   true,
+			Linked:    true,
+			SizeBytes: in.SizeBytes,
+			Checksum:  in.Checksum,
+		}); err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	ex.lastOutputs = nil
+	wfID, err := ex.wf.Start(tx, WorkflowName, req.Actor, map[string]string{
+		"experiment":  strconv.FormatInt(req.Experiment, 10),
+		"application": strconv.FormatInt(req.Application, 10),
+		"workunit":    strconv.FormatInt(wu, 10),
+	})
+	res := RunResult{Workunit: wu, WorkflowInstance: wfID}
+	if err != nil {
+		// Connector (or plumbing) failure: record it rather than roll back.
+		if stateErr := ex.db.SetWorkunitState(tx, req.Actor, wu, model.WorkunitFailed); stateErr != nil {
+			return res, stateErr
+		}
+		if _, taskErr := ex.tasks.Create(tx, tasks.Task{
+			Type:         tasks.TypeReviewError,
+			Title:        fmt.Sprintf("Experiment run failed: %s", req.WorkunitName),
+			Description:  err.Error(),
+			AssigneeRole: model.RoleAdmin,
+			Kind:         model.KindWorkunit,
+			Ref:          wu,
+		}); taskErr != nil {
+			return res, taskErr
+		}
+		res.Failed = true
+		res.Error = err.Error()
+		return res, nil
+	}
+	res.Resources = ex.lastOutputs
+	return res, nil
+}
+
+// fnExecute is the workflow post-function doing the actual work.
+func (ex *Executor) fnExecute(ctx *workflow.Context) error {
+	expID, err := strconv.ParseInt(ctx.Vars["experiment"], 10, 64)
+	if err != nil {
+		return fmt.Errorf("apps: workflow %d: bad experiment var: %w", ctx.InstanceID, err)
+	}
+	appID, err := strconv.ParseInt(ctx.Vars["application"], 10, 64)
+	if err != nil {
+		return fmt.Errorf("apps: workflow %d: bad application var: %w", ctx.InstanceID, err)
+	}
+	wuID, err := strconv.ParseInt(ctx.Vars["workunit"], 10, 64)
+	if err != nil {
+		return fmt.Errorf("apps: workflow %d: bad workunit var: %w", ctx.InstanceID, err)
+	}
+	exp, err := ex.db.GetExperiment(ctx.Tx, expID)
+	if err != nil {
+		return err
+	}
+	app, err := ex.db.GetApplication(ctx.Tx, appID)
+	if err != nil {
+		return err
+	}
+	conn, err := ex.registry.Get(app.Connector)
+	if err != nil {
+		return err
+	}
+	wu, err := ex.db.GetWorkunit(ctx.Tx, wuID)
+	if err != nil {
+		return err
+	}
+
+	inputs := make([]InputFile, 0, len(exp.Resources))
+	for _, rid := range exp.Resources {
+		r, err := ex.db.GetDataResource(ctx.Tx, rid)
+		if err != nil {
+			return err
+		}
+		data, err := ex.mgr.Open(r.URI)
+		if err != nil {
+			return fmt.Errorf("apps: reading input %s: %w", r.Name, err)
+		}
+		inputs = append(inputs, InputFile{Name: r.Name, Data: data})
+	}
+
+	outputs, err := conn.Run(RunContext{
+		Program:    app.Program,
+		Params:     wu.Parameters,
+		Inputs:     inputs,
+		Attributes: exp.Attributes,
+	})
+	if err != nil {
+		return fmt.Errorf("apps: running %s via %s: %w", app.Name, app.Connector, err)
+	}
+
+	var produced []int64
+	for _, out := range outputs {
+		uri, err := ex.mgr.WriteInternal(fmt.Sprintf("results/wu%d/%s", wuID, out.Name), out.Data)
+		if err != nil {
+			return err
+		}
+		rid, err := ex.db.CreateDataResource(ctx.Tx, ctx.Actor, model.DataResource{
+			Name:      out.Name,
+			Workunit:  wuID,
+			URI:       uri,
+			SizeBytes: int64(len(out.Data)),
+			Checksum:  storage.Checksum(out.Data),
+			Format:    out.Format,
+			Content:   string(out.Data),
+		})
+		if err != nil {
+			return err
+		}
+		produced = append(produced, rid)
+	}
+
+	// Package the results as a zip so they "can easily be transferred to
+	// another medium" (Figure 16).
+	zipData, err := ZipOutputs(outputs)
+	if err != nil {
+		return err
+	}
+	zipURI, err := ex.mgr.WriteInternal(fmt.Sprintf("results/wu%d/results.zip", wuID), zipData)
+	if err != nil {
+		return err
+	}
+	zid, err := ex.db.CreateDataResource(ctx.Tx, ctx.Actor, model.DataResource{
+		Name:      "results.zip",
+		Workunit:  wuID,
+		URI:       zipURI,
+		SizeBytes: int64(len(zipData)),
+		Checksum:  storage.Checksum(zipData),
+		Format:    "zip",
+	})
+	if err != nil {
+		return err
+	}
+	produced = append(produced, zid)
+
+	if err := ex.db.SetWorkunitState(ctx.Tx, ctx.Actor, wuID, model.WorkunitReady); err != nil {
+		return err
+	}
+	ex.lastOutputs = produced
+	return nil
+}
+
+// ZipOutputs packages output files into a single zip archive, in order.
+func ZipOutputs(outputs []OutputFile) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, out := range outputs {
+		w, err := zw.Create(out.Name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(out.Data); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadZip lists the file names and sizes inside a zip produced by
+// ZipOutputs; the portal uses it to render download listings.
+func ReadZip(data []byte) (map[string]int64, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(zr.File))
+	for _, f := range zr.File {
+		out[f.Name] = int64(f.UncompressedSize64)
+	}
+	return out, nil
+}

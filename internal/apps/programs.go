@@ -1,0 +1,248 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the analysis programs shipped with the simulated
+// Rserve connector. The headline one is the "two group analysis" shown in
+// Figure 14 of the paper, run against the synthetic CEL files produced by
+// the simulated Affymetrix instrument.
+
+// NewRserveConnector builds the simulated Rserve connector with the stock
+// analysis programs registered:
+//
+//	twogroup.R — two-group differential expression analysis
+//	qc.R       — per-array quality control report
+//	msqc.R     — mass-spec acquisition QC (peak counts, TIC)
+func NewRserveConnector() *SimConnector {
+	c := NewSimConnector("rserve")
+	c.RegisterProgram("twogroup.R", TwoGroupAnalysis)
+	c.RegisterProgram("qc.R", QCReport)
+	c.RegisterProgram("msqc.R", MSQCReport)
+	return c
+}
+
+// parseCEL extracts the probe intensity vector from a synthetic CEL file.
+func parseCEL(data []byte) (sample string, probes map[string]float64, err error) {
+	probes = make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "sample=") {
+			sample = strings.TrimPrefix(line, "sample=")
+			continue
+		}
+		if !strings.HasPrefix(line, "probe_") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			return "", nil, fmt.Errorf("apps: malformed probe line %q", line)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("apps: bad intensity in %q: %w", line, err)
+		}
+		probes[parts[0]] = v
+	}
+	if len(probes) == 0 {
+		return "", nil, fmt.Errorf("apps: no probes found in CEL input")
+	}
+	return sample, probes, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func variance(xs []float64, m float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// TwoGroupAnalysis implements the paper's demonstration application: it
+// splits the input arrays into a reference group and a treatment group
+// using the "reference_group" parameter (inputs whose file name contains
+// the value form the reference group), computes per-probe group means,
+// difference and Welch t-statistic, and emits results.csv plus a
+// human-readable report.txt of the top differential probes.
+func TwoGroupAnalysis(ctx RunContext) ([]OutputFile, error) {
+	ref := ctx.Params["reference_group"]
+	if ref == "" {
+		return nil, fmt.Errorf("apps: twogroup.R requires parameter reference_group")
+	}
+	if len(ctx.Inputs) < 2 {
+		return nil, fmt.Errorf("apps: twogroup.R needs at least 2 inputs, got %d", len(ctx.Inputs))
+	}
+	type array struct {
+		name   string
+		probes map[string]float64
+	}
+	var refGroup, trtGroup []array
+	for _, in := range ctx.Inputs {
+		_, probes, err := parseCEL(in.Data)
+		if err != nil {
+			return nil, fmt.Errorf("apps: input %s: %w", in.Name, err)
+		}
+		a := array{name: in.Name, probes: probes}
+		if strings.Contains(strings.ToLower(in.Name), strings.ToLower(ref)) {
+			refGroup = append(refGroup, a)
+		} else {
+			trtGroup = append(trtGroup, a)
+		}
+	}
+	if len(refGroup) == 0 || len(trtGroup) == 0 {
+		return nil, fmt.Errorf("apps: reference_group %q splits inputs %d/%d; both groups need members",
+			ref, len(refGroup), len(trtGroup))
+	}
+	// Probe universe from the first array; all synthetic arrays share it.
+	probeNames := make([]string, 0, len(refGroup[0].probes))
+	for p := range refGroup[0].probes {
+		probeNames = append(probeNames, p)
+	}
+	sort.Strings(probeNames)
+
+	type result struct {
+		probe          string
+		meanRef, meanT float64
+		diff, tstat    float64
+	}
+	results := make([]result, 0, len(probeNames))
+	for _, p := range probeNames {
+		var a, b []float64
+		for _, arr := range refGroup {
+			if v, ok := arr.probes[p]; ok {
+				a = append(a, v)
+			}
+		}
+		for _, arr := range trtGroup {
+			if v, ok := arr.probes[p]; ok {
+				b = append(b, v)
+			}
+		}
+		ma, mb := mean(a), mean(b)
+		va, vb := variance(a, ma), variance(b, mb)
+		t := 0.0
+		denom := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+		if denom > 0 {
+			t = (mb - ma) / denom
+		}
+		results = append(results, result{probe: p, meanRef: ma, meanT: mb, diff: mb - ma, tstat: t})
+	}
+
+	var csv strings.Builder
+	csv.WriteString("probe,mean_reference,mean_treatment,difference,t_statistic\n")
+	for _, r := range results {
+		fmt.Fprintf(&csv, "%s,%.4f,%.4f,%.4f,%.4f\n", r.probe, r.meanRef, r.meanT, r.diff, r.tstat)
+	}
+
+	byEffect := append([]result(nil), results...)
+	sort.Slice(byEffect, func(i, j int) bool {
+		return math.Abs(byEffect[i].diff) > math.Abs(byEffect[j].diff)
+	})
+	topN := 10
+	if topN > len(byEffect) {
+		topN = len(byEffect)
+	}
+	var rep strings.Builder
+	rep.WriteString("Two group analysis report\n")
+	rep.WriteString("==========================\n")
+	fmt.Fprintf(&rep, "reference group: %q (%d arrays)\n", ref, len(refGroup))
+	fmt.Fprintf(&rep, "treatment group: %d arrays\n", len(trtGroup))
+	fmt.Fprintf(&rep, "probes analysed: %d\n\n", len(results))
+	rep.WriteString("Top differential probes (by |difference|):\n")
+	for i := 0; i < topN; i++ {
+		r := byEffect[i]
+		fmt.Fprintf(&rep, "%2d. %-12s diff=%+.3f t=%+.2f\n", i+1, r.probe, r.diff, r.tstat)
+	}
+	for k, v := range ctx.Attributes {
+		fmt.Fprintf(&rep, "attribute %s=%s\n", k, v)
+	}
+
+	return []OutputFile{
+		{Name: "results.csv", Format: "csv", Data: []byte(csv.String())},
+		{Name: "report.txt", Format: "txt", Data: []byte(rep.String())},
+	}, nil
+}
+
+// QCReport produces a per-array quality control summary: probe count, mean
+// and standard deviation of the intensities.
+func QCReport(ctx RunContext) ([]OutputFile, error) {
+	if len(ctx.Inputs) == 0 {
+		return nil, fmt.Errorf("apps: qc.R needs at least one input")
+	}
+	var b strings.Builder
+	b.WriteString("array,probes,mean_intensity,sd_intensity\n")
+	for _, in := range ctx.Inputs {
+		_, probes, err := parseCEL(in.Data)
+		if err != nil {
+			return nil, fmt.Errorf("apps: input %s: %w", in.Name, err)
+		}
+		vals := make([]float64, 0, len(probes))
+		for _, v := range probes {
+			vals = append(vals, v)
+		}
+		m := mean(vals)
+		sd := math.Sqrt(variance(vals, m))
+		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f\n", in.Name, len(vals), m, sd)
+	}
+	return []OutputFile{{Name: "qc.csv", Format: "csv", Data: []byte(b.String())}}, nil
+}
+
+// MSQCReport summarises synthetic mass-spec RAW acquisitions: peak count
+// and total ion current per file.
+func MSQCReport(ctx RunContext) ([]OutputFile, error) {
+	if len(ctx.Inputs) == 0 {
+		return nil, fmt.Errorf("apps: msqc.R needs at least one input")
+	}
+	var b strings.Builder
+	b.WriteString("acquisition,peaks,total_ion_current\n")
+	for _, in := range ctx.Inputs {
+		peaks := 0
+		tic := 0.0
+		inPeaks := false
+		for _, line := range strings.Split(string(in.Data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "[PEAKS]" {
+				inPeaks = true
+				continue
+			}
+			if !inPeaks || line == "" {
+				continue
+			}
+			parts := strings.Split(line, "\t")
+			if len(parts) != 2 {
+				continue
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				continue
+			}
+			peaks++
+			tic += v
+		}
+		if peaks == 0 {
+			return nil, fmt.Errorf("apps: input %s has no peaks", in.Name)
+		}
+		fmt.Fprintf(&b, "%s,%d,%.1f\n", in.Name, peaks, tic)
+	}
+	return []OutputFile{{Name: "msqc.csv", Format: "csv", Data: []byte(b.String())}}, nil
+}

@@ -1,0 +1,73 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// NewShellConnector builds the simulated shell connector: the second
+// connector class of the deployment (the original system coupled both
+// Rserve applications and command-line tools). Stock programs:
+//
+//	checksum.sh — emits a sha256 manifest of the inputs
+//	concat.sh   — concatenates all inputs into one file
+//	lines.sh    — per-input line counts
+func NewShellConnector() *SimConnector {
+	c := NewSimConnector("shell")
+	c.RegisterProgram("checksum.sh", ChecksumManifest)
+	c.RegisterProgram("concat.sh", ConcatInputs)
+	c.RegisterProgram("lines.sh", LineCounts)
+	return c
+}
+
+// ChecksumManifest emits "sha256  name" lines for every input, sorted by
+// name, mirroring sha256sum output.
+func ChecksumManifest(ctx RunContext) ([]OutputFile, error) {
+	if len(ctx.Inputs) == 0 {
+		return nil, fmt.Errorf("apps: checksum.sh needs at least one input")
+	}
+	inputs := append([]InputFile(nil), ctx.Inputs...)
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Name < inputs[j].Name })
+	var b strings.Builder
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "%s  %s\n", storage.Checksum(in.Data), in.Name)
+	}
+	return []OutputFile{{Name: "checksums.txt", Format: "txt", Data: []byte(b.String())}}, nil
+}
+
+// ConcatInputs concatenates the inputs (in given order) with banner lines.
+func ConcatInputs(ctx RunContext) ([]OutputFile, error) {
+	if len(ctx.Inputs) == 0 {
+		return nil, fmt.Errorf("apps: concat.sh needs at least one input")
+	}
+	var b strings.Builder
+	for _, in := range ctx.Inputs {
+		fmt.Fprintf(&b, "==> %s <==\n", in.Name)
+		b.Write(in.Data)
+		if len(in.Data) > 0 && in.Data[len(in.Data)-1] != '\n' {
+			b.WriteByte('\n')
+		}
+	}
+	return []OutputFile{{Name: "concatenated.txt", Format: "txt", Data: []byte(b.String())}}, nil
+}
+
+// LineCounts emits "count name" per input, like wc -l.
+func LineCounts(ctx RunContext) ([]OutputFile, error) {
+	if len(ctx.Inputs) == 0 {
+		return nil, fmt.Errorf("apps: lines.sh needs at least one input")
+	}
+	var b strings.Builder
+	for _, in := range ctx.Inputs {
+		n := 0
+		for _, c := range in.Data {
+			if c == '\n' {
+				n++
+			}
+		}
+		fmt.Fprintf(&b, "%7d %s\n", n, in.Name)
+	}
+	return []OutputFile{{Name: "linecounts.txt", Format: "txt", Data: []byte(b.String())}}, nil
+}

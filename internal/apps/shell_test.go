@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestShellConnectorPrograms(t *testing.T) {
+	c := NewShellConnector()
+	if c.Name() != "shell" {
+		t.Error("name wrong")
+	}
+	ps := c.Programs()
+	if len(ps) != 3 {
+		t.Errorf("programs = %v", ps)
+	}
+}
+
+func TestChecksumManifest(t *testing.T) {
+	outs, err := ChecksumManifest(RunContext{Inputs: []InputFile{
+		{Name: "b.txt", Data: []byte("bravo")},
+		{Name: "a.txt", Data: []byte("alpha")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(outs[0].Data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Sorted by name, correct checksums.
+	if !strings.HasSuffix(lines[0], "  a.txt") || !strings.HasSuffix(lines[1], "  b.txt") {
+		t.Errorf("order = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], storage.Checksum([]byte("alpha"))) {
+		t.Errorf("checksum wrong: %s", lines[0])
+	}
+	if _, err := ChecksumManifest(RunContext{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestConcatInputs(t *testing.T) {
+	outs, err := ConcatInputs(RunContext{Inputs: []InputFile{
+		{Name: "one", Data: []byte("first\n")},
+		{Name: "two", Data: []byte("second")}, // missing trailing newline
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(outs[0].Data)
+	want := "==> one <==\nfirst\n==> two <==\nsecond\n"
+	if got != want {
+		t.Errorf("concat = %q, want %q", got, want)
+	}
+	if _, err := ConcatInputs(RunContext{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestLineCounts(t *testing.T) {
+	outs, err := LineCounts(RunContext{Inputs: []InputFile{
+		{Name: "f", Data: []byte("a\nb\nc\n")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(outs[0].Data), "3 f") {
+		t.Errorf("linecounts = %q", outs[0].Data)
+	}
+	if _, err := LineCounts(RunContext{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}

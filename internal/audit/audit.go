@@ -1,0 +1,162 @@
+// Package audit implements B-Fabric's manipulation log: every create,
+// update and delete on the main data objects is recorded "such that the
+// user can remember what he did in the past and the system can be
+// monitored". Entries are written inside the same transaction as the
+// mutation, so the log is exactly as durable as the change it describes.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/store"
+)
+
+const auditTable = "_audit"
+
+// Entry is one logged manipulation.
+type Entry struct {
+	ID int64
+	// Seq is a monotonically increasing sequence number.
+	Seq int64
+	// Topic is the event topic ("sample.created", ...).
+	Topic string
+	// Kind and Ref identify the touched object.
+	Kind string
+	Ref  int64
+	// Actor is the login that performed the manipulation.
+	Actor string
+	// At is the wall-clock time of the manipulation.
+	At time.Time
+	// Fields lists the touched field names (for updates).
+	Fields []string
+}
+
+// Log subscribes to the bus and persists manipulation entries.
+type Log struct {
+	store *store.Store
+	seq   int64
+}
+
+// New creates the audit log over the store and subscribes it to the bus.
+func New(s *store.Store, bus *events.Bus) *Log {
+	s.EnsureTable(auditTable)
+	if !s.HasTable(auditTable + "_marker") {
+		_ = s.CreateIndex(auditTable, "actor", false)
+		_ = s.CreateIndex(auditTable, "refkey", false)
+		_ = s.CreateIndex(auditTable, "topic", false)
+		s.EnsureTable(auditTable + "_marker")
+	}
+	l := &Log{store: s, seq: int64(s.Count(auditTable))}
+	bus.Subscribe("", l.onEvent)
+	return l
+}
+
+func refKey(kind string, ref int64) string { return fmt.Sprintf("%s:%d", kind, ref) }
+
+// auditable reports whether a topic describes a manipulation worth logging.
+func auditable(topic string) bool {
+	for _, suffix := range []string{".created", ".updated", ".deleted", ".released", ".merged"} {
+		if strings.HasSuffix(topic, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Log) onEvent(ev events.Event) error {
+	if !auditable(ev.Topic) || ev.Kind == "" {
+		return nil
+	}
+	tx, ok := ev.Tx.(*store.Tx)
+	if !ok {
+		return fmt.Errorf("audit: event %s without transaction", ev.Topic)
+	}
+	var fields []string
+	for k := range ev.Payload {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+	l.seq++
+	_, err := tx.Insert(auditTable, store.Record{
+		"seq":    l.seq,
+		"topic":  ev.Topic,
+		"kind":   ev.Kind,
+		"ref":    ev.ID,
+		"refkey": refKey(ev.Kind, ev.ID),
+		"actor":  ev.Actor,
+		"at":     nowFunc(),
+		"fields": fields,
+	})
+	return err
+}
+
+var nowFunc = func() time.Time { return time.Now().UTC() }
+
+func entryFromRecord(r store.Record) Entry {
+	return Entry{
+		ID: r.ID(), Seq: r.Int("seq"), Topic: r.String("topic"),
+		Kind: r.String("kind"), Ref: r.Int("ref"), Actor: r.String("actor"),
+		At: r.Time("at"), Fields: r.Strings("fields"),
+	}
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
+}
+
+// ByActor returns the actor's manipulations in sequence order.
+func (l *Log) ByActor(tx *store.Tx, actor string) ([]Entry, error) {
+	rs, err := tx.Find(auditTable, "actor", actor)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, entryFromRecord(r))
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// ByObject returns the manipulations of one object in sequence order.
+func (l *Log) ByObject(tx *store.Tx, kind string, ref int64) ([]Entry, error) {
+	rs, err := tx.Find(auditTable, "refkey", refKey(kind, ref))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, entryFromRecord(r))
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// Recent returns the most recent n entries, newest first — the system
+// monitoring view.
+func (l *Log) Recent(tx *store.Tx, n int) ([]Entry, error) {
+	var out []Entry
+	err := tx.Scan(auditTable, func(r store.Record) bool {
+		out = append(out, entryFromRecord(r))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortEntries(out)
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	// Newest first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+// Count returns the total number of audit entries.
+func (l *Log) Count() int { return l.store.Count(auditTable) }

@@ -1,0 +1,174 @@
+package audit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+type fixture struct {
+	log     *Log
+	db      *model.DB
+	s       *store.Store
+	project int64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	s := store.New()
+	bus := events.NewBus()
+	rg := entity.NewRegistry(s, bus)
+	if err := model.RegisterSchema(rg); err != nil {
+		t.Fatal(err)
+	}
+	db := model.NewDB(rg)
+	l := New(s, bus)
+	fx := &fixture{log: l, db: db, s: s}
+	err := s.Update(func(tx *store.Tx) error {
+		var err error
+		fx.project, err = db.CreateProject(tx, "setup", model.Project{Name: "p"})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func TestCreateUpdateDeleteLogged(t *testing.T) {
+	fx := newFixture(t)
+	var sid int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "s", Project: fx.project})
+		return nil
+	})
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		return fx.db.UpdateSample(tx, "alice", sid, map[string]any{"species": "X"})
+	})
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		return fx.db.Registry().Delete(tx, model.KindSample, sid, "bob")
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		es, err := fx.log.ByObject(tx, model.KindSample, sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 3 {
+			t.Fatalf("entries = %+v", es)
+		}
+		if es[0].Topic != "sample.created" || es[1].Topic != "sample.updated" || es[2].Topic != "sample.deleted" {
+			t.Errorf("topics = %v %v %v", es[0].Topic, es[1].Topic, es[2].Topic)
+		}
+		if es[2].Actor != "bob" {
+			t.Errorf("delete actor = %q", es[2].Actor)
+		}
+		// Updated fields recorded.
+		if len(es[1].Fields) != 1 || es[1].Fields[0] != "species" {
+			t.Errorf("update fields = %v", es[1].Fields)
+		}
+		return nil
+	})
+}
+
+func TestByActor(t *testing.T) {
+	fx := newFixture(t)
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		_, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "a", Project: fx.project})
+		_, _ = fx.db.CreateSample(tx, "bob", model.Sample{Name: "b", Project: fx.project})
+		_, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "c", Project: fx.project})
+		return nil
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		es, err := fx.log.ByActor(tx, "alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 2 {
+			t.Fatalf("alice entries = %+v", es)
+		}
+		if es[0].Seq >= es[1].Seq {
+			t.Error("entries not in sequence order")
+		}
+		return nil
+	})
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	fx := newFixture(t)
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		for i := 0; i < 5; i++ {
+			_, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "s", Project: fx.project})
+		}
+		return nil
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		es, err := fx.log.Recent(tx, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 3 {
+			t.Fatalf("recent = %+v", es)
+		}
+		if es[0].Seq < es[1].Seq || es[1].Seq < es[2].Seq {
+			t.Errorf("not newest first: %v %v %v", es[0].Seq, es[1].Seq, es[2].Seq)
+		}
+		return nil
+	})
+}
+
+func TestRollbackDiscardsAuditEntries(t *testing.T) {
+	fx := newFixture(t)
+	before := fx.log.Count()
+	boom := errors.New("boom")
+	err := fx.s.Update(func(tx *store.Tx) error {
+		_, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "phantom", Project: fx.project})
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if fx.log.Count() != before {
+		t.Error("audit entry survived rollback")
+	}
+}
+
+func TestTimestampsRecorded(t *testing.T) {
+	fixed := time.Date(2010, 1, 15, 12, 0, 0, 0, time.UTC)
+	old := nowFunc
+	nowFunc = func() time.Time { return fixed }
+	defer func() { nowFunc = old }()
+	fx := newFixture(t)
+	var sid int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ = fx.db.CreateSample(tx, "alice", model.Sample{Name: "s", Project: fx.project})
+		return nil
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		es, _ := fx.log.ByObject(tx, model.KindSample, sid)
+		if len(es) != 1 || !es[0].At.Equal(fixed) {
+			t.Errorf("entries = %+v", es)
+		}
+		return nil
+	})
+}
+
+func TestAuditableFilter(t *testing.T) {
+	for topic, want := range map[string]bool{
+		"sample.created":      true,
+		"sample.updated":      true,
+		"sample.deleted":      true,
+		"annotation.released": true,
+		"annotation.merged":   true,
+		"search.executed":     false,
+		"heartbeat":           false,
+	} {
+		if got := auditable(topic); got != want {
+			t.Errorf("auditable(%q) = %v", topic, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package core assembles the complete B-Fabric system: the store, event
+// bus, entity registry with the domain schema, and every service —
+// vocabularies, tasks, workflows, storage, providers, import, application
+// integration, search, audit and auth — wired together exactly as the
+// examples, the portal and the benchmark harness consume them.
+package core
+
+import (
+	"repro/internal/apps"
+	"repro/internal/audit"
+	"repro/internal/auth"
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/search"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/vocab"
+	"repro/internal/workflow"
+)
+
+// Options tunes which optional subsystems a System carries. The zero value
+// enables everything.
+type Options struct {
+	// DisableSearch skips the full-text index (useful for bulk-load
+	// benchmarks where indexing would dominate).
+	DisableSearch bool
+	// DisableAudit skips the audit log.
+	DisableAudit bool
+}
+
+// System is a fully wired B-Fabric instance.
+type System struct {
+	Store      *store.Store
+	Bus        *events.Bus
+	Registry   *entity.Registry
+	DB         *model.DB
+	Vocab      *vocab.Service
+	Tasks      *tasks.Engine
+	Workflows  *workflow.Engine
+	Storage    *storage.Manager
+	Providers  *provider.Hub
+	Importer   *importer.Service
+	Connectors *apps.Registry
+	Executor   *apps.Executor
+	Search     *search.Service // nil when disabled
+	Audit      *audit.Log      // nil when disabled
+	Auth       *auth.Service
+}
+
+// New builds a complete in-memory system over a fresh store.
+func New(opts Options) (*System, error) {
+	return NewWithStore(store.New(), opts)
+}
+
+// NewWithStore wires a system over an existing store — typically one just
+// restored from a snapshot. Schema registration and index creation are
+// idempotent over restored state.
+func NewWithStore(s *store.Store, opts Options) (*System, error) {
+	bus := events.NewBus()
+	rg := entity.NewRegistry(s, bus)
+	if err := model.RegisterSchema(rg); err != nil {
+		return nil, err
+	}
+	db := model.NewDB(rg)
+	sys := &System{
+		Store:      s,
+		Bus:        bus,
+		Registry:   rg,
+		DB:         db,
+		Vocab:      vocab.New(rg, model.AnnotatedFields(rg)),
+		Tasks:      tasks.New(s, bus),
+		Workflows:  workflow.NewEngine(s),
+		Storage:    storage.NewManager(),
+		Providers:  provider.NewHub(),
+		Connectors: apps.NewRegistry(),
+		Auth:       auth.New(db),
+	}
+	if !opts.DisableAudit {
+		sys.Audit = audit.New(s, bus)
+	}
+	imp, err := importer.New(db, sys.Storage, sys.Providers, sys.Workflows, sys.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	sys.Importer = imp
+	if err := sys.Connectors.Register(apps.NewRserveConnector()); err != nil {
+		return nil, err
+	}
+	if err := sys.Connectors.Register(apps.NewShellConnector()); err != nil {
+		return nil, err
+	}
+	ex, err := apps.NewExecutor(db, sys.Storage, sys.Connectors, sys.Workflows, sys.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	sys.Executor = ex
+	if !opts.DisableSearch {
+		sys.Search = search.New(rg)
+	}
+	return sys, nil
+}
+
+// MustNew builds a system and panics on wiring errors; for examples and
+// benchmarks where wiring cannot legitimately fail.
+func MustNew(opts Options) *System {
+	sys, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// Update runs fn in a read-write transaction on the system store.
+func (sys *System) Update(fn func(tx *store.Tx) error) error {
+	return sys.Store.Update(fn)
+}
+
+// View runs fn in a read-only transaction on the system store.
+func (sys *System) View(fn func(tx *store.Tx) error) error {
+	return sys.Store.View(fn)
+}

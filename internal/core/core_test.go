@@ -1,0 +1,398 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/workflow"
+)
+
+// TestSection2DemoScenario replays the paper's full demonstration: a
+// scientist works on Arabidopsis thaliana, registers samples and extracts
+// (creating a misspelled annotation along the way), imports instrument
+// data, runs a two-group analysis experiment, and inspects the results —
+// while the expert reviews and merges annotations and the audit log records
+// everything.
+func TestSection2DemoScenario(t *testing.T) {
+	sys := MustNew(Options{})
+
+	// --- setup: people, project, instrument --------------------------------
+	samples := []string{"AT-1-control", "AT-2-control", "AT-1-treated", "AT-2-treated"}
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		t.Fatal(err)
+	}
+
+	var project, alice, appID int64
+	err := sys.Update(func(tx *store.Tx) error {
+		org, err := sys.DB.CreateOrganization(tx, "setup", model.Organization{Name: "UZH", Country: "CH"})
+		if err != nil {
+			return err
+		}
+		inst, err := sys.DB.CreateInstitute(tx, "setup", model.Institute{Name: "FGCZ", Organization: org})
+		if err != nil {
+			return err
+		}
+		alice, err = sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "alice", Role: model.RoleScientist, Institute: inst, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "eva", Role: model.RoleExpert, Institute: inst, Active: true,
+		}); err != nil {
+			return err
+		}
+		project, err = sys.DB.CreateProject(tx, "setup", model.Project{
+			Name: "p1000", Members: []int64{alice}, Institute: inst, Area: "genomics",
+		})
+		if err != nil {
+			return err
+		}
+		appID, err = sys.DB.CreateApplication(tx, "setup", model.Application{
+			Name: "two group analysis", Connector: "rserve", Program: "twogroup.R",
+			InputSpec: []string{"resources"}, ParamSpec: []string{"reference_group"},
+			Active: true,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Figures 2-3: register samples and extracts, with annotations ------
+	var sampleID int64
+	var extractIDs []int64
+	err = sys.Update(func(tx *store.Tx) error {
+		// Alice creates a new disease-state annotation "Hopeless".
+		if _, err := sys.Vocab.AddTerm(tx, "alice", model.VocabDiseaseState, "Hopeless", false); err != nil {
+			return err
+		}
+		sampleID, err = sys.DB.CreateSample(tx, "alice", model.Sample{
+			Name: "AT-pool", Project: project, Owner: alice,
+			Species: "Arabidopsis thaliana", DiseaseState: "Hopeless",
+			Treatment: "Light",
+		})
+		if err != nil {
+			return err
+		}
+		for _, name := range samples {
+			eid, err := sys.DB.CreateExtract(tx, "alice", model.Extract{
+				Name: name, Sample: sampleID, ExtractionMethod: "TRIzol",
+			})
+			if err != nil {
+				return err
+			}
+			extractIDs = append(extractIDs, eid)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Figures 4-8: another scientist misspells, expert merges -----------
+	err = sys.Update(func(tx *store.Tx) error {
+		if _, err := sys.Vocab.AddTerm(tx, "bob", model.VocabDiseaseState, "Hopeles", false); err != nil {
+			return err
+		}
+		// Bob annotates a sample with the misspelling.
+		_, err := sys.DB.CreateSample(tx, "bob", model.Sample{
+			Name: "AT-bob", Project: project, DiseaseState: "Hopeles",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expert's task list (Figure 8) holds two release tasks.
+	err = sys.View(func(tx *store.Tx) error {
+		open, err := sys.Tasks.ListOpen(tx, "", "expert")
+		if err != nil {
+			return err
+		}
+		if len(open) != 2 {
+			t.Fatalf("expert task list = %+v", open)
+		}
+		// The system recommends merging the misspelling (Figure 5).
+		recs, err := sys.Vocab.Recommendations(tx)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			t.Fatal("no merge recommendations")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eva merges Hopeles into Hopeless (Figures 6-7).
+	err = sys.Update(func(tx *store.Tx) error {
+		keep, err := sys.Vocab.Lookup(tx, model.VocabDiseaseState, "Hopeless")
+		if err != nil {
+			return err
+		}
+		drop, err := sys.Vocab.Lookup(tx, model.VocabDiseaseState, "Hopeles")
+		if err != nil {
+			return err
+		}
+		res, err := sys.Vocab.Merge(tx, "eva", keep.ID, drop.ID, "")
+		if err != nil {
+			return err
+		}
+		if res.Reassociated[model.KindSample] != 1 {
+			t.Errorf("reassociated = %v", res.Reassociated)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Figures 9-11: import from the GeneChip, assign extracts -----------
+	var imp importer.Result
+	err = sys.Update(func(tx *store.Tx) error {
+		imp, err = sys.Importer.Import(tx, importer.Request{
+			Provider: "genechip", Mode: importer.Copy,
+			WorkunitName: "GeneChip import", Project: project,
+			Owner: alice, Actor: "alice",
+		})
+		if err != nil {
+			return err
+		}
+		matches, err := sys.Importer.BestMatches(tx, imp.Workunit)
+		if err != nil {
+			return err
+		}
+		if len(matches) != 4 {
+			t.Fatalf("matches = %+v", matches)
+		}
+		if err := sys.Importer.ApplyMatches(tx, "alice", matches); err != nil {
+			return err
+		}
+		return sys.Importer.CompleteImport(tx, "alice", imp.WorkflowInstance)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Figures 13-16: define and run the experiment ----------------------
+	var expID int64
+	var run apps.RunResult
+	err = sys.Update(func(tx *store.Tx) error {
+		expID, err = sys.DB.CreateExperiment(tx, "alice", model.Experiment{
+			Name: "AT light effect", Project: project, Owner: alice,
+			Resources: imp.Resources, Samples: []int64{sampleID},
+			Extracts:   extractIDs,
+			Attributes: map[string]string{"species": "Arabidopsis thaliana", "treatment": "light"},
+		})
+		if err != nil {
+			return err
+		}
+		run, err = sys.Executor.RunExperiment(tx, apps.RunRequest{
+			Experiment: expID, Application: appID,
+			WorkunitName: "AT light results",
+			Params:       map[string]string{"reference_group": "control"},
+			Actor:        "alice", Owner: alice,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Failed {
+		t.Fatalf("experiment failed: %s", run.Error)
+	}
+
+	// Results ready, zip downloadable (Figure 16).
+	err = sys.View(func(tx *store.Tx) error {
+		wu, err := sys.DB.GetWorkunit(tx, run.Workunit)
+		if err != nil {
+			return err
+		}
+		if wu.State != model.WorkunitReady {
+			t.Errorf("workunit state = %q", wu.State)
+		}
+		inst, _ := sys.Workflows.Get(tx, run.WorkflowInstance)
+		if inst.State != workflow.StateCompleted {
+			t.Errorf("workflow state = %q", inst.State)
+		}
+		rs, _ := sys.DB.ResourcesOfWorkunit(tx, run.Workunit)
+		var zipFound, reportFound bool
+		for _, r := range rs {
+			switch r.Name {
+			case "results.zip":
+				zipFound = true
+				data, err := sys.Storage.Open(r.URI)
+				if err != nil {
+					return err
+				}
+				names, err := apps.ReadZip(data)
+				if err != nil {
+					return err
+				}
+				if len(names) != 2 {
+					t.Errorf("zip contents = %v", names)
+				}
+			case "report.txt":
+				reportFound = true
+			}
+		}
+		if !zipFound || !reportFound {
+			t.Error("result files missing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- full-text search over everything -----------------------------------
+	hits, err := sys.Search.Search("alice", "arabidopsis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("search found nothing for arabidopsis")
+	}
+	// The analysis report content is searchable.
+	hits, err = sys.Search.Search("alice", "differential")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundReport := false
+	for _, h := range hits {
+		if h.Kind == model.KindDataResource {
+			foundReport = true
+		}
+	}
+	if !foundReport {
+		t.Errorf("report not searchable: %+v", hits)
+	}
+
+	// --- networked browsing --------------------------------------------------
+	err = sys.View(func(tx *store.Tx) error {
+		out, in, err := sys.Registry.Neighbors(tx, model.KindSample, sampleID)
+		if err != nil {
+			return err
+		}
+		if len(out) == 0 || len(in) == 0 {
+			t.Errorf("sample neighbors: out=%d in=%d", len(out), len(in))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- audit log -------------------------------------------------------------
+	err = sys.View(func(tx *store.Tx) error {
+		entries, err := sys.Audit.ByActor(tx, "alice")
+		if err != nil {
+			return err
+		}
+		if len(entries) < 5 {
+			t.Errorf("alice audit entries = %d", len(entries))
+		}
+		byObj, err := sys.Audit.ByObject(tx, model.KindSample, sampleID)
+		if err != nil {
+			return err
+		}
+		if len(byObj) == 0 {
+			t.Error("sample has no audit trail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No stray open tasks for the expert (annotation work done) and none
+	// for alice (import completed).
+	_ = sys.View(func(tx *store.Tx) error {
+		open, _ := sys.Tasks.ListOpen(tx, "alice", "expert")
+		for _, tk := range open {
+			if tk.Type == tasks.TypeReleaseAnnotation || tk.Type == tasks.TypeAssignExtracts {
+				t.Errorf("unexpected open task: %+v", tk)
+			}
+		}
+		return nil
+	})
+}
+
+// TestSystemPersistenceRoundTrip saves a populated system store and loads
+// it into a fresh one.
+func TestSystemPersistenceRoundTrip(t *testing.T) {
+	sys := MustNew(Options{})
+	var project int64
+	err := sys.Update(func(tx *store.Tx) error {
+		var err error
+		project, err = sys.DB.CreateProject(tx, "x", model.Project{Name: "persisted"})
+		if err != nil {
+			return err
+		}
+		_, err = sys.DB.CreateSample(tx, "x", model.Sample{Name: "s", Project: project})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	bw := &writerAdapter{b: &buf}
+	if err := sys.Store.Save(bw); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store loads the snapshot; wiring a registry over it works
+	// because index creation is marker-guarded.
+	s2 := store.New()
+	if err := s2.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count(model.KindSample) != 1 || s2.Count(model.KindProject) != 1 {
+		t.Error("loaded store missing records")
+	}
+}
+
+type writerAdapter struct{ b *strings.Builder }
+
+func (w *writerAdapter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestOptionsDisableSubsystems(t *testing.T) {
+	sys := MustNew(Options{DisableSearch: true, DisableAudit: true})
+	if sys.Search != nil || sys.Audit != nil {
+		t.Error("disabled subsystems present")
+	}
+	full := MustNew(Options{})
+	if full.Search == nil || full.Audit == nil {
+		t.Error("default subsystems missing")
+	}
+}
+
+func TestVocabEnforcementHelper(t *testing.T) {
+	// The system exposes vocabulary validation for the portal: creating a
+	// sample with an unknown term is the portal's job to reject; verify
+	// the check primitive.
+	sys := MustNew(Options{})
+	_ = sys.Update(func(tx *store.Tx) error {
+		_, err := sys.Vocab.AddTerm(tx, "eva", model.VocabSpecies, "Known species", true)
+		return err
+	})
+	_ = sys.View(func(tx *store.Tx) error {
+		if !sys.Vocab.Exists(tx, model.VocabSpecies, "known species") {
+			t.Error("known term rejected")
+		}
+		if sys.Vocab.Exists(tx, model.VocabSpecies, "Unknown") {
+			t.Error("unknown term accepted")
+		}
+		return nil
+	})
+}

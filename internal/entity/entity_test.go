@@ -1,0 +1,460 @@
+package entity
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/store"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	rg := NewRegistry(store.New(), events.NewBus())
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(rg.Register(Kind{
+		Name: "project",
+		Fields: []Field{
+			{Name: "name", Type: String, Required: true, Unique: true},
+		},
+	}))
+	must(rg.Register(Kind{
+		Name: "sample",
+		Fields: []Field{
+			{Name: "name", Type: String, Required: true, Indexed: true},
+			{Name: "project", Type: Ref, RefKind: "project", Required: true},
+			{Name: "species", Type: String},
+			{Name: "age", Type: Int},
+			{Name: "purity", Type: Float},
+			{Name: "frozen", Type: Bool},
+			{Name: "collected", Type: Time},
+			{Name: "tags", Type: StringList},
+			{Name: "related", Type: RefList, RefKind: "sample"},
+			{Name: "notes", Type: Text},
+		},
+	}))
+	return rg
+}
+
+func createProject(t *testing.T, rg *Registry, name string) int64 {
+	t.Helper()
+	var id int64
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		var err error
+		id, err = rg.Create(tx, "project", "tester", map[string]any{"name": name})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestCreateAndGet(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p1000")
+	var sid int64
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		var err error
+		sid, err = rg.Create(tx, "sample", "alice", map[string]any{
+			"name": "arabidopsis-1", "project": pid, "species": "A. thaliana",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		r, err := rg.Get(tx, "sample", sid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.String("name") != "arabidopsis-1" || r.Int("project") != pid {
+			t.Errorf("record = %v", r)
+		}
+		if r.Time("created").IsZero() || r.Time("modified").IsZero() {
+			t.Error("timestamps not set")
+		}
+		return nil
+	})
+}
+
+func TestCreateUnknownKind(t *testing.T) {
+	rg := testRegistry(t)
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "nope", "x", nil)
+		return err
+	})
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("got %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestCreateUnknownField(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "sample", "x", map[string]any{
+			"name": "s", "project": pid, "bogus": "v",
+		})
+		return err
+	})
+	if !errors.Is(err, ErrUnknownField) {
+		t.Fatalf("got %v, want ErrUnknownField", err)
+	}
+}
+
+func TestCreateWrongType(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	cases := []map[string]any{
+		{"name": int64(5), "project": pid},
+		{"name": "s", "project": "not-an-id"},
+		{"name": "s", "project": pid, "age": "old"},
+		{"name": "s", "project": pid, "purity": int64(1)},
+		{"name": "s", "project": pid, "frozen": "yes"},
+		{"name": "s", "project": pid, "collected": "2010-01-01"},
+		{"name": "s", "project": pid, "tags": []int64{1}},
+		{"name": "s", "project": pid, "related": []string{"a"}},
+	}
+	for i, values := range cases {
+		err := rg.Store().Update(func(tx *store.Tx) error {
+			_, err := rg.Create(tx, "sample", "x", values)
+			return err
+		})
+		if !errors.Is(err, ErrWrongType) {
+			t.Errorf("case %d: got %v, want ErrWrongType", i, err)
+		}
+	}
+}
+
+func TestRequiredFields(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	for i, values := range []map[string]any{
+		{"project": pid},             // name missing
+		{"name": "", "project": pid}, // name zero
+		{"name": "s"},                // project missing
+	} {
+		err := rg.Store().Update(func(tx *store.Tx) error {
+			_, err := rg.Create(tx, "sample", "x", values)
+			return err
+		})
+		if !errors.Is(err, ErrRequired) {
+			t.Errorf("case %d: got %v, want ErrRequired", i, err)
+		}
+	}
+}
+
+func TestDanglingRefRejected(t *testing.T) {
+	rg := testRegistry(t)
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "sample", "x", map[string]any{
+			"name": "s", "project": int64(999),
+		})
+		return err
+	})
+	if !errors.Is(err, ErrDanglingRef) {
+		t.Fatalf("got %v, want ErrDanglingRef", err)
+	}
+}
+
+func TestDanglingRefListRejected(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "sample", "x", map[string]any{
+			"name": "s", "project": pid, "related": []int64{12345},
+		})
+		return err
+	})
+	if !errors.Is(err, ErrDanglingRef) {
+		t.Fatalf("got %v, want ErrDanglingRef", err)
+	}
+}
+
+func TestUpdatePartial(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	var sid int64
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		sid, _ = rg.Create(tx, "sample", "x", map[string]any{
+			"name": "s", "project": pid, "species": "original",
+		})
+		return nil
+	})
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		return rg.Update(tx, "sample", sid, "x", map[string]any{"age": int64(3)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		r, _ := rg.Get(tx, "sample", sid)
+		if r.String("species") != "original" || r.Int("age") != 3 {
+			t.Errorf("partial update broke record: %v", r)
+		}
+		return nil
+	})
+}
+
+func TestDeleteBlockedWhileReferenced(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "sample", "x", map[string]any{"name": "s", "project": pid})
+		return err
+	})
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		return rg.Delete(tx, "project", pid, "x")
+	})
+	if !errors.Is(err, ErrReferenced) {
+		t.Fatalf("got %v, want ErrReferenced", err)
+	}
+}
+
+func TestDeleteAfterReferrerRemoved(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	var sid int64
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		sid, _ = rg.Create(tx, "sample", "x", map[string]any{"name": "s", "project": pid})
+		return nil
+	})
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		if err := rg.Delete(tx, "sample", sid, "x"); err != nil {
+			return err
+		}
+		return rg.Delete(tx, "project", pid, "x")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Store().Count("project") != 0 || rg.Store().Count("sample") != 0 {
+		t.Error("entities survived delete")
+	}
+}
+
+func TestLinkGraphBidirectional(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	var s1, s2 int64
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		s1, _ = rg.Create(tx, "sample", "x", map[string]any{"name": "s1", "project": pid})
+		var err error
+		s2, err = rg.Create(tx, "sample", "x", map[string]any{
+			"name": "s2", "project": pid, "related": []int64{s1},
+		})
+		return err
+	})
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		out, in, err := rg.Neighbors(tx, "sample", s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// s1 points at the project; s2 points at s1.
+		if len(out) != 1 || out[0].ToKind != "project" || out[0].ToID != pid {
+			t.Errorf("outgoing = %+v", out)
+		}
+		if len(in) != 1 || in[0].FromID != s2 || in[0].Field != "related" {
+			t.Errorf("incoming = %+v", in)
+		}
+		// Project sees both samples inbound.
+		_, pin, _ := rg.Neighbors(tx, "project", pid)
+		if len(pin) != 2 {
+			t.Errorf("project incoming = %+v", pin)
+		}
+		return nil
+	})
+}
+
+func TestLinksFollowUpdates(t *testing.T) {
+	rg := testRegistry(t)
+	p1 := createProject(t, rg, "p1")
+	p2 := createProject(t, rg, "p2")
+	var sid int64
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		sid, _ = rg.Create(tx, "sample", "x", map[string]any{"name": "s", "project": p1})
+		return nil
+	})
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		return rg.Update(tx, "sample", sid, "x", map[string]any{"project": p2})
+	})
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		_, in1, _ := rg.Neighbors(tx, "project", p1)
+		_, in2, _ := rg.Neighbors(tx, "project", p2)
+		if len(in1) != 0 {
+			t.Errorf("old project still has inbound links: %+v", in1)
+		}
+		if len(in2) != 1 {
+			t.Errorf("new project missing inbound link: %+v", in2)
+		}
+		return nil
+	})
+}
+
+func TestReferrerIDs(t *testing.T) {
+	rg := testRegistry(t)
+	pid := createProject(t, rg, "p")
+	want := make(map[int64]bool)
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		for i := 0; i < 3; i++ {
+			id, _ := rg.Create(tx, "sample", "x", map[string]any{
+				"name": "s", "project": pid,
+			})
+			want[id] = true
+		}
+		return nil
+	})
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		ids, err := rg.ReferrerIDs(tx, "project", pid, "sample", "project")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 3 {
+			t.Errorf("ReferrerIDs = %v", ids)
+		}
+		for _, id := range ids {
+			if !want[id] {
+				t.Errorf("unexpected referrer %d", id)
+			}
+		}
+		return nil
+	})
+}
+
+func TestEventsPublished(t *testing.T) {
+	rg := testRegistry(t)
+	var topics []string
+	rg.Bus().Subscribe("", func(ev events.Event) error {
+		topics = append(topics, ev.Topic)
+		return nil
+	})
+	pid := createProject(t, rg, "p")
+	var sid int64
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		sid, _ = rg.Create(tx, "sample", "alice", map[string]any{"name": "s", "project": pid})
+		return nil
+	})
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		return rg.Update(tx, "sample", sid, "alice", map[string]any{"age": int64(1)})
+	})
+	_ = rg.Store().Update(func(tx *store.Tx) error {
+		return rg.Delete(tx, "sample", sid, "alice")
+	})
+	want := []string{"project.created", "sample.created", "sample.updated", "sample.deleted"}
+	if len(topics) != len(want) {
+		t.Fatalf("topics = %v, want %v", topics, want)
+	}
+	for i := range want {
+		if topics[i] != want[i] {
+			t.Fatalf("topics = %v, want %v", topics, want)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	rg := NewRegistry(store.New(), events.NewBus())
+	if err := rg.Register(Kind{Name: ""}); err == nil {
+		t.Error("empty kind name accepted")
+	}
+	if err := rg.Register(Kind{Name: "a", Fields: []Field{{Name: "id", Type: String}}}); err == nil {
+		t.Error("reserved field name accepted")
+	}
+	if err := rg.Register(Kind{Name: "b", Fields: []Field{
+		{Name: "x", Type: String}, {Name: "x", Type: Int},
+	}}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	if err := rg.Register(Kind{Name: "c", Fields: []Field{
+		{Name: "r", Type: Ref},
+	}}); err == nil {
+		t.Error("ref without RefKind accepted")
+	}
+	if err := rg.Register(Kind{Name: "ok", Fields: []Field{{Name: "x", Type: String}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Register(Kind{Name: "ok"}); err == nil {
+		t.Error("duplicate kind accepted")
+	}
+}
+
+func TestUniqueFieldEnforced(t *testing.T) {
+	rg := testRegistry(t)
+	createProject(t, rg, "dup")
+	err := rg.Store().Update(func(tx *store.Tx) error {
+		_, err := rg.Create(tx, "project", "x", map[string]any{"name": "dup"})
+		return err
+	})
+	if !errors.Is(err, store.ErrUnique) {
+		t.Fatalf("got %v, want ErrUnique", err)
+	}
+}
+
+func TestKindIntrospection(t *testing.T) {
+	rg := testRegistry(t)
+	k := rg.Kind("sample")
+	if k == nil {
+		t.Fatal("Kind(sample) = nil")
+	}
+	if f := k.Field("project"); f == nil || f.Type != Ref || f.RefKind != "project" {
+		t.Errorf("Field(project) = %+v", f)
+	}
+	if k.Field("nope") != nil {
+		t.Error("Field(nope) != nil")
+	}
+	names := k.FieldNames()
+	if len(names) != 10 || names[0] != "name" {
+		t.Errorf("FieldNames = %v", names)
+	}
+	kinds := rg.Kinds()
+	if len(kinds) != 2 || kinds[0] != "project" || kinds[1] != "sample" {
+		t.Errorf("Kinds = %v", kinds)
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	for ft, want := range map[FieldType]string{
+		String: "string", Text: "text", Int: "int", Float: "float",
+		Bool: "bool", Time: "time", Ref: "ref", RefList: "reflist",
+		StringList: "stringlist", FieldType(99): "FieldType(99)",
+	} {
+		if got := ft.String(); got != want {
+			t.Errorf("FieldType(%d).String() = %q, want %q", int(ft), got, want)
+		}
+	}
+}
+
+func TestParseLinkKey(t *testing.T) {
+	k, id, ok := parseLinkKey("sample:42")
+	if !ok || k != "sample" || id != 42 {
+		t.Errorf("parseLinkKey = %q %d %v", k, id, ok)
+	}
+	if _, _, ok := parseLinkKey("no-colon"); ok {
+		t.Error("malformed key accepted")
+	}
+	if _, _, ok := parseLinkKey("kind:notanumber"); ok {
+		t.Error("non-numeric id accepted")
+	}
+}
+
+func TestNowFuncUsed(t *testing.T) {
+	rg := testRegistry(t)
+	fixed := time.Date(2010, 3, 22, 0, 0, 0, 0, time.UTC)
+	old := nowFunc
+	nowFunc = func() time.Time { return fixed }
+	defer func() { nowFunc = old }()
+	pid := createProject(t, rg, "timed")
+	_ = rg.Store().View(func(tx *store.Tx) error {
+		r, _ := rg.Get(tx, "project", pid)
+		if !r.Time("created").Equal(fixed) {
+			t.Errorf("created = %v", r.Time("created"))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,129 @@
+package events
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPublishDeliversToTopicSubscribers(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("sample.created", func(ev Event) error {
+		got = append(got, ev.Topic)
+		return nil
+	})
+	b.Publish(Event{Topic: "sample.created"})
+	b.Publish(Event{Topic: "sample.deleted"}) // no subscriber
+	if len(got) != 1 || got[0] != "sample.created" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWildcardSubscriber(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Subscribe("", func(Event) error { n++; return nil })
+	b.Publish(Event{Topic: "a"})
+	b.Publish(Event{Topic: "b"})
+	if n != 2 {
+		t.Errorf("wildcard received %d events, want 2", n)
+	}
+}
+
+func TestDeliveryOrderFollowsSubscriptionOrder(t *testing.T) {
+	b := NewBus()
+	var order []int
+	b.Subscribe("t", func(Event) error { order = append(order, 1); return nil })
+	b.Subscribe("", func(Event) error { order = append(order, 2); return nil })
+	b.Subscribe("t", func(Event) error { order = append(order, 3); return nil })
+	b.Publish(Event{Topic: "t"})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestHandlerErrorsCollectedButDeliveryContinues(t *testing.T) {
+	b := NewBus()
+	boom := errors.New("boom")
+	reached := false
+	b.Subscribe("t", func(Event) error { return boom })
+	b.Subscribe("t", func(Event) error { reached = true; return nil })
+	errs := b.Publish(Event{Topic: "t"})
+	if len(errs) != 1 || !errors.Is(errs[0], boom) {
+		t.Errorf("errs = %v", errs)
+	}
+	if !reached {
+		t.Error("second handler not reached after first failed")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBus()
+	n := 0
+	id := b.Subscribe("t", func(Event) error { n++; return nil })
+	b.Publish(Event{Topic: "t"})
+	b.Unsubscribe(id)
+	b.Publish(Event{Topic: "t"})
+	if n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+	b.Unsubscribe(999) // unknown id is a no-op
+}
+
+func TestUnsubscribeWildcard(t *testing.T) {
+	b := NewBus()
+	n := 0
+	id := b.Subscribe("", func(Event) error { n++; return nil })
+	b.Unsubscribe(id)
+	b.Publish(Event{Topic: "x"})
+	if n != 0 {
+		t.Error("wildcard handler ran after unsubscribe")
+	}
+}
+
+func TestTopics(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("b.topic", func(Event) error { return nil })
+	b.Subscribe("a.topic", func(Event) error { return nil })
+	got := b.Topics()
+	if len(got) != 2 || got[0] != "a.topic" || got[1] != "b.topic" {
+		t.Errorf("Topics = %v", got)
+	}
+}
+
+func TestConcurrentPublishSafe(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	n := 0
+	b.Subscribe("t", func(Event) error {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Publish(Event{Topic: "t"})
+		}()
+	}
+	wg.Wait()
+	if n != 20 {
+		t.Errorf("n = %d, want 20", n)
+	}
+}
+
+func TestEventPayload(t *testing.T) {
+	b := NewBus()
+	var seen Event
+	b.Subscribe("x", func(ev Event) error { seen = ev; return nil })
+	b.Publish(Event{Topic: "x", Kind: "sample", ID: 7, Actor: "alice",
+		Payload: map[string]any{"field": "disease"}})
+	if seen.Kind != "sample" || seen.ID != 7 || seen.Actor != "alice" ||
+		seen.Payload["field"] != "disease" {
+		t.Errorf("event round trip: %+v", seen)
+	}
+}

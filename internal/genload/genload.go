@@ -1,0 +1,334 @@
+// Package genload generates deterministic synthetic populations at the
+// scale of the FGCZ production deployment, reproducing the paper's
+// deployment-statistics table (January 2010): 1555 users, 750 projects,
+// 224 institutes, 59 organizations, 3151 samples, 3642 extracts, 40005
+// data resources and 23979 workunits. The referential shape follows the
+// Figure 1 schema: every sample belongs to a project, every extract to a
+// sample, every data resource to a workunit, and a share of data resources
+// is assigned to extracts.
+package genload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// Profile fixes the population sizes of one generated deployment.
+type Profile struct {
+	Organizations int
+	Institutes    int
+	Users         int
+	Projects      int
+	Samples       int
+	Extracts      int
+	Workunits     int
+	DataResources int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// FGCZJan2010 is the deployment of the paper's final table.
+var FGCZJan2010 = Profile{
+	Organizations: 59,
+	Institutes:    224,
+	Users:         1555,
+	Projects:      750,
+	Samples:       3151,
+	Extracts:      3642,
+	Workunits:     23979,
+	DataResources: 40005,
+	Seed:          20100101,
+}
+
+// Scaled returns the profile with every population scaled by f (minimum 1
+// each), for fast benchmark variants.
+func (p Profile) Scaled(f float64) Profile {
+	scale := func(n int) int {
+		m := int(float64(n) * f)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	return Profile{
+		Organizations: scale(p.Organizations),
+		Institutes:    scale(p.Institutes),
+		Users:         scale(p.Users),
+		Projects:      scale(p.Projects),
+		Samples:       scale(p.Samples),
+		Extracts:      scale(p.Extracts),
+		Workunits:     scale(p.Workunits),
+		DataResources: scale(p.DataResources),
+		Seed:          p.Seed,
+	}
+}
+
+// Vocabulary seed terms per annotation attribute.
+var seedTerms = map[string][]string{
+	model.VocabSpecies: {
+		"Arabidopsis thaliana", "Homo sapiens", "Mus musculus",
+		"Saccharomyces cerevisiae", "Drosophila melanogaster", "Danio rerio",
+	},
+	model.VocabTissue: {
+		"Leaf", "Root", "Liver", "Brain", "Muscle", "Blood",
+	},
+	model.VocabDiseaseState: {
+		"Healthy", "Tumor", "Infected", "Stressed",
+	},
+	model.VocabCellType: {
+		"Epithelial", "Fibroblast", "Neuron", "Hepatocyte",
+	},
+	model.VocabTreatment: {
+		"None", "Light", "Dark", "Heat shock", "Drought", "Drug A",
+	},
+	model.VocabExtractionMethod: {
+		"TRIzol", "Phenol-chloroform", "Column kit", "FACS sort",
+	},
+	model.VocabLabel: {
+		"Cy3", "Cy5", "Biotin", "None",
+	},
+	model.VocabInstrumentType: {
+		"GeneChip", "LTQ-FT", "Illumina GA",
+	},
+}
+
+// resource name formats by generated workunit flavour.
+var resourceFormats = []string{"cel", "raw", "csv", "txt", "zip"}
+
+// batchSize bounds the number of creates per transaction during bulk
+// generation. Large single transactions degrade quadratically (the
+// transaction overlay is scanned by overlay-aware index lookups), and real
+// bulk loaders commit in batches anyway.
+const batchSize = 500
+
+// inBatches runs fn(tx, i) for i in [0, n), committing every batchSize
+// iterations.
+func inBatches(sys *core.System, n int, fn func(tx *store.Tx, i int) error) error {
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		if err := sys.Update(func(tx *store.Tx) error {
+			for i := start; i < end; i++ {
+				if err := fn(tx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generate populates the system with the profile's entity counts. It is
+// deterministic for a given profile (including seed). Generation commits
+// in bounded batches, one entity family at a time, mirroring bulk
+// migration loads.
+func Generate(sys *core.System, p Profile) error {
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Controlled vocabularies first, released directly by an expert.
+	if err := sys.Update(func(tx *store.Tx) error {
+		for _, vocabName := range model.VocabularyNames() {
+			for _, term := range seedTerms[vocabName] {
+				if _, err := sys.Vocab.AddTerm(tx, "genload", vocabName, term, true); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: vocabularies: %w", err)
+	}
+
+	var orgIDs, instIDs, userIDs, projIDs, sampleIDs, extractIDs, wuIDs []int64
+
+	if err := inBatches(sys, p.Organizations, func(tx *store.Tx, i int) error {
+		id, err := sys.DB.CreateOrganization(tx, "genload", model.Organization{
+			Name:    fmt.Sprintf("Organization %03d", i+1),
+			Country: []string{"CH", "DE", "FR", "IT", "AT"}[rng.Intn(5)],
+		})
+		if err != nil {
+			return err
+		}
+		orgIDs = append(orgIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: organizations: %w", err)
+	}
+	if err := inBatches(sys, p.Institutes, func(tx *store.Tx, i int) error {
+		id, err := sys.DB.CreateInstitute(tx, "genload", model.Institute{
+			Name:         fmt.Sprintf("Institute %04d", i+1),
+			Organization: orgIDs[rng.Intn(len(orgIDs))],
+		})
+		if err != nil {
+			return err
+		}
+		instIDs = append(instIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: institutes: %w", err)
+	}
+
+	if err := inBatches(sys, p.Users, func(tx *store.Tx, i int) error {
+		role := model.RoleScientist
+		switch {
+		case i < 5:
+			role = model.RoleAdmin
+		case i < 30:
+			role = model.RoleExpert
+		}
+		id, err := sys.DB.CreateUser(tx, "genload", model.User{
+			Login:     fmt.Sprintf("user%04d", i+1),
+			FullName:  fmt.Sprintf("User %04d", i+1),
+			Email:     fmt.Sprintf("user%04d@fgcz.example", i+1),
+			Institute: instIDs[rng.Intn(len(instIDs))],
+			Role:      role,
+			Active:    true,
+		})
+		if err != nil {
+			return err
+		}
+		userIDs = append(userIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: users: %w", err)
+	}
+
+	areas := []string{"genomics", "proteomics", "metabolomics"}
+	if err := inBatches(sys, p.Projects, func(tx *store.Tx, i int) error {
+		nMembers := 1 + rng.Intn(4)
+		members := make([]int64, 0, nMembers)
+		for j := 0; j < nMembers; j++ {
+			members = append(members, userIDs[rng.Intn(len(userIDs))])
+		}
+		id, err := sys.DB.CreateProject(tx, "genload", model.Project{
+			Name:      fmt.Sprintf("p%04d", i+1000),
+			Coach:     userIDs[rng.Intn(len(userIDs))],
+			Members:   dedupe(members),
+			Institute: instIDs[rng.Intn(len(instIDs))],
+			Area:      areas[rng.Intn(len(areas))],
+		})
+		if err != nil {
+			return err
+		}
+		projIDs = append(projIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: projects: %w", err)
+	}
+
+	if err := inBatches(sys, p.Samples, func(tx *store.Tx, i int) error {
+		id, err := sys.DB.CreateSample(tx, "genload", model.Sample{
+			Name:         fmt.Sprintf("sample-%05d", i+1),
+			Project:      projIDs[rng.Intn(len(projIDs))],
+			Owner:        userIDs[rng.Intn(len(userIDs))],
+			Species:      pick(rng, model.VocabSpecies),
+			Tissue:       pick(rng, model.VocabTissue),
+			DiseaseState: pick(rng, model.VocabDiseaseState),
+			Treatment:    pick(rng, model.VocabTreatment),
+		})
+		if err != nil {
+			return err
+		}
+		sampleIDs = append(sampleIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: samples: %w", err)
+	}
+	if err := inBatches(sys, p.Extracts, func(tx *store.Tx, i int) error {
+		id, err := sys.DB.CreateExtract(tx, "genload", model.Extract{
+			Name:             fmt.Sprintf("extract-%05d", i+1),
+			Sample:           sampleIDs[rng.Intn(len(sampleIDs))],
+			ExtractionMethod: pick(rng, model.VocabExtractionMethod),
+			Label:            pick(rng, model.VocabLabel),
+			Concentration:    10 + 200*rng.Float64(),
+			VolumeUL:         5 + 95*rng.Float64(),
+		})
+		if err != nil {
+			return err
+		}
+		extractIDs = append(extractIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: extracts: %w", err)
+	}
+
+	if err := inBatches(sys, p.Workunits, func(tx *store.Tx, i int) error {
+		id, err := sys.DB.CreateWorkunit(tx, "genload", model.Workunit{
+			Name:    fmt.Sprintf("workunit-%05d", i+1),
+			Project: projIDs[rng.Intn(len(projIDs))],
+			Owner:   userIDs[rng.Intn(len(userIDs))],
+			State:   model.WorkunitReady,
+		})
+		if err != nil {
+			return err
+		}
+		wuIDs = append(wuIDs, id)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("genload: workunits: %w", err)
+	}
+
+	if err := inBatches(sys, p.DataResources, func(tx *store.Tx, i int) error {
+		format := resourceFormats[rng.Intn(len(resourceFormats))]
+		var extract int64
+		// Roughly 60% of resources are connected to an extract, the rest
+		// are derived results.
+		if rng.Intn(10) < 6 {
+			extract = extractIDs[rng.Intn(len(extractIDs))]
+		}
+		_, err := sys.DB.CreateDataResource(tx, "genload", model.DataResource{
+			Name:      fmt.Sprintf("resource-%06d.%s", i+1, format),
+			Workunit:  wuIDs[rng.Intn(len(wuIDs))],
+			Extract:   extract,
+			URI:       fmt.Sprintf("bfabric://archive/gen/%06d.%s", i+1, format),
+			SizeBytes: int64(1024 + rng.Intn(10<<20)),
+			Format:    format,
+			Linked:    true,
+		})
+		return err
+	}); err != nil {
+		return fmt.Errorf("genload: data resources: %w", err)
+	}
+	return nil
+}
+
+func pick(rng *rand.Rand, vocabName string) string {
+	terms := seedTerms[vocabName]
+	return terms[rng.Intn(len(terms))]
+}
+
+func dedupe(ids []int64) []int64 {
+	seen := make(map[int64]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StatsTable renders the deployment statistics in the two-column layout of
+// the paper's final table.
+func StatsTable(st model.Stats) string {
+	return fmt.Sprintf(
+		"Users         %5d   Samples        %5d\n"+
+			"Projects      %5d   Extracts       %5d\n"+
+			"Institutes    %5d   Data Resources %5d\n"+
+			"Organizations %5d   Workunits      %5d\n",
+		st.Users, st.Samples,
+		st.Projects, st.Extracts,
+		st.Institutes, st.DataResources,
+		st.Organizations, st.Workunits,
+	)
+}

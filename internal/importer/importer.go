@@ -1,0 +1,404 @@
+// Package importer implements B-Fabric's data import (Figures 9–11): files
+// offered by a configured data provider are imported — physically copied
+// into the internal store or merely linked — producing a workunit whose
+// data resources the user must then connect to extracts. The import is
+// driven by a workflow whose next step is highlighted to the user, and the
+// assign-extracts screen pre-computes best matches between file names and
+// extract names so that "typically [the scientist] just needs to press the
+// save button".
+package importer
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/vocab"
+	"repro/internal/workflow"
+)
+
+// Mode selects between the two import styles of the paper.
+type Mode int
+
+const (
+	// Copy physically copies the file bytes into the internal store.
+	Copy Mode = iota
+	// Link records a reference to the file at its original location.
+	Link
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Link {
+		return "link"
+	}
+	return "copy"
+}
+
+// WorkflowName is the registered import workflow definition.
+const WorkflowName = "data-import"
+
+// Import workflow step ids.
+const (
+	stepAssignExtracts = 1
+)
+
+// Request describes one import operation.
+type Request struct {
+	// Provider is the configured data provider to import from.
+	Provider string
+	// Paths are the selected provider files; empty selects everything the
+	// provider lists.
+	Paths []string
+	// Mode is Copy or Link.
+	Mode Mode
+	// WorkunitName names the resulting workunit.
+	WorkunitName string
+	// Project owns the workunit.
+	Project int64
+	// Owner is the importing user's id (optional).
+	Owner int64
+	// Actor is the importing user's login, recorded in events and tasks.
+	Actor string
+}
+
+// Result reports what an import created.
+type Result struct {
+	// Workunit is the created container.
+	Workunit int64
+	// Resources are the created data resource ids, in listing order.
+	Resources []int64
+	// WorkflowInstance is the running import workflow instance.
+	WorkflowInstance int64
+}
+
+// ErrNothingToImport is returned when the provider offers no matching files.
+var ErrNothingToImport = errors.New("no files to import")
+
+// Service performs imports.
+type Service struct {
+	db    *model.DB
+	mgr   *storage.Manager
+	hub   *provider.Hub
+	wf    *workflow.Engine
+	tasks *tasks.Engine
+}
+
+// New wires the import service and registers its workflow definition with
+// the engine. The workflow has a single interactive step — assign extracts —
+// whose save action only becomes available once every non-input resource of
+// the workunit has an extract assigned; completing it marks the workunit
+// ready.
+func New(db *model.DB, mgr *storage.Manager, hub *provider.Hub, wf *workflow.Engine, te *tasks.Engine) (*Service, error) {
+	s := &Service{db: db, mgr: mgr, hub: hub, wf: wf, tasks: te}
+	wf.RegisterCondition("importExtractsAssigned", s.condExtractsAssigned)
+	wf.RegisterFunction("importMarkReady", s.fnMarkReady)
+	def := workflow.Definition{
+		Name:    WorkflowName,
+		Initial: stepAssignExtracts,
+		Steps: []workflow.Step{
+			{
+				ID:   stepAssignExtracts,
+				Name: "assign extracts",
+				Actions: []workflow.Action{
+					{
+						Name:          "save",
+						Result:        workflow.Finish,
+						Condition:     "importExtractsAssigned",
+						PostFunctions: []string{"importMarkReady"},
+					},
+				},
+			},
+		},
+	}
+	if err := wf.RegisterDefinition(def); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Service) workunitOf(ctx *workflow.Context) (int64, error) {
+	wu, err := strconv.ParseInt(ctx.Vars["workunit"], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("importer: workflow %d has no workunit var: %w", ctx.InstanceID, err)
+	}
+	return wu, nil
+}
+
+// condExtractsAssigned passes when every resource of the workunit has an
+// extract.
+func (s *Service) condExtractsAssigned(ctx *workflow.Context) (bool, error) {
+	wu, err := s.workunitOf(ctx)
+	if err != nil {
+		return false, err
+	}
+	rs, err := s.db.ResourcesOfWorkunit(ctx.Tx, wu)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range rs {
+		if r.Extract == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// fnMarkReady flips the workunit to the ready state and completes any open
+// assign-extracts task.
+func (s *Service) fnMarkReady(ctx *workflow.Context) error {
+	wu, err := s.workunitOf(ctx)
+	if err != nil {
+		return err
+	}
+	if err := s.db.SetWorkunitState(ctx.Tx, ctx.Actor, wu, model.WorkunitReady); err != nil {
+		return err
+	}
+	open, err := s.tasks.OpenForObject(ctx.Tx, model.KindWorkunit, wu)
+	if err != nil {
+		return err
+	}
+	for _, t := range open {
+		if t.Type == tasks.TypeAssignExtracts {
+			if err := s.tasks.Complete(ctx.Tx, ctx.Actor, t.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Import performs the whole import inside the caller's transaction: it
+// creates the workunit and its data resources, stores or links the bytes,
+// starts the import workflow and opens an assign-extracts task for the
+// importing user.
+func (s *Service) Import(tx *store.Tx, req Request) (Result, error) {
+	if req.WorkunitName == "" {
+		return Result{}, fmt.Errorf("importer: empty workunit name")
+	}
+	p, err := s.hub.Get(req.Provider)
+	if err != nil {
+		return Result{}, err
+	}
+	entries, err := p.List()
+	if err != nil {
+		return Result{}, err
+	}
+	selected := entries
+	if len(req.Paths) > 0 {
+		byPath := make(map[string]provider.FileEntry, len(entries))
+		for _, e := range entries {
+			byPath[e.Path] = e
+		}
+		selected = selected[:0]
+		for _, want := range req.Paths {
+			e, ok := byPath[want]
+			if !ok {
+				return Result{}, fmt.Errorf("importer: provider %q does not offer %q", req.Provider, want)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		return Result{}, fmt.Errorf("importer: provider %q: %w", req.Provider, ErrNothingToImport)
+	}
+
+	wu, err := s.db.CreateWorkunit(tx, req.Actor, model.Workunit{
+		Name:    req.WorkunitName,
+		Project: req.Project,
+		Owner:   req.Owner,
+		State:   model.WorkunitPending,
+		Parameters: map[string]string{
+			"provider": req.Provider,
+			"mode":     req.Mode.String(),
+		},
+		Description: fmt.Sprintf("Import of %d file(s) from %s", len(selected), req.Provider),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Workunit: wu}
+	for _, e := range selected {
+		data, err := p.Fetch(e.Path)
+		if err != nil {
+			return Result{}, fmt.Errorf("importer: fetching %s: %w", e.Path, err)
+		}
+		var uri string
+		linked := req.Mode == Link
+		if linked {
+			uri = storage.MakeURI(p.StoreName(), e.Path)
+		} else {
+			uri, err = s.mgr.WriteInternal(fmt.Sprintf("imports/wu%d/%s", wu, path.Base(e.Path)), data)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		rid, err := s.db.CreateDataResource(tx, req.Actor, model.DataResource{
+			Name:      path.Base(e.Path),
+			Workunit:  wu,
+			URI:       uri,
+			SizeBytes: int64(len(data)),
+			Checksum:  storage.Checksum(data),
+			Format:    e.Format,
+			Linked:    linked,
+			Content:   readableContent(e.Format, data),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.Resources = append(res.Resources, rid)
+	}
+
+	res.WorkflowInstance, err = s.wf.Start(tx, WorkflowName, req.Actor, map[string]string{
+		"workunit": strconv.FormatInt(wu, 10),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	_, err = s.tasks.Create(tx, tasks.Task{
+		Type:          tasks.TypeAssignExtracts,
+		Title:         fmt.Sprintf("Assign extracts to workunit %q", req.WorkunitName),
+		Description:   fmt.Sprintf("%d imported data resource(s) await extract assignment.", len(res.Resources)),
+		AssigneeLogin: req.Actor,
+		Kind:          model.KindWorkunit,
+		Ref:           wu,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// readableContent decides whether imported bytes should be exposed to the
+// full-text index. The synthetic instrument formats are textual.
+func readableContent(format string, data []byte) string {
+	switch format {
+	case "cel", "raw", "csv", "txt", "tsv":
+		const maxIndexed = 64 << 10
+		if len(data) > maxIndexed {
+			data = data[:maxIndexed]
+		}
+		return string(data)
+	default:
+		return ""
+	}
+}
+
+// Match is one suggested resource→extract assignment.
+type Match struct {
+	Resource int64
+	Extract  int64
+	// Score is the name similarity in [0,1]; 0 means no candidate found.
+	Score float64
+}
+
+// BestMatches computes the suggested assignment between the unassigned
+// resources of a workunit and the extracts of its project, greedily pairing
+// highest-similarity names first (Figure 11). Each extract is suggested at
+// most once.
+func (s *Service) BestMatches(tx *store.Tx, workunit int64) ([]Match, error) {
+	wu, err := s.db.GetWorkunit(tx, workunit)
+	if err != nil {
+		return nil, err
+	}
+	resources, err := s.db.ResourcesOfWorkunit(tx, workunit)
+	if err != nil {
+		return nil, err
+	}
+	extracts, err := s.db.ExtractsOfProject(tx, wu.Project)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		r, e  int
+		score float64
+	}
+	var pairs []pair
+	for ri, r := range resources {
+		if r.Extract != 0 {
+			continue
+		}
+		rname := normalizeName(r.Name)
+		for ei, e := range extracts {
+			score := vocab.Similarity(rname, normalizeName(e.Name))
+			if score > 0 {
+				pairs = append(pairs, pair{r: ri, e: ei, score: score})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if resources[pairs[i].r].ID != resources[pairs[j].r].ID {
+			return resources[pairs[i].r].ID < resources[pairs[j].r].ID
+		}
+		return extracts[pairs[i].e].ID < extracts[pairs[j].e].ID
+	})
+	usedR := make(map[int]bool)
+	usedE := make(map[int]bool)
+	var out []Match
+	for _, p := range pairs {
+		if usedR[p.r] || usedE[p.e] {
+			continue
+		}
+		usedR[p.r] = true
+		usedE[p.e] = true
+		out = append(out, Match{
+			Resource: resources[p.r].ID,
+			Extract:  extracts[p.e].ID,
+			Score:    p.score,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out, nil
+}
+
+// normalizeName strips the extension and lowers separators so "AT-wt-1.cel"
+// matches the extract "AT_wt_1".
+func normalizeName(name string) string {
+	base := name
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	var b strings.Builder
+	for _, r := range base {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// ApplyMatches assigns the suggested extracts — the "press the save button"
+// step. Matches with zero extract are skipped.
+func (s *Service) ApplyMatches(tx *store.Tx, actor string, matches []Match) error {
+	for _, m := range matches {
+		if m.Extract == 0 {
+			continue
+		}
+		if err := s.db.AssignExtract(tx, actor, m.Resource, m.Extract); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompleteImport fires the save action of the import workflow, which
+// requires every resource to be assigned and marks the workunit ready.
+func (s *Service) CompleteImport(tx *store.Tx, actor string, workflowInstance int64) error {
+	return s.wf.Fire(tx, workflowInstance, "save", actor)
+}

@@ -1,0 +1,410 @@
+package importer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tasks"
+	"repro/internal/workflow"
+)
+
+type fixture struct {
+	svc     *Service
+	db      *model.DB
+	s       *store.Store
+	wf      *workflow.Engine
+	tasks   *tasks.Engine
+	mgr     *storage.Manager
+	hub     *provider.Hub
+	project int64
+	alice   int64
+}
+
+func newFixture(t *testing.T, samples []string) *fixture {
+	t.Helper()
+	s := store.New()
+	bus := events.NewBus()
+	rg := entity.NewRegistry(s, bus)
+	if err := model.RegisterSchema(rg); err != nil {
+		t.Fatal(err)
+	}
+	db := model.NewDB(rg)
+	mgr := storage.NewManager()
+	hub := provider.NewHub()
+	wf := workflow.NewEngine(s)
+	te := tasks.New(s, bus)
+
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
+	mgr.Mount(gpStore)
+	if err := hub.Register(gp); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := New(db, mgr, hub, wf, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{svc: svc, db: db, s: s, wf: wf, tasks: te, mgr: mgr, hub: hub}
+	err = s.Update(func(tx *store.Tx) error {
+		var err error
+		fx.alice, err = db.CreateUser(tx, "setup", model.User{Login: "alice", Active: true})
+		if err != nil {
+			return err
+		}
+		fx.project, err = db.CreateProject(tx, "setup", model.Project{Name: "p1000"})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func (fx *fixture) importAll(t *testing.T, mode Mode) Result {
+	t.Helper()
+	var res Result
+	err := fx.s.Update(func(tx *store.Tx) error {
+		var err error
+		res, err = fx.svc.Import(tx, Request{
+			Provider: "genechip", Mode: mode, WorkunitName: "import-1",
+			Project: fx.project, Owner: fx.alice, Actor: "alice",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestImportCopyCreatesWorkunitAndResources(t *testing.T) {
+	fx := newFixture(t, []string{"AT-wt-1", "AT-wt-2"})
+	res := fx.importAll(t, Copy)
+	if len(res.Resources) != 2 {
+		t.Fatalf("resources = %v", res.Resources)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		wu, err := fx.db.GetWorkunit(tx, res.Workunit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wu.State != model.WorkunitPending || wu.Parameters["mode"] != "copy" {
+			t.Errorf("workunit = %+v", wu)
+		}
+		rs, _ := fx.db.ResourcesOfWorkunit(tx, res.Workunit)
+		for _, r := range rs {
+			if r.Linked {
+				t.Errorf("copy import produced linked resource: %+v", r)
+			}
+			if !strings.HasPrefix(r.URI, "bfabric://internal/") {
+				t.Errorf("uri = %q", r.URI)
+			}
+			if r.SizeBytes == 0 || r.Checksum == "" || r.Format != "cel" {
+				t.Errorf("resource metadata = %+v", r)
+			}
+			// Copied bytes readable through the storage manager.
+			data, err := fx.mgr.Open(r.URI)
+			if err != nil || len(data) == 0 {
+				t.Errorf("Open(%q): %v", r.URI, err)
+			}
+		}
+		return nil
+	})
+}
+
+func TestImportLinkKeepsOriginalLocation(t *testing.T) {
+	fx := newFixture(t, []string{"AT-wt-1"})
+	res := fx.importAll(t, Link)
+	_ = fx.s.View(func(tx *store.Tx) error {
+		rs, _ := fx.db.ResourcesOfWorkunit(tx, res.Workunit)
+		if len(rs) != 1 {
+			t.Fatalf("resources = %+v", rs)
+		}
+		r := rs[0]
+		if !r.Linked || !strings.HasPrefix(r.URI, "bfabric://genechip/") {
+			t.Errorf("resource = %+v", r)
+		}
+		// Linked bytes transparently readable too.
+		data, err := fx.mgr.Open(r.URI)
+		if err != nil || !strings.Contains(string(data), "sample=AT-wt-1") {
+			t.Errorf("Open: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestImportSelectedPathsOnly(t *testing.T) {
+	fx := newFixture(t, []string{"a", "b", "c"})
+	var res Result
+	err := fx.s.Update(func(tx *store.Tx) error {
+		var err error
+		res, err = fx.svc.Import(tx, Request{
+			Provider: "genechip", Paths: []string{"runs/b.cel"},
+			WorkunitName: "partial", Project: fx.project, Actor: "alice",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resources) != 1 {
+		t.Fatalf("resources = %v", res.Resources)
+	}
+}
+
+func TestImportUnknownPathFails(t *testing.T) {
+	fx := newFixture(t, []string{"a"})
+	err := fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.svc.Import(tx, Request{
+			Provider: "genechip", Paths: []string{"runs/zzz.cel"},
+			WorkunitName: "bad", Project: fx.project, Actor: "alice",
+		})
+		return err
+	})
+	if err == nil {
+		t.Fatal("unknown path accepted")
+	}
+	// Failed import leaves nothing behind.
+	if fx.s.Count(model.KindWorkunit) != 0 || fx.s.Count(model.KindDataResource) != 0 {
+		t.Error("failed import leaked records")
+	}
+}
+
+func TestImportEmptyProviderFails(t *testing.T) {
+	fx := newFixture(t, nil)
+	err := fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.svc.Import(tx, Request{
+			Provider: "genechip", WorkunitName: "none",
+			Project: fx.project, Actor: "alice",
+		})
+		return err
+	})
+	if !errors.Is(err, ErrNothingToImport) {
+		t.Fatalf("got %v, want ErrNothingToImport", err)
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	fx := newFixture(t, []string{"a"})
+	err := fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.svc.Import(tx, Request{Provider: "genechip", Project: fx.project, Actor: "a"})
+		return err
+	})
+	if err == nil {
+		t.Error("empty workunit name accepted")
+	}
+	err = fx.s.Update(func(tx *store.Tx) error {
+		_, err := fx.svc.Import(tx, Request{Provider: "nosuch", WorkunitName: "x", Project: fx.project, Actor: "a"})
+		return err
+	})
+	if !errors.Is(err, provider.ErrUnknownProvider) {
+		t.Errorf("unknown provider: %v", err)
+	}
+}
+
+func TestImportStartsWorkflowAndTask(t *testing.T) {
+	fx := newFixture(t, []string{"a"})
+	res := fx.importAll(t, Copy)
+	_ = fx.s.View(func(tx *store.Tx) error {
+		inst, err := fx.wf.Get(tx, res.WorkflowInstance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.State != workflow.StateActive || inst.Definition != WorkflowName {
+			t.Errorf("instance = %+v", inst)
+		}
+		if inst.Vars["workunit"] != fmt.Sprint(res.Workunit) {
+			t.Errorf("vars = %v", inst.Vars)
+		}
+		open, _ := fx.tasks.ListOpen(tx, "alice")
+		if len(open) != 1 || open[0].Type != tasks.TypeAssignExtracts {
+			t.Errorf("tasks = %+v", open)
+		}
+		// Save is not yet available: no extracts assigned.
+		acts, _ := fx.wf.AvailableActions(tx, res.WorkflowInstance, "alice")
+		if len(acts) != 0 {
+			t.Errorf("actions = %v", acts)
+		}
+		return nil
+	})
+}
+
+func TestBestMatchesPairByName(t *testing.T) {
+	fx := newFixture(t, []string{"AT-wt-1", "AT-mut-1"})
+	res := fx.importAll(t, Copy)
+	// Create matching extracts (names equal to file stems, different separators).
+	var eWt, eMut int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ := fx.db.CreateSample(tx, "alice", model.Sample{Name: "AT", Project: fx.project})
+		eWt, _ = fx.db.CreateExtract(tx, "alice", model.Extract{Name: "AT_wt_1", Sample: sid})
+		eMut, _ = fx.db.CreateExtract(tx, "alice", model.Extract{Name: "AT_mut_1", Sample: sid})
+		return nil
+	})
+	var matches []Match
+	_ = fx.s.View(func(tx *store.Tx) error {
+		var err error
+		matches, err = fx.svc.BestMatches(tx, res.Workunit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nil
+	})
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	byResource := map[int64]int64{}
+	for _, m := range matches {
+		byResource[m.Resource] = m.Extract
+		if m.Score < 0.9 {
+			t.Errorf("low score match: %+v", m)
+		}
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		rs, _ := fx.db.ResourcesOfWorkunit(tx, res.Workunit)
+		for _, r := range rs {
+			want := eWt
+			if strings.Contains(r.Name, "mut") {
+				want = eMut
+			}
+			if byResource[r.ID] != want {
+				t.Errorf("resource %s matched extract %d, want %d", r.Name, byResource[r.ID], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBestMatchesGreedyUniqueAssignment(t *testing.T) {
+	// Two resources, one extract: only one match suggested.
+	fx := newFixture(t, []string{"s-1", "s-2"})
+	res := fx.importAll(t, Copy)
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ := fx.db.CreateSample(tx, "alice", model.Sample{Name: "S", Project: fx.project})
+		_, err := fx.db.CreateExtract(tx, "alice", model.Extract{Name: "s-1", Sample: sid})
+		return err
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		matches, err := fx.svc.BestMatches(tx, res.Workunit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 1 {
+			t.Fatalf("matches = %+v", matches)
+		}
+		return nil
+	})
+}
+
+func TestBestMatchesSkipAssigned(t *testing.T) {
+	fx := newFixture(t, []string{"x-1"})
+	res := fx.importAll(t, Copy)
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ := fx.db.CreateSample(tx, "alice", model.Sample{Name: "X", Project: fx.project})
+		eid, _ := fx.db.CreateExtract(tx, "alice", model.Extract{Name: "x-1", Sample: sid})
+		return fx.db.AssignExtract(tx, "alice", res.Resources[0], eid)
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		matches, _ := fx.svc.BestMatches(tx, res.Workunit)
+		if len(matches) != 0 {
+			t.Errorf("already-assigned resource matched again: %+v", matches)
+		}
+		return nil
+	})
+}
+
+func TestFullImportFlowToReady(t *testing.T) {
+	// The complete Figure 9-11 flow: import → best match → apply → save.
+	fx := newFixture(t, []string{"AT-wt-1", "AT-wt-2"})
+	res := fx.importAll(t, Copy)
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		sid, _ := fx.db.CreateSample(tx, "alice", model.Sample{Name: "AT", Project: fx.project})
+		_, _ = fx.db.CreateExtract(tx, "alice", model.Extract{Name: "AT-wt-1", Sample: sid})
+		_, _ = fx.db.CreateExtract(tx, "alice", model.Extract{Name: "AT-wt-2", Sample: sid})
+		return nil
+	})
+	err := fx.s.Update(func(tx *store.Tx) error {
+		matches, err := fx.svc.BestMatches(tx, res.Workunit)
+		if err != nil {
+			return err
+		}
+		if err := fx.svc.ApplyMatches(tx, "alice", matches); err != nil {
+			return err
+		}
+		return fx.svc.CompleteImport(tx, "alice", res.WorkflowInstance)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		wu, _ := fx.db.GetWorkunit(tx, res.Workunit)
+		if wu.State != model.WorkunitReady {
+			t.Errorf("workunit state = %q", wu.State)
+		}
+		inst, _ := fx.wf.Get(tx, res.WorkflowInstance)
+		if inst.State != workflow.StateCompleted {
+			t.Errorf("workflow state = %q", inst.State)
+		}
+		// The assign-extracts task closed automatically.
+		open, _ := fx.tasks.ListOpen(tx, "alice")
+		if len(open) != 0 {
+			t.Errorf("open tasks = %+v", open)
+		}
+		return nil
+	})
+}
+
+func TestCompleteImportBlockedUntilAssigned(t *testing.T) {
+	fx := newFixture(t, []string{"a"})
+	res := fx.importAll(t, Copy)
+	err := fx.s.Update(func(tx *store.Tx) error {
+		return fx.svc.CompleteImport(tx, "alice", res.WorkflowInstance)
+	})
+	if !errors.Is(err, workflow.ErrConditionFalse) {
+		t.Fatalf("got %v, want ErrConditionFalse", err)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"AT-wt-1.cel":    "at wt 1",
+		"AT_wt_1":        "at wt 1",
+		"Run 42.RAW":     "run 42",
+		"noext":          "noext",
+		"weird..name.":   "weird name",
+		"ÜmläutSample.x": "ümläutsample",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Copy.String() != "copy" || Link.String() != "link" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestReadableContent(t *testing.T) {
+	if readableContent("cel", []byte("text")) != "text" {
+		t.Error("cel content not indexed")
+	}
+	if readableContent("bin", []byte{0, 1, 2}) != "" {
+		t.Error("binary content indexed")
+	}
+	big := make([]byte, 100<<10)
+	for i := range big {
+		big[i] = 'a'
+	}
+	if len(readableContent("txt", big)) != 64<<10 {
+		t.Error("content not truncated")
+	}
+}

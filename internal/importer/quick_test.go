@@ -1,0 +1,74 @@
+package importer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+// TestQuickNormalizeNameIdempotent: normalizing twice equals normalizing
+// once, and the result contains only lower-case letters, digits and single
+// spaces.
+func TestQuickNormalizeNameIdempotent(t *testing.T) {
+	f := func(name string) bool {
+		once := normalizeName(name)
+		// Idempotence: treat the normalized form as a name again (it has
+		// no extension, so the stem-stripping is a no-op on clean input
+		// unless it contains a '.', which normalization removed).
+		twice := normalizeName(once)
+		if once != twice {
+			return false
+		}
+		for _, r := range once {
+			if r == ' ' {
+				continue
+			}
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				return false
+			}
+			// Cased letters must come out lower-case. (Some letters, e.g.
+			// mathematical alphanumerics, are upper-case without a
+			// lowercase mapping; those pass through unchanged.)
+			if unicode.IsUpper(r) && unicode.ToLower(r) != r {
+				return false
+			}
+		}
+		return !strings.Contains(once, "  ")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeSeparatorEquivalence: names differing only in separator
+// characters normalize identically.
+func TestQuickNormalizeSeparatorEquivalence(t *testing.T) {
+	f := func(parts []string) bool {
+		clean := parts[:0]
+		for _, p := range parts {
+			// Keep alphanumeric-only fragments to isolate the separator
+			// behaviour.
+			okFragment := p != ""
+			for _, r := range p {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					okFragment = false
+					break
+				}
+			}
+			if okFragment {
+				clean = append(clean, p)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		dash := normalizeName(strings.Join(clean, "-"))
+		underscore := normalizeName(strings.Join(clean, "_"))
+		space := normalizeName(strings.Join(clean, " "))
+		return dash == underscore && underscore == space
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,543 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/store"
+)
+
+// fixture builds a DB with one organization, institute, users, and a project.
+type fixture struct {
+	db      *DB
+	org     int64
+	inst    int64
+	alice   int64 // scientist
+	eva     int64 // expert
+	project int64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	rg := entity.NewRegistry(store.New(), events.NewBus())
+	if err := RegisterSchema(rg); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(rg)
+	fx := &fixture{db: db}
+	err := db.Store().Update(func(tx *store.Tx) error {
+		var err error
+		fx.org, err = db.CreateOrganization(tx, "setup", Organization{Name: "UZH", Country: "CH"})
+		if err != nil {
+			return err
+		}
+		fx.inst, err = db.CreateInstitute(tx, "setup", Institute{Name: "FGCZ", Organization: fx.org})
+		if err != nil {
+			return err
+		}
+		fx.alice, err = db.CreateUser(tx, "setup", User{Login: "alice", FullName: "Alice A", Role: RoleScientist, Institute: fx.inst, Active: true})
+		if err != nil {
+			return err
+		}
+		fx.eva, err = db.CreateUser(tx, "setup", User{Login: "eva", FullName: "Eva E", Role: RoleExpert, Institute: fx.inst, Active: true})
+		if err != nil {
+			return err
+		}
+		fx.project, err = db.CreateProject(tx, "setup", Project{
+			Name: "p1000", Coach: fx.eva, Members: []int64{fx.alice},
+			Institute: fx.inst, Area: "genomics",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func (fx *fixture) update(t *testing.T, fn func(tx *store.Tx) error) {
+	t.Helper()
+	if err := fx.db.Store().Update(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (fx *fixture) view(t *testing.T, fn func(tx *store.Tx) error) {
+	t.Helper()
+	if err := fx.db.Store().View(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaRegistersAllKinds(t *testing.T) {
+	fx := newFixture(t)
+	want := []string{
+		KindApplication, KindDataResource, KindExperiment, KindExtract,
+		KindInstitute, KindOrganization, KindProject, KindSample,
+		KindUser, KindWorkunit,
+	}
+	kinds := fx.db.Registry().Kinds()
+	for _, w := range want {
+		found := false
+		for _, k := range kinds {
+			if k == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("kind %q not registered", w)
+		}
+	}
+}
+
+func TestFigure1SchemaShape(t *testing.T) {
+	// The core chain of Figure 1: dataresource→extract→sample→project,
+	// dataresource→workunit, workunit→project.
+	fx := newFixture(t)
+	rg := fx.db.Registry()
+	cases := []struct{ kind, field, target string }{
+		{KindSample, "project", KindProject},
+		{KindExtract, "sample", KindSample},
+		{KindDataResource, "extract", KindExtract},
+		{KindDataResource, "workunit", KindWorkunit},
+		{KindWorkunit, "project", KindProject},
+		{KindInstitute, "organization", KindOrganization},
+		{KindUser, "institute", KindInstitute},
+	}
+	for _, c := range cases {
+		f := rg.Kind(c.kind).Field(c.field)
+		if f == nil || f.Type != entity.Ref || f.RefKind != c.target {
+			t.Errorf("%s.%s should be Ref(%s), got %+v", c.kind, c.field, c.target, f)
+		}
+	}
+}
+
+func TestSampleExtractLifecycle(t *testing.T) {
+	fx := newFixture(t)
+	var sid, eid int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		sid, err = fx.db.CreateSample(tx, "alice", Sample{
+			Name: "AT-wt-1", Project: fx.project, Owner: fx.alice,
+			Species: "Arabidopsis thaliana", DiseaseState: "Hopeless",
+		})
+		if err != nil {
+			return err
+		}
+		eid, err = fx.db.CreateExtract(tx, "alice", Extract{
+			Name: "AT-wt-1-leaf", Sample: sid, ExtractionMethod: "RNA extraction",
+			Concentration: 120.5, VolumeUL: 30,
+		})
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		s, err := fx.db.GetSample(tx, sid)
+		if err != nil {
+			return err
+		}
+		if s.Species != "Arabidopsis thaliana" || s.Project != fx.project {
+			t.Errorf("sample = %+v", s)
+		}
+		e, err := fx.db.GetExtract(tx, eid)
+		if err != nil {
+			return err
+		}
+		if e.Sample != sid || e.Concentration != 120.5 {
+			t.Errorf("extract = %+v", e)
+		}
+		es, err := fx.db.ExtractsOfSample(tx, sid)
+		if err != nil {
+			return err
+		}
+		if len(es) != 1 || es[0].ID != eid {
+			t.Errorf("ExtractsOfSample = %+v", es)
+		}
+		return nil
+	})
+}
+
+func TestCloneSamplePreservesAnnotations(t *testing.T) {
+	fx := newFixture(t)
+	var orig, clone int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		orig, err = fx.db.CreateSample(tx, "alice", Sample{
+			Name: "origin", Project: fx.project, Species: "A. thaliana",
+			Tissue: "leaf", Treatment: "light",
+		})
+		if err != nil {
+			return err
+		}
+		clone, err = fx.db.CloneSample(tx, "alice", orig, "copy")
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		c, err := fx.db.GetSample(tx, clone)
+		if err != nil {
+			return err
+		}
+		if c.Name != "copy" || c.Species != "A. thaliana" || c.Tissue != "leaf" || c.Treatment != "light" {
+			t.Errorf("clone = %+v", c)
+		}
+		if c.ID == orig {
+			t.Error("clone got original's id")
+		}
+		return nil
+	})
+}
+
+func TestBatchCreateSamples(t *testing.T) {
+	fx := newFixture(t)
+	var ids []int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		ids, err = fx.db.BatchCreateSamples(tx, "alice", Sample{
+			Name: "tpl", Project: fx.project, Species: "A. thaliana",
+		}, "batch", 10)
+		return err
+	})
+	if len(ids) != 10 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	fx.view(t, func(tx *store.Tx) error {
+		s, err := fx.db.GetSample(tx, ids[4])
+		if err != nil {
+			return err
+		}
+		if s.Name != "batch_5" || s.Species != "A. thaliana" {
+			t.Errorf("batch sample = %+v", s)
+		}
+		return nil
+	})
+	// Invalid batch size.
+	err := fx.db.Store().Update(func(tx *store.Tx) error {
+		_, err := fx.db.BatchCreateSamples(tx, "alice", Sample{Name: "x", Project: fx.project}, "b", 0)
+		return err
+	})
+	if err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+func TestBatchCreateExtracts(t *testing.T) {
+	fx := newFixture(t)
+	var sid int64
+	var ids []int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		sid, err = fx.db.CreateSample(tx, "alice", Sample{Name: "s", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		ids, err = fx.db.BatchCreateExtracts(tx, "alice", Extract{
+			Name: "tpl", Sample: sid, ExtractionMethod: "TRIzol",
+		}, "ex", 5)
+		return err
+	})
+	if len(ids) != 5 {
+		t.Fatalf("got %d extracts", len(ids))
+	}
+	fx.view(t, func(tx *store.Tx) error {
+		es, err := fx.db.ExtractsOfSample(tx, sid)
+		if err != nil {
+			return err
+		}
+		if len(es) != 5 || es[0].Name != "ex_1" || es[0].ExtractionMethod != "TRIzol" {
+			t.Errorf("extracts = %+v", es)
+		}
+		return nil
+	})
+}
+
+func TestProjectScopedQueries(t *testing.T) {
+	fx := newFixture(t)
+	var p2 int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		p2, err = fx.db.CreateProject(tx, "setup", Project{Name: "p2000"})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			sid, err := fx.db.CreateSample(tx, "alice", Sample{
+				Name: fmt.Sprintf("s%d", i), Project: fx.project,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := fx.db.CreateExtract(tx, "alice", Extract{
+				Name: fmt.Sprintf("e%d", i), Sample: sid,
+			}); err != nil {
+				return err
+			}
+		}
+		_, err = fx.db.CreateSample(tx, "alice", Sample{Name: "other", Project: p2})
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		ss, err := fx.db.SamplesOfProject(tx, fx.project)
+		if err != nil {
+			return err
+		}
+		if len(ss) != 3 {
+			t.Errorf("SamplesOfProject = %d, want 3", len(ss))
+		}
+		es, err := fx.db.ExtractsOfProject(tx, fx.project)
+		if err != nil {
+			return err
+		}
+		if len(es) != 3 {
+			t.Errorf("ExtractsOfProject = %d, want 3", len(es))
+		}
+		return nil
+	})
+}
+
+func TestWorkunitLifecycle(t *testing.T) {
+	fx := newFixture(t)
+	var wid int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		wid, err = fx.db.CreateWorkunit(tx, "alice", Workunit{
+			Name: "import-1", Project: fx.project, Owner: fx.alice,
+			Parameters: map[string]string{"instrument": "GeneChip"},
+		})
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		w, err := fx.db.GetWorkunit(tx, wid)
+		if err != nil {
+			return err
+		}
+		if w.State != WorkunitPending {
+			t.Errorf("default state = %q", w.State)
+		}
+		if w.Parameters["instrument"] != "GeneChip" {
+			t.Errorf("parameters = %v", w.Parameters)
+		}
+		return nil
+	})
+	fx.update(t, func(tx *store.Tx) error {
+		return fx.db.SetWorkunitState(tx, "alice", wid, WorkunitReady)
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		w, _ := fx.db.GetWorkunit(tx, wid)
+		if w.State != WorkunitReady {
+			t.Errorf("state = %q", w.State)
+		}
+		return nil
+	})
+	err := fx.db.Store().Update(func(tx *store.Tx) error {
+		return fx.db.SetWorkunitState(tx, "alice", wid, "bogus")
+	})
+	if err == nil {
+		t.Error("invalid state accepted")
+	}
+}
+
+func TestDataResourceAndAssignExtract(t *testing.T) {
+	fx := newFixture(t)
+	var wid, sid, eid, rid int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		wid, err = fx.db.CreateWorkunit(tx, "alice", Workunit{Name: "wu", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		sid, err = fx.db.CreateSample(tx, "alice", Sample{Name: "s", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		eid, err = fx.db.CreateExtract(tx, "alice", Extract{Name: "e", Sample: sid})
+		if err != nil {
+			return err
+		}
+		rid, err = fx.db.CreateDataResource(tx, "alice", DataResource{
+			Name: "chip01.cel", Workunit: wid, Format: "cel", SizeBytes: 1024,
+		})
+		return err
+	})
+	fx.update(t, func(tx *store.Tx) error {
+		return fx.db.AssignExtract(tx, "alice", rid, eid)
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		d, err := fx.db.GetDataResource(tx, rid)
+		if err != nil {
+			return err
+		}
+		if d.Extract != eid || d.Format != "cel" {
+			t.Errorf("resource = %+v", d)
+		}
+		rs, err := fx.db.ResourcesOfWorkunit(tx, wid)
+		if err != nil {
+			return err
+		}
+		if len(rs) != 1 || rs[0].ID != rid {
+			t.Errorf("ResourcesOfWorkunit = %+v", rs)
+		}
+		return nil
+	})
+}
+
+func TestApplicationAndExperiment(t *testing.T) {
+	fx := newFixture(t)
+	var aid, xid int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		aid, err = fx.db.CreateApplication(tx, "admin", Application{
+			Name: "two group analysis", Connector: "rserve",
+			Program: "twogroup.R", InputSpec: []string{"resources", "samples"},
+			ParamSpec: []string{"reference_group"}, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		xid, err = fx.db.CreateExperiment(tx, "alice", Experiment{
+			Name: "AT light response", Project: fx.project, Owner: fx.alice,
+			Attributes: map[string]string{"species": "A. thaliana", "treatment": "light"},
+		})
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		a, err := fx.db.ApplicationByName(tx, "two group analysis")
+		if err != nil {
+			return err
+		}
+		if a.ID != aid || a.Connector != "rserve" || len(a.InputSpec) != 2 {
+			t.Errorf("application = %+v", a)
+		}
+		x, err := fx.db.GetExperiment(tx, xid)
+		if err != nil {
+			return err
+		}
+		if x.Attributes["treatment"] != "light" {
+			t.Errorf("experiment = %+v", x)
+		}
+		return nil
+	})
+}
+
+func TestUserQueries(t *testing.T) {
+	fx := newFixture(t)
+	fx.view(t, func(tx *store.Tx) error {
+		u, err := fx.db.UserByLogin(tx, "alice")
+		if err != nil {
+			return err
+		}
+		if u.ID != fx.alice || u.Role != RoleScientist {
+			t.Errorf("UserByLogin = %+v", u)
+		}
+		experts, err := fx.db.UsersByRole(tx, RoleExpert)
+		if err != nil {
+			return err
+		}
+		if len(experts) != 1 || experts[0].ID != fx.eva {
+			t.Errorf("UsersByRole = %+v", experts)
+		}
+		if _, err := fx.db.UserByLogin(tx, "nobody"); !errors.Is(err, store.ErrNotFound) {
+			t.Errorf("missing login: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestDefaultUserRole(t *testing.T) {
+	fx := newFixture(t)
+	var id int64
+	fx.update(t, func(tx *store.Tx) error {
+		var err error
+		id, err = fx.db.CreateUser(tx, "setup", User{Login: "norole", Active: true})
+		return err
+	})
+	fx.view(t, func(tx *store.Tx) error {
+		u, _ := fx.db.GetUser(tx, id)
+		if u.Role != RoleScientist {
+			t.Errorf("default role = %q", u.Role)
+		}
+		return nil
+	})
+}
+
+func TestProjectMembers(t *testing.T) {
+	fx := newFixture(t)
+	fx.view(t, func(tx *store.Tx) error {
+		ms, err := fx.db.ProjectMembers(tx, fx.project)
+		if err != nil {
+			return err
+		}
+		// alice (member) + eva (coach)
+		if len(ms) != 2 {
+			t.Errorf("members = %v", ms)
+		}
+		return nil
+	})
+}
+
+func TestCollectStats(t *testing.T) {
+	fx := newFixture(t)
+	fx.update(t, func(tx *store.Tx) error {
+		sid, err := fx.db.CreateSample(tx, "alice", Sample{Name: "s", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		if _, err := fx.db.CreateExtract(tx, "alice", Extract{Name: "e", Sample: sid}); err != nil {
+			return err
+		}
+		wid, err := fx.db.CreateWorkunit(tx, "alice", Workunit{Name: "w", Project: fx.project})
+		if err != nil {
+			return err
+		}
+		_, err = fx.db.CreateDataResource(tx, "alice", DataResource{Name: "d", Workunit: wid})
+		return err
+	})
+	got := fx.db.CollectStats()
+	want := Stats{Users: 2, Projects: 1, Institutes: 1, Organizations: 1,
+		Samples: 1, Extracts: 1, DataResources: 1, Workunits: 1}
+	if got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestKVRoundTrip(t *testing.T) {
+	m := map[string]string{"b": "2", "a": "1", "with=eq": "v=w"}
+	list := FormatKV(m)
+	if len(list) != 3 || list[0] != "a=1" {
+		t.Errorf("FormatKV = %v", list)
+	}
+	back := ParseKV(list)
+	if back["a"] != "1" || back["b"] != "2" {
+		t.Errorf("ParseKV = %v", back)
+	}
+	// Keys containing '=' split at the first '='.
+	if back["with"] != "eq=v=w" {
+		t.Errorf("ParseKV eq handling = %v", back)
+	}
+	if ParseKV(nil) != nil {
+		t.Error("ParseKV(nil) != nil")
+	}
+	if FormatKV(nil) != nil {
+		t.Error("FormatKV(nil) != nil")
+	}
+	if got := ParseKV([]string{"malformed"}); len(got) != 0 {
+		t.Errorf("malformed entry parsed: %v", got)
+	}
+}
+
+func TestVocabularyNamesAndAnnotatedFields(t *testing.T) {
+	fx := newFixture(t)
+	names := VocabularyNames()
+	if len(names) != 8 {
+		t.Errorf("VocabularyNames = %v", names)
+	}
+	af := AnnotatedFields(fx.db.Registry())
+	if len(af[KindSample]) != 5 {
+		t.Errorf("sample annotated fields = %+v", af[KindSample])
+	}
+	if len(af[KindExtract]) != 2 {
+		t.Errorf("extract annotated fields = %+v", af[KindExtract])
+	}
+}

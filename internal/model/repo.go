@@ -1,0 +1,433 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/entity"
+	"repro/internal/store"
+)
+
+// DB is the typed repository over the entity registry. All methods take the
+// caller's transaction so that service-level operations (imports, merges,
+// experiment runs) stay atomic.
+type DB struct {
+	rg *entity.Registry
+}
+
+// NewDB wraps an entity registry whose schema has been registered with
+// RegisterSchema.
+func NewDB(rg *entity.Registry) *DB { return &DB{rg: rg} }
+
+// Registry exposes the underlying entity registry.
+func (db *DB) Registry() *entity.Registry { return db.rg }
+
+// Store exposes the underlying record store.
+func (db *DB) Store() *store.Store { return db.rg.Store() }
+
+// --- organizations / institutes / users ---------------------------------
+
+// CreateOrganization registers an organization.
+func (db *DB) CreateOrganization(tx *store.Tx, actor string, o Organization) (int64, error) {
+	return db.rg.Create(tx, KindOrganization, actor, map[string]any{
+		"name": o.Name, "country": o.Country,
+	})
+}
+
+// GetOrganization fetches an organization by id.
+func (db *DB) GetOrganization(tx *store.Tx, id int64) (Organization, error) {
+	r, err := db.rg.Get(tx, KindOrganization, id)
+	if err != nil {
+		return Organization{}, err
+	}
+	return organizationFromRecord(r), nil
+}
+
+// CreateInstitute registers an institute within an organization.
+func (db *DB) CreateInstitute(tx *store.Tx, actor string, in Institute) (int64, error) {
+	return db.rg.Create(tx, KindInstitute, actor, map[string]any{
+		"name": in.Name, "organization": in.Organization,
+	})
+}
+
+// GetInstitute fetches an institute by id.
+func (db *DB) GetInstitute(tx *store.Tx, id int64) (Institute, error) {
+	r, err := db.rg.Get(tx, KindInstitute, id)
+	if err != nil {
+		return Institute{}, err
+	}
+	return instituteFromRecord(r), nil
+}
+
+// CreateUser registers a user.
+func (db *DB) CreateUser(tx *store.Tx, actor string, u User) (int64, error) {
+	role := u.Role
+	if role == "" {
+		role = RoleScientist
+	}
+	return db.rg.Create(tx, KindUser, actor, map[string]any{
+		"login": u.Login, "fullname": u.FullName, "email": u.Email,
+		"institute": u.Institute, "role": role, "active": u.Active,
+	})
+}
+
+// GetUser fetches a user by id.
+func (db *DB) GetUser(tx *store.Tx, id int64) (User, error) {
+	r, err := db.rg.Get(tx, KindUser, id)
+	if err != nil {
+		return User{}, err
+	}
+	return userFromRecord(r), nil
+}
+
+// UserByLogin fetches a user by login name.
+func (db *DB) UserByLogin(tx *store.Tx, login string) (User, error) {
+	r, err := tx.First(KindUser, "login", login)
+	if err != nil {
+		return User{}, err
+	}
+	return userFromRecord(r), nil
+}
+
+// UsersByRole returns all users holding the given role, in id order.
+func (db *DB) UsersByRole(tx *store.Tx, role string) ([]User, error) {
+	rs, err := tx.Find(KindUser, "role", role)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]User, len(rs))
+	for i, r := range rs {
+		out[i] = userFromRecord(r)
+	}
+	return out, nil
+}
+
+// --- projects ------------------------------------------------------------
+
+// CreateProject registers a project.
+func (db *DB) CreateProject(tx *store.Tx, actor string, p Project) (int64, error) {
+	return db.rg.Create(tx, KindProject, actor, map[string]any{
+		"name": p.Name, "description": p.Description, "coach": p.Coach,
+		"members": p.Members, "institute": p.Institute, "area": p.Area,
+	})
+}
+
+// GetProject fetches a project by id.
+func (db *DB) GetProject(tx *store.Tx, id int64) (Project, error) {
+	r, err := db.rg.Get(tx, KindProject, id)
+	if err != nil {
+		return Project{}, err
+	}
+	return projectFromRecord(r), nil
+}
+
+// ProjectMembers returns the member user ids of a project, including the
+// coach.
+func (db *DB) ProjectMembers(tx *store.Tx, id int64) ([]int64, error) {
+	p, err := db.GetProject(tx, id)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]int64{}, p.Members...)
+	if p.Coach != 0 && !containsInt(out, p.Coach) {
+		out = append(out, p.Coach)
+	}
+	return out, nil
+}
+
+func containsInt(xs []int64, x int64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- samples ---------------------------------------------------------------
+
+// CreateSample registers a sample (Figure 2).
+func (db *DB) CreateSample(tx *store.Tx, actor string, s Sample) (int64, error) {
+	return db.rg.Create(tx, KindSample, actor, s.values())
+}
+
+// GetSample fetches a sample by id.
+func (db *DB) GetSample(tx *store.Tx, id int64) (Sample, error) {
+	r, err := db.rg.Get(tx, KindSample, id)
+	if err != nil {
+		return Sample{}, err
+	}
+	return sampleFromRecord(r), nil
+}
+
+// UpdateSample applies the given field changes to a sample.
+func (db *DB) UpdateSample(tx *store.Tx, actor string, id int64, changes map[string]any) error {
+	return db.rg.Update(tx, KindSample, id, actor, changes)
+}
+
+// CloneSample registers a copy of the sample with a new name, preserving
+// all annotations — the cloning support of Figure 2's registration flow.
+func (db *DB) CloneSample(tx *store.Tx, actor string, id int64, newName string) (int64, error) {
+	s, err := db.GetSample(tx, id)
+	if err != nil {
+		return 0, err
+	}
+	s.Name = newName
+	return db.CreateSample(tx, actor, s)
+}
+
+// BatchCreateSamples registers n samples named "<prefix>_1".."<prefix>_n"
+// sharing the template's annotations — batch registration per the paper.
+func (db *DB) BatchCreateSamples(tx *store.Tx, actor string, template Sample, prefix string, n int) ([]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("model: batch size %d", n)
+	}
+	ids := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		s := template
+		s.Name = fmt.Sprintf("%s_%d", prefix, i)
+		id, err := db.CreateSample(tx, actor, s)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// SamplesOfProject returns every sample of the project in id order. This is
+// the query that scopes drop-down menus to the user's project.
+func (db *DB) SamplesOfProject(tx *store.Tx, project int64) ([]Sample, error) {
+	rs, err := tx.Find(KindSample, "project", project)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, len(rs))
+	for i, r := range rs {
+		out[i] = sampleFromRecord(r)
+	}
+	return out, nil
+}
+
+// --- extracts ---------------------------------------------------------------
+
+// CreateExtract registers an extract (Figure 3).
+func (db *DB) CreateExtract(tx *store.Tx, actor string, e Extract) (int64, error) {
+	return db.rg.Create(tx, KindExtract, actor, e.values())
+}
+
+// GetExtract fetches an extract by id.
+func (db *DB) GetExtract(tx *store.Tx, id int64) (Extract, error) {
+	r, err := db.rg.Get(tx, KindExtract, id)
+	if err != nil {
+		return Extract{}, err
+	}
+	return extractFromRecord(r), nil
+}
+
+// CloneExtract registers a copy of an extract under a new name.
+func (db *DB) CloneExtract(tx *store.Tx, actor string, id int64, newName string) (int64, error) {
+	e, err := db.GetExtract(tx, id)
+	if err != nil {
+		return 0, err
+	}
+	e.Name = newName
+	return db.CreateExtract(tx, actor, e)
+}
+
+// BatchCreateExtracts registers n extracts from a template.
+func (db *DB) BatchCreateExtracts(tx *store.Tx, actor string, template Extract, prefix string, n int) ([]int64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("model: batch size %d", n)
+	}
+	ids := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		e := template
+		e.Name = fmt.Sprintf("%s_%d", prefix, i)
+		id, err := db.CreateExtract(tx, actor, e)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// ExtractsOfSample returns the extracts derived from a sample.
+func (db *DB) ExtractsOfSample(tx *store.Tx, sample int64) ([]Extract, error) {
+	rs, err := tx.Find(KindExtract, "sample", sample)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Extract, len(rs))
+	for i, r := range rs {
+		out[i] = extractFromRecord(r)
+	}
+	return out, nil
+}
+
+// ExtractsOfProject returns every extract whose sample belongs to the
+// project — the scoped drop-down for the assign-extracts step.
+func (db *DB) ExtractsOfProject(tx *store.Tx, project int64) ([]Extract, error) {
+	samples, err := db.SamplesOfProject(tx, project)
+	if err != nil {
+		return nil, err
+	}
+	var out []Extract
+	for _, s := range samples {
+		es, err := db.ExtractsOfSample(tx, s.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, es...)
+	}
+	return out, nil
+}
+
+// --- workunits & data resources ---------------------------------------------
+
+// CreateWorkunit registers a workunit container.
+func (db *DB) CreateWorkunit(tx *store.Tx, actor string, w Workunit) (int64, error) {
+	state := w.State
+	if state == "" {
+		state = WorkunitPending
+	}
+	return db.rg.Create(tx, KindWorkunit, actor, map[string]any{
+		"name": w.Name, "project": w.Project, "owner": w.Owner,
+		"application": w.Application, "description": w.Description,
+		"state": state, "parameters": FormatKV(w.Parameters),
+	})
+}
+
+// GetWorkunit fetches a workunit by id.
+func (db *DB) GetWorkunit(tx *store.Tx, id int64) (Workunit, error) {
+	r, err := db.rg.Get(tx, KindWorkunit, id)
+	if err != nil {
+		return Workunit{}, err
+	}
+	return workunitFromRecord(r), nil
+}
+
+// SetWorkunitState transitions a workunit's lifecycle state.
+func (db *DB) SetWorkunitState(tx *store.Tx, actor string, id int64, state string) error {
+	switch state {
+	case WorkunitPending, WorkunitProcessing, WorkunitReady, WorkunitFailed:
+	default:
+		return fmt.Errorf("model: invalid workunit state %q", state)
+	}
+	return db.rg.Update(tx, KindWorkunit, id, actor, map[string]any{"state": state})
+}
+
+// CreateDataResource registers a data resource inside a workunit.
+func (db *DB) CreateDataResource(tx *store.Tx, actor string, d DataResource) (int64, error) {
+	return db.rg.Create(tx, KindDataResource, actor, map[string]any{
+		"name": d.Name, "workunit": d.Workunit, "extract": d.Extract,
+		"uri": d.URI, "size_bytes": d.SizeBytes, "checksum": d.Checksum,
+		"format": d.Format, "is_input": d.IsInput, "linked": d.Linked,
+		"content": d.Content,
+	})
+}
+
+// GetDataResource fetches a data resource by id.
+func (db *DB) GetDataResource(tx *store.Tx, id int64) (DataResource, error) {
+	r, err := db.rg.Get(tx, KindDataResource, id)
+	if err != nil {
+		return DataResource{}, err
+	}
+	return dataResourceFromRecord(r), nil
+}
+
+// AssignExtract connects a data resource to the extract that was the
+// biological input of the measurement producing it (Figure 11).
+func (db *DB) AssignExtract(tx *store.Tx, actor string, resource, extract int64) error {
+	return db.rg.Update(tx, KindDataResource, resource, actor, map[string]any{"extract": extract})
+}
+
+// ResourcesOfWorkunit returns the data resources contained in a workunit.
+func (db *DB) ResourcesOfWorkunit(tx *store.Tx, workunit int64) ([]DataResource, error) {
+	rs, err := tx.Find(KindDataResource, "workunit", workunit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DataResource, len(rs))
+	for i, r := range rs {
+		out[i] = dataResourceFromRecord(r)
+	}
+	return out, nil
+}
+
+// --- applications & experiments ----------------------------------------------
+
+// CreateApplication registers an application (Figure 12).
+func (db *DB) CreateApplication(tx *store.Tx, actor string, a Application) (int64, error) {
+	return db.rg.Create(tx, KindApplication, actor, map[string]any{
+		"name": a.Name, "description": a.Description,
+		"connector": a.Connector, "program": a.Program,
+		"input_spec": a.InputSpec, "param_spec": a.ParamSpec,
+		"active": a.Active,
+	})
+}
+
+// GetApplication fetches an application by id.
+func (db *DB) GetApplication(tx *store.Tx, id int64) (Application, error) {
+	r, err := db.rg.Get(tx, KindApplication, id)
+	if err != nil {
+		return Application{}, err
+	}
+	return applicationFromRecord(r), nil
+}
+
+// ApplicationByName fetches an application by its unique name.
+func (db *DB) ApplicationByName(tx *store.Tx, name string) (Application, error) {
+	r, err := tx.First(KindApplication, "name", name)
+	if err != nil {
+		return Application{}, err
+	}
+	return applicationFromRecord(r), nil
+}
+
+// CreateExperiment registers an experiment definition (Figure 13).
+func (db *DB) CreateExperiment(tx *store.Tx, actor string, e Experiment) (int64, error) {
+	return db.rg.Create(tx, KindExperiment, actor, map[string]any{
+		"name": e.Name, "project": e.Project, "owner": e.Owner,
+		"resources": e.Resources, "samples": e.Samples, "extracts": e.Extracts,
+		"attributes": FormatKV(e.Attributes), "description": e.Description,
+	})
+}
+
+// GetExperiment fetches an experiment definition by id.
+func (db *DB) GetExperiment(tx *store.Tx, id int64) (Experiment, error) {
+	r, err := db.rg.Get(tx, KindExperiment, id)
+	if err != nil {
+		return Experiment{}, err
+	}
+	return experimentFromRecord(r), nil
+}
+
+// --- counting (deployment statistics table) ----------------------------------
+
+// Stats mirrors the deployment statistics table of the paper.
+type Stats struct {
+	Users         int
+	Projects      int
+	Institutes    int
+	Organizations int
+	Samples       int
+	Extracts      int
+	DataResources int
+	Workunits     int
+}
+
+// CollectStats counts the main entity populations.
+func (db *DB) CollectStats() Stats {
+	s := db.Store()
+	return Stats{
+		Users:         s.Count(KindUser),
+		Projects:      s.Count(KindProject),
+		Institutes:    s.Count(KindInstitute),
+		Organizations: s.Count(KindOrganization),
+		Samples:       s.Count(KindSample),
+		Extracts:      s.Count(KindExtract),
+		DataResources: s.Count(KindDataResource),
+		Workunits:     s.Count(KindWorkunit),
+	}
+}

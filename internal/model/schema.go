@@ -1,0 +1,211 @@
+// Package model defines B-Fabric's domain model — the "minimal" metadata
+// schema of Figure 1 of the paper — and typed repositories over the entity
+// layer. The schema core is:
+//
+//	project ← sample ← extract ← dataresource → workunit
+//
+// A data resource abstracts a file (or link to a file) produced by an
+// instrument or application. Each data resource is connected to the extract
+// that was the biological input of the measurement producing it. Extracts
+// are extractions of samples; samples (and hence extracts) belong to
+// projects, which scopes drop-down menus and access control. A workunit is
+// a user-defined container of logically related data resources, some of
+// which may be marked as inputs of the processing step that produced the
+// rest.
+//
+// Around the core sit the organisational entities (user, organization,
+// institute), the application-integration entities (application,
+// experiment) and the controlled-vocabulary annotation fields.
+package model
+
+import (
+	"repro/internal/entity"
+)
+
+// Entity kind names. These are the table names in the store and the kind
+// names in the entity registry.
+const (
+	KindUser         = "user"
+	KindOrganization = "organization"
+	KindInstitute    = "institute"
+	KindProject      = "project"
+	KindSample       = "sample"
+	KindExtract      = "extract"
+	KindDataResource = "dataresource"
+	KindWorkunit     = "workunit"
+	KindApplication  = "application"
+	KindExperiment   = "experiment"
+)
+
+// Vocabulary attribute names used by sample/extract annotation fields.
+// Each names a controlled vocabulary managed by the vocab service.
+const (
+	VocabSpecies          = "species"
+	VocabTissue           = "tissue"
+	VocabDiseaseState     = "disease_state"
+	VocabCellType         = "cell_type"
+	VocabTreatment        = "treatment"
+	VocabExtractionMethod = "extraction_method"
+	VocabLabel            = "label"
+	VocabInstrumentType   = "instrument_type"
+)
+
+// Workunit states mirror the experiment lifecycle shown in Figures 15–16.
+const (
+	WorkunitPending    = "pending"
+	WorkunitProcessing = "processing"
+	WorkunitReady      = "ready"
+	WorkunitFailed     = "failed"
+)
+
+// RegisterSchema registers every B-Fabric kind with the entity registry.
+// It must be called exactly once per registry.
+func RegisterSchema(rg *entity.Registry) error {
+	kinds := []entity.Kind{
+		{
+			Name: KindOrganization,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Unique: true},
+				{Name: "country", Type: entity.String, Indexed: true},
+			},
+		},
+		{
+			Name: KindInstitute,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Unique: true},
+				{Name: "organization", Type: entity.Ref, RefKind: KindOrganization, Required: true},
+			},
+		},
+		{
+			Name: KindUser,
+			Fields: []entity.Field{
+				{Name: "login", Type: entity.String, Required: true, Unique: true},
+				{Name: "fullname", Type: entity.String},
+				{Name: "email", Type: entity.String, Indexed: true},
+				{Name: "institute", Type: entity.Ref, RefKind: KindInstitute},
+				{Name: "role", Type: entity.String, Indexed: true}, // scientist|expert|admin
+				{Name: "active", Type: entity.Bool},
+			},
+		},
+		{
+			Name: KindProject,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "description", Type: entity.Text},
+				{Name: "coach", Type: entity.Ref, RefKind: KindUser},
+				{Name: "members", Type: entity.RefList, RefKind: KindUser},
+				{Name: "institute", Type: entity.Ref, RefKind: KindInstitute},
+				{Name: "area", Type: entity.String, Indexed: true}, // genomics|proteomics|metabolomics
+			},
+		},
+		{
+			Name: KindSample,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "project", Type: entity.Ref, RefKind: KindProject, Required: true},
+				{Name: "owner", Type: entity.Ref, RefKind: KindUser},
+				{Name: "species", Type: entity.String, Vocabulary: VocabSpecies, Indexed: true},
+				{Name: "tissue", Type: entity.String, Vocabulary: VocabTissue},
+				{Name: "disease_state", Type: entity.String, Vocabulary: VocabDiseaseState, Indexed: true},
+				{Name: "cell_type", Type: entity.String, Vocabulary: VocabCellType},
+				{Name: "treatment", Type: entity.String, Vocabulary: VocabTreatment},
+				{Name: "description", Type: entity.Text},
+			},
+		},
+		{
+			Name: KindExtract,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "sample", Type: entity.Ref, RefKind: KindSample, Required: true},
+				{Name: "extraction_method", Type: entity.String, Vocabulary: VocabExtractionMethod},
+				{Name: "label", Type: entity.String, Vocabulary: VocabLabel},
+				{Name: "concentration", Type: entity.Float},
+				{Name: "volume_ul", Type: entity.Float},
+				{Name: "description", Type: entity.Text},
+			},
+		},
+		{
+			Name: KindDataResource,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "workunit", Type: entity.Ref, RefKind: KindWorkunit, Required: true},
+				{Name: "extract", Type: entity.Ref, RefKind: KindExtract},
+				{Name: "uri", Type: entity.String}, // storage location
+				{Name: "size_bytes", Type: entity.Int},
+				{Name: "checksum", Type: entity.String},
+				{Name: "format", Type: entity.String, Indexed: true}, // cel|raw|csv|zip|...
+				{Name: "is_input", Type: entity.Bool},                // input of the producing step
+				{Name: "linked", Type: entity.Bool},                  // linked (true) vs copied (false)
+				{Name: "content", Type: entity.Text},                 // readable content for full-text search
+			},
+		},
+		{
+			Name: KindWorkunit,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "project", Type: entity.Ref, RefKind: KindProject, Required: true},
+				{Name: "owner", Type: entity.Ref, RefKind: KindUser},
+				{Name: "application", Type: entity.Ref, RefKind: KindApplication},
+				{Name: "description", Type: entity.Text},
+				{Name: "state", Type: entity.String, Indexed: true},
+				{Name: "parameters", Type: entity.StringList}, // "key=value" pairs
+			},
+		},
+		{
+			Name: KindApplication,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Unique: true},
+				{Name: "description", Type: entity.Text},
+				{Name: "connector", Type: entity.String, Required: true, Indexed: true},
+				{Name: "program", Type: entity.String}, // script/program identifier for the connector
+				{Name: "input_spec", Type: entity.StringList},
+				{Name: "param_spec", Type: entity.StringList},
+				{Name: "active", Type: entity.Bool},
+			},
+		},
+		{
+			Name: KindExperiment,
+			Fields: []entity.Field{
+				{Name: "name", Type: entity.String, Required: true, Indexed: true},
+				{Name: "project", Type: entity.Ref, RefKind: KindProject, Required: true},
+				{Name: "owner", Type: entity.Ref, RefKind: KindUser},
+				{Name: "resources", Type: entity.RefList, RefKind: KindDataResource},
+				{Name: "samples", Type: entity.RefList, RefKind: KindSample},
+				{Name: "extracts", Type: entity.RefList, RefKind: KindExtract},
+				{Name: "attributes", Type: entity.StringList}, // "key=value" experiment attributes
+				{Name: "description", Type: entity.Text},
+			},
+		},
+	}
+	for _, k := range kinds {
+		if err := rg.Register(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VocabularyNames returns the names of all controlled vocabularies used by
+// the schema.
+func VocabularyNames() []string {
+	return []string{
+		VocabSpecies, VocabTissue, VocabDiseaseState, VocabCellType,
+		VocabTreatment, VocabExtractionMethod, VocabLabel, VocabInstrumentType,
+	}
+}
+
+// AnnotatedFields returns, for each kind, the fields constrained by a
+// controlled vocabulary. The vocab service uses this to locate every record
+// referring to a term during merges.
+func AnnotatedFields(rg *entity.Registry) map[string][]entity.Field {
+	out := make(map[string][]entity.Field)
+	for _, name := range rg.Kinds() {
+		k := rg.Kind(name)
+		for _, f := range k.Fields {
+			if f.Vocabulary != "" {
+				out[name] = append(out[name], f)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package portal
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestBrowseEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "hub", Project: fx.project},
+	}, &created)
+	var out struct {
+		Outgoing []map[string]any
+		Incoming []map[string]any
+	}
+	code := fx.call(t, "alice", "GET", "/api/browse/project/1", nil, &out)
+	if code != http.StatusOK {
+		t.Fatalf("browse: %d", code)
+	}
+	// The project has at least the new sample inbound.
+	if len(out.Incoming) == 0 {
+		t.Errorf("incoming = %+v", out.Incoming)
+	}
+	// Unknown kind fails cleanly.
+	code = fx.call(t, "alice", "GET", "/api/browse/not-a-kind/1", nil, nil)
+	if code != http.StatusOK {
+		// Link graph queries on unknown kinds return empty edge sets or an
+		// error depending on table existence; both are acceptable non-5xx.
+		if code >= 500 {
+			t.Errorf("browse unknown kind: %d", code)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package portal
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func TestMalformedJSONBodies(t *testing.T) {
+	fx := newFixture(t)
+	for _, path := range []string{
+		"/api/samples", "/api/extracts", "/api/annotations",
+		"/api/annotations/merge", "/api/import", "/api/applications",
+		"/api/experiments", "/api/search/save",
+	} {
+		code := fx.rawPost(t, "alice", path, []byte("{not json"))
+		if code != http.StatusBadRequest {
+			t.Errorf("%s with garbage body: %d", path, code)
+		}
+	}
+}
+
+func TestUnknownFieldsRejected(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "x", Project: fx.project},
+		"Bogus":  true,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", code)
+	}
+}
+
+func TestBadPathIDs(t *testing.T) {
+	fx := newFixture(t)
+	for _, c := range []struct{ method, path string }{
+		{"GET", "/api/samples/notanumber"},
+		{"GET", "/api/workunits/xyz"},
+		{"GET", "/api/browse/sample/zzz"},
+		{"GET", "/api/workflows/abc/dot"},
+		{"GET", "/api/resources/q/download"},
+	} {
+		code := fx.call(t, "alice", c.method, c.path, nil, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %s: %d", c.method, c.path, code)
+		}
+	}
+}
+
+func TestMissingObjects(t *testing.T) {
+	fx := newFixture(t)
+	for _, c := range []struct{ method, path string }{
+		{"GET", "/api/samples/99999"},
+		{"GET", "/api/workunits/99999"},
+	} {
+		code := fx.call(t, "alice", c.method, c.path, nil, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("%s %s: %d", c.method, c.path, code)
+		}
+	}
+}
+
+func TestExtractEndpointValidations(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "s", Project: fx.project},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	sid := created.IDs[0]
+	// Unknown extraction method rejected.
+	code = fx.call(t, "alice", "POST", "/api/extracts", map[string]any{
+		"Extract": model.Extract{Name: "e", Sample: sid, ExtractionMethod: "Alchemy"},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown method: %d", code)
+	}
+	// Batch extracts through the portal.
+	var ext struct{ IDs []int64 }
+	code = fx.call(t, "alice", "POST", "/api/extracts", map[string]any{
+		"Extract": model.Extract{Name: "tpl", Sample: sid},
+		"Batch":   3, "Prefix": "e",
+	}, &ext)
+	if code != http.StatusCreated || len(ext.IDs) != 3 {
+		t.Errorf("batch extracts: %d %v", code, ext.IDs)
+	}
+	// Outsider cannot create extracts in the project.
+	code = fx.call(t, "outsider", "POST", "/api/extracts", map[string]any{
+		"Extract": model.Extract{Name: "no", Sample: sid},
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider extract: %d", code)
+	}
+}
+
+func TestRunExperimentAccessControl(t *testing.T) {
+	fx := newFixture(t)
+	var exp struct{ ID int64 }
+	code := fx.call(t, "alice", "POST", "/api/experiments", model.Experiment{
+		Name: "e", Project: fx.project,
+	}, &exp)
+	if code != http.StatusCreated {
+		t.Fatal(code)
+	}
+	code = fx.call(t, "outsider", "POST", "/api/experiments/1/run", map[string]any{
+		"Application": 1, "WorkunitName": "x",
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider run: %d", code)
+	}
+}
+
+func TestCompleteImportOnMissingInstance(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "alice", "POST", "/api/import/9999/complete", map[string]string{}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("missing instance: %d", code)
+	}
+}
+
+func TestImportRequiresProjectAccess(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "outsider", "POST", "/api/import", map[string]any{
+		"Provider": "genechip", "WorkunitName": "x", "Project": fx.project,
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider import: %d", code)
+	}
+}
+
+func TestSampleGetAccessControl(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "private", Project: fx.project},
+	}, &created)
+	code := fx.call(t, "outsider", "GET", "/api/samples/1", nil, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider sample read: %d", code)
+	}
+	// Experts see everything.
+	code = fx.call(t, "eva", "GET", "/api/samples/1", nil, nil)
+	if code != http.StatusOK {
+		t.Errorf("expert sample read: %d", code)
+	}
+}
+
+func TestTasksForUnknownSessionUser(t *testing.T) {
+	// A session for a user later removed from the user table yields 404.
+	fx := newFixture(t)
+	var uid int64
+	_ = fx.sys.Update(func(tx *store.Tx) error {
+		u, err := fx.sys.DB.UserByLogin(tx, "outsider")
+		if err != nil {
+			return err
+		}
+		uid = u.ID
+		return fx.sys.DB.Registry().Delete(tx, model.KindUser, uid, "test")
+	})
+	code := fx.call(t, "outsider", "GET", "/api/tasks", nil, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("deleted user tasks: %d", code)
+	}
+}

@@ -1,0 +1,71 @@
+package portal
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestProjectExchangeOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	// A member exports the project archive.
+	req, _ := http.NewRequest("GET", fx.srv.URL+"/api/projects/1/export", nil)
+	req.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %d", resp.StatusCode)
+	}
+	var archive bytes.Buffer
+	if _, err := archive.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/zip" {
+		t.Errorf("content type = %q", ct)
+	}
+
+	// Only admins may import.
+	code := fx.rawPost(t, "alice", "/api/projects/import", archive.Bytes())
+	if code != http.StatusForbidden {
+		t.Errorf("scientist import: %d", code)
+	}
+	code = fx.rawPost(t, "root", "/api/projects/import", archive.Bytes())
+	if code != http.StatusCreated {
+		t.Fatalf("admin import: %d", code)
+	}
+	if fx.sys.Store.Count(model.KindProject) != 2 {
+		t.Errorf("projects = %d", fx.sys.Store.Count(model.KindProject))
+	}
+	// Outsiders cannot export projects they cannot access.
+	req2, _ := http.NewRequest("GET", fx.srv.URL+"/api/projects/1/export", nil)
+	req2.Header.Set("Authorization", "Bearer "+fx.tokens["outsider"])
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Errorf("outsider export: %d", resp2.StatusCode)
+	}
+}
+
+// rawPost sends a non-JSON body.
+func (fx *fixture) rawPost(t *testing.T, login, path string, body []byte) int {
+	t.Helper()
+	req, err := http.NewRequest("POST", fx.srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}

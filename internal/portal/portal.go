@@ -1,0 +1,911 @@
+// Package portal implements B-Fabric's web portal: the access-controlled
+// HTTP interface through which users register samples and extracts, manage
+// annotations, run imports and experiments, search, browse the object
+// graph, and download results. It exposes a JSON API (consumed by the CLI
+// and tests) plus a small HTML dashboard.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/exchange"
+	"repro/internal/importer"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/vocab"
+)
+
+// Server is the portal HTTP server.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+}
+
+// New builds the portal over a wired system.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /", s.handleDashboard)
+	s.mux.HandleFunc("POST /api/login", s.handleLogin)
+	s.mux.HandleFunc("POST /api/logout", s.auth(s.handleLogout))
+
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/tasks", s.auth(s.handleTasks))
+
+	s.mux.HandleFunc("POST /api/samples", s.auth(s.handleCreateSample))
+	s.mux.HandleFunc("GET /api/samples/{id}", s.auth(s.handleGetSample))
+	s.mux.HandleFunc("POST /api/samples/{id}/clone", s.auth(s.handleCloneSample))
+
+	s.mux.HandleFunc("POST /api/extracts", s.auth(s.handleCreateExtract))
+
+	s.mux.HandleFunc("GET /api/annotations", s.auth(s.handleListAnnotations))
+	s.mux.HandleFunc("POST /api/annotations", s.auth(s.handleCreateAnnotation))
+	s.mux.HandleFunc("POST /api/annotations/{id}/release", s.auth(s.handleReleaseAnnotation))
+	s.mux.HandleFunc("POST /api/annotations/merge", s.auth(s.handleMergeAnnotations))
+	s.mux.HandleFunc("GET /api/annotations/recommendations", s.auth(s.handleRecommendations))
+
+	s.mux.HandleFunc("GET /api/providers", s.auth(s.handleProviders))
+	s.mux.HandleFunc("POST /api/import", s.auth(s.handleImport))
+	s.mux.HandleFunc("GET /api/import/{workunit}/matches", s.auth(s.handleMatches))
+	s.mux.HandleFunc("POST /api/import/{instance}/complete", s.auth(s.handleCompleteImport))
+
+	s.mux.HandleFunc("POST /api/applications", s.auth(s.handleRegisterApplication))
+	s.mux.HandleFunc("POST /api/experiments", s.auth(s.handleCreateExperiment))
+	s.mux.HandleFunc("POST /api/experiments/{id}/run", s.auth(s.handleRunExperiment))
+
+	s.mux.HandleFunc("GET /api/workunits/{id}", s.auth(s.handleGetWorkunit))
+	s.mux.HandleFunc("GET /api/resources/{id}/download", s.auth(s.handleDownload))
+	s.mux.HandleFunc("GET /api/browse/{kind}/{id}", s.auth(s.handleBrowse))
+	s.mux.HandleFunc("GET /api/workflows/{id}/dot", s.auth(s.handleWorkflowDOT))
+
+	s.mux.HandleFunc("GET /api/search", s.auth(s.handleSearch))
+	s.mux.HandleFunc("GET /api/search/history", s.auth(s.handleSearchHistory))
+	s.mux.HandleFunc("POST /api/search/save", s.auth(s.handleSaveQuery))
+	s.mux.HandleFunc("GET /api/search/saved", s.auth(s.handleSavedQueries))
+	s.mux.HandleFunc("GET /api/search/export", s.auth(s.handleExport))
+
+	s.mux.HandleFunc("GET /api/audit/recent", s.auth(s.handleAuditRecent))
+
+	s.mux.HandleFunc("GET /api/projects/{id}/export", s.auth(s.handleExportProject))
+	s.mux.HandleFunc("POST /api/projects/import", s.auth(s.handleImportProject))
+}
+
+// --- plumbing -----------------------------------------------------------------
+
+// auth wraps a handler with session-token authentication. Tokens travel in
+// the Authorization header ("Bearer <token>").
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		login, err := s.sys.Auth.SessionLogin(token)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, err)
+			return
+		}
+		r.Header.Set("X-Login", login)
+		next(w, r)
+	}
+}
+
+func loginOf(r *http.Request) string { return r.Header.Get("X-Login") }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, auth.ErrForbidden):
+		return http.StatusForbidden
+	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func pathID(r *http.Request, name string) (int64, error) {
+	return strconv.ParseInt(r.PathValue(name), 10, 64)
+}
+
+// --- session ------------------------------------------------------------------
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Login, Password string }
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	token, err := s.sys.Auth.Login(req.Login, req.Password)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"token": token})
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	s.sys.Auth.Logout(token)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// --- dashboard & stats ----------------------------------------------------------
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
+<html><head><title>B-Fabric</title></head><body>
+<h1>B-Fabric — Swiss Army Knife for Life Sciences</h1>
+<table border="1" cellpadding="4">
+<tr><td>Users</td><td>{{.Users}}</td><td>Samples</td><td>{{.Samples}}</td></tr>
+<tr><td>Projects</td><td>{{.Projects}}</td><td>Extracts</td><td>{{.Extracts}}</td></tr>
+<tr><td>Institutes</td><td>{{.Institutes}}</td><td>Data Resources</td><td>{{.DataResources}}</td></tr>
+<tr><td>Organizations</td><td>{{.Organizations}}</td><td>Workunits</td><td>{{.Workunits}}</td></tr>
+</table>
+</body></html>`))
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = dashboardTmpl.Execute(w, s.sys.DB.CollectStats())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.DB.CollectStats())
+}
+
+// --- tasks ---------------------------------------------------------------------
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	login := loginOf(r)
+	var out any
+	err := s.sys.View(func(tx *store.Tx) error {
+		u, err := s.sys.DB.UserByLogin(tx, login)
+		if err != nil {
+			return err
+		}
+		ts, err := s.sys.Tasks.ListOpen(tx, login, u.Role)
+		if err != nil {
+			return err
+		}
+		out = ts
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- samples & extracts -----------------------------------------------------------
+
+// checkVocab validates every vocabulary-bound value of a sample/extract
+// against the annotation store, the portal-level enforcement of controlled
+// vocabularies.
+func (s *Server) checkVocab(tx *store.Tx, pairs map[string]string) error {
+	for vocabName, value := range pairs {
+		if value == "" {
+			continue
+		}
+		if !s.sys.Vocab.Exists(tx, vocabName, value) {
+			return fmt.Errorf("portal: %q is not a known %s annotation (create it first)", value, vocabName)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleCreateSample(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Sample model.Sample
+		// Batch registers Batch copies named "<prefix>_i" when > 0.
+		Batch  int
+		Prefix string
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var ids []int64
+	err := s.sys.Update(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireProject(tx, login, req.Sample.Project); err != nil {
+			return err
+		}
+		if err := s.checkVocab(tx, map[string]string{
+			model.VocabSpecies:      req.Sample.Species,
+			model.VocabTissue:       req.Sample.Tissue,
+			model.VocabDiseaseState: req.Sample.DiseaseState,
+			model.VocabCellType:     req.Sample.CellType,
+			model.VocabTreatment:    req.Sample.Treatment,
+		}); err != nil {
+			return err
+		}
+		if req.Batch > 0 {
+			var err error
+			ids, err = s.sys.DB.BatchCreateSamples(tx, login, req.Sample, req.Prefix, req.Batch)
+			return err
+		}
+		id, err := s.sys.DB.CreateSample(tx, login, req.Sample)
+		ids = []int64{id}
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]int64{"ids": ids})
+}
+
+func (s *Server) handleGetSample(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var sample model.Sample
+	err = s.sys.View(func(tx *store.Tx) error {
+		sm, err := s.sys.DB.GetSample(tx, id)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, loginOf(r), sm.Project); err != nil {
+			return err
+		}
+		sample = sm
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sample)
+}
+
+func (s *Server) handleCloneSample(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct{ Name string }
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var clone int64
+	err = s.sys.Update(func(tx *store.Tx) error {
+		sm, err := s.sys.DB.GetSample(tx, id)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, loginOf(r), sm.Project); err != nil {
+			return err
+		}
+		clone, err = s.sys.DB.CloneSample(tx, loginOf(r), id, req.Name)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": clone})
+}
+
+func (s *Server) handleCreateExtract(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Extract model.Extract
+		Batch   int
+		Prefix  string
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var ids []int64
+	err := s.sys.Update(func(tx *store.Tx) error {
+		sm, err := s.sys.DB.GetSample(tx, req.Extract.Sample)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, login, sm.Project); err != nil {
+			return err
+		}
+		if err := s.checkVocab(tx, map[string]string{
+			model.VocabExtractionMethod: req.Extract.ExtractionMethod,
+			model.VocabLabel:            req.Extract.Label,
+		}); err != nil {
+			return err
+		}
+		if req.Batch > 0 {
+			ids, err = s.sys.DB.BatchCreateExtracts(tx, login, req.Extract, req.Prefix, req.Batch)
+			return err
+		}
+		id, err := s.sys.DB.CreateExtract(tx, login, req.Extract)
+		ids = []int64{id}
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]int64{"ids": ids})
+}
+
+// --- annotations -----------------------------------------------------------------
+
+func (s *Server) handleListAnnotations(w http.ResponseWriter, r *http.Request) {
+	vocabName := r.URL.Query().Get("vocabulary")
+	state := r.URL.Query().Get("state")
+	var out []vocab.Term
+	err := s.sys.View(func(tx *store.Tx) error {
+		var err error
+		out, err = s.sys.Vocab.Terms(tx, vocabName, state)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateAnnotation(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Vocabulary, Value string }
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var term vocab.Term
+	err := s.sys.Update(func(tx *store.Tx) error {
+		var err error
+		term, err = s.sys.Vocab.AddTerm(tx, loginOf(r), req.Vocabulary, req.Value, false)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Surface merge candidates right away, as the annotation view does.
+	var cands []vocab.Candidate
+	_ = s.sys.View(func(tx *store.Tx) error {
+		cands, _ = s.sys.Vocab.Similar(tx, req.Vocabulary, req.Value)
+		return nil
+	})
+	writeJSON(w, http.StatusCreated, map[string]any{"term": term, "similar": cands})
+}
+
+func (s *Server) handleReleaseAnnotation(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	err = s.sys.Update(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireRole(tx, login, model.RoleExpert); err != nil {
+			return err
+		}
+		return s.sys.Vocab.Release(tx, login, id)
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMergeAnnotations(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Keep, Drop int64
+		NewValue   string
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var res vocab.MergeResult
+	err := s.sys.Update(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireRole(tx, login, model.RoleExpert); err != nil {
+			return err
+		}
+		var err error
+		res, err = s.sys.Vocab.Merge(tx, login, req.Keep, req.Drop, req.NewValue)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRecommendations(w http.ResponseWriter, r *http.Request) {
+	var out map[int64][]vocab.Candidate
+	err := s.sys.View(func(tx *store.Tx) error {
+		var err error
+		out, err = s.sys.Vocab.Recommendations(tx)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- import ------------------------------------------------------------------------
+
+func (s *Server) handleProviders(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Providers.Names())
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Provider     string
+		Paths        []string
+		Link         bool
+		WorkunitName string
+		Project      int64
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	mode := importer.Copy
+	if req.Link {
+		mode = importer.Link
+	}
+	var res importer.Result
+	err := s.sys.Update(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireProject(tx, login, req.Project); err != nil {
+			return err
+		}
+		u, err := s.sys.DB.UserByLogin(tx, login)
+		if err != nil {
+			return err
+		}
+		res, err = s.sys.Importer.Import(tx, importer.Request{
+			Provider: req.Provider, Paths: req.Paths, Mode: mode,
+			WorkunitName: req.WorkunitName, Project: req.Project,
+			Owner: u.ID, Actor: login,
+		})
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	wu, err := pathID(r, "workunit")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	apply := r.URL.Query().Get("apply") == "1"
+	var matches []importer.Match
+	run := s.sys.View
+	if apply {
+		run = s.sys.Update
+	}
+	err = run(func(tx *store.Tx) error {
+		var err error
+		matches, err = s.sys.Importer.BestMatches(tx, wu)
+		if err != nil {
+			return err
+		}
+		if apply {
+			return s.sys.Importer.ApplyMatches(tx, loginOf(r), matches)
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, matches)
+}
+
+func (s *Server) handleCompleteImport(w http.ResponseWriter, r *http.Request) {
+	instance, err := pathID(r, "instance")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	err = s.sys.Update(func(tx *store.Tx) error {
+		return s.sys.Importer.CompleteImport(tx, loginOf(r), instance)
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// --- applications & experiments -------------------------------------------------------
+
+func (s *Server) handleRegisterApplication(w http.ResponseWriter, r *http.Request) {
+	var req model.Application
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var id int64
+	err := s.sys.Update(func(tx *store.Tx) error {
+		if _, err := s.sys.Connectors.Get(req.Connector); err != nil {
+			return err
+		}
+		var err error
+		id, err = s.sys.DB.CreateApplication(tx, login, req)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) {
+	var req model.Experiment
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var id int64
+	err := s.sys.Update(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireProject(tx, login, req.Project); err != nil {
+			return err
+		}
+		var err error
+		id, err = s.sys.DB.CreateExperiment(tx, login, req)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
+	expID, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct {
+		Application  int64
+		WorkunitName string
+		Params       map[string]string
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	var res apps.RunResult
+	err = s.sys.Update(func(tx *store.Tx) error {
+		exp, err := s.sys.DB.GetExperiment(tx, expID)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, login, exp.Project); err != nil {
+			return err
+		}
+		u, err := s.sys.DB.UserByLogin(tx, login)
+		if err != nil {
+			return err
+		}
+		res, err = s.sys.Executor.RunExperiment(tx, apps.RunRequest{
+			Experiment: expID, Application: req.Application,
+			WorkunitName: req.WorkunitName, Params: req.Params,
+			Actor: login, Owner: u.ID,
+		})
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// --- workunits, download, browse, workflows ---------------------------------------------
+
+func (s *Server) handleGetWorkunit(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var out struct {
+		Workunit  model.Workunit
+		Resources []model.DataResource
+	}
+	err = s.sys.View(func(tx *store.Tx) error {
+		wu, err := s.sys.DB.GetWorkunit(tx, id)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, loginOf(r), wu.Project); err != nil {
+			return err
+		}
+		rs, err := s.sys.DB.ResourcesOfWorkunit(tx, id)
+		if err != nil {
+			return err
+		}
+		out.Workunit, out.Resources = wu, rs
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var res model.DataResource
+	err = s.sys.View(func(tx *store.Tx) error {
+		dr, err := s.sys.DB.GetDataResource(tx, id)
+		if err != nil {
+			return err
+		}
+		wu, err := s.sys.DB.GetWorkunit(tx, dr.Workunit)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProject(tx, loginOf(r), wu.Project); err != nil {
+			return err
+		}
+		res = dr
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	data, err := s.sys.Storage.Open(res.URI)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", res.Name))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var out struct {
+		Outgoing, Incoming any
+	}
+	err = s.sys.View(func(tx *store.Tx) error {
+		og, in, err := s.sys.Registry.Neighbors(tx, kind, id)
+		if err != nil {
+			return err
+		}
+		out.Outgoing, out.Incoming = og, in
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWorkflowDOT(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var dot string
+	err = s.sys.View(func(tx *store.Tx) error {
+		inst, err := s.sys.Workflows.Get(tx, id)
+		if err != nil {
+			return err
+		}
+		def := s.sys.Workflows.Definition(inst.Definition)
+		if def == nil {
+			return fmt.Errorf("portal: unknown definition %q", inst.Definition)
+		}
+		dot = def.DOT(inst.Step)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	_, _ = w.Write([]byte(dot))
+}
+
+// --- search ------------------------------------------------------------------------------
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	hits, err := s.sys.Search.Search(loginOf(r), q)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleSearchHistory(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Search.History(loginOf(r)))
+}
+
+func (s *Server) handleSaveQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Name, Query string }
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var id int64
+	err := s.sys.Update(func(tx *store.Tx) error {
+		var err error
+		id, err = s.sys.Search.SaveQuery(tx, loginOf(r), req.Name, req.Query)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) handleSavedQueries(w http.ResponseWriter, r *http.Request) {
+	var out any
+	err := s.sys.View(func(tx *store.Tx) error {
+		qs, err := s.sys.Search.SavedQueries(tx, loginOf(r))
+		out = qs
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	hits, err := s.sys.Search.Search(loginOf(r), q)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", `attachment; filename="search.csv"`)
+	_ = s.sys.Search.ExportCSV(w, hits)
+}
+
+// --- audit ----------------------------------------------------------------------------------
+
+func (s *Server) handleAuditRecent(w http.ResponseWriter, r *http.Request) {
+	login := loginOf(r)
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	var out any
+	err := s.sys.View(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireRole(tx, login, model.RoleAdmin); err != nil {
+			return err
+		}
+		es, err := s.sys.Audit.Recent(tx, n)
+		out = es
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- project exchange (collaborative research) -----------------------------------------------
+
+func (s *Server) handleExportProject(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	if err := s.sys.View(func(tx *store.Tx) error {
+		return s.sys.Auth.RequireProject(tx, login, id)
+	}); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("project-%d.zip", id)))
+	if err := exchange.Export(s.sys, id, w); err != nil {
+		// Headers already sent; log-style best effort.
+		_, _ = w.Write([]byte(err.Error()))
+	}
+}
+
+func (s *Server) handleImportProject(w http.ResponseWriter, r *http.Request) {
+	login := loginOf(r)
+	if err := s.sys.View(func(tx *store.Tx) error {
+		return s.sys.Auth.RequireRole(tx, login, model.RoleAdmin)
+	}); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	const maxArchive = 64 << 20
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxArchive))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := exchange.Import(s.sys, data, login)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}

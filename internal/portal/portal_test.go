@@ -1,0 +1,529 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/provider"
+	"repro/internal/store"
+)
+
+type fixture struct {
+	srv     *httptest.Server
+	sys     *core.System
+	project int64
+	tokens  map[string]string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	sys := core.MustNew(core.Options{})
+	gp, gpStore := provider.NewAffymetrixGeneChip("genechip",
+		[]string{"AT-1-control", "AT-1-treated"})
+	sys.Storage.Mount(gpStore)
+	if err := sys.Providers.Register(gp); err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{sys: sys, tokens: map[string]string{}}
+	err := sys.Update(func(tx *store.Tx) error {
+		alice, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "alice", Role: model.RoleScientist, Active: true,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "eva", Role: model.RoleExpert, Active: true,
+		}); err != nil {
+			return err
+		}
+		if _, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "root", Role: model.RoleAdmin, Active: true,
+		}); err != nil {
+			return err
+		}
+		if _, err := sys.DB.CreateUser(tx, "setup", model.User{
+			Login: "outsider", Role: model.RoleScientist, Active: true,
+		}); err != nil {
+			return err
+		}
+		fx.project, err = sys.DB.CreateProject(tx, "setup", model.Project{
+			Name: "p1000", Members: []int64{alice},
+		})
+		if err != nil {
+			return err
+		}
+		for _, login := range []string{"alice", "eva", "root", "outsider"} {
+			if err := sys.Auth.SetPassword(tx, login, login+"-pw"); err != nil {
+				return err
+			}
+		}
+		// Seed released vocabulary terms used by the tests.
+		for vocabName, term := range map[string]string{
+			model.VocabSpecies:   "Arabidopsis thaliana",
+			model.VocabTreatment: "Light",
+		} {
+			if _, err := sys.Vocab.AddTerm(tx, "setup", vocabName, term, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.srv = httptest.NewServer(New(sys))
+	t.Cleanup(fx.srv.Close)
+	for _, login := range []string{"alice", "eva", "root", "outsider"} {
+		fx.tokens[login] = fx.login(t, login, login+"-pw")
+	}
+	return fx
+}
+
+func (fx *fixture) login(t *testing.T, login, pw string) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"Login": login, "Password": pw})
+	resp, err := http.Post(fx.srv.URL+"/api/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login %s: status %d", login, resp.StatusCode)
+	}
+	var out map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out["token"]
+}
+
+// call performs an authenticated JSON request and decodes the response.
+func (fx *fixture) call(t *testing.T, login, method, path string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, fx.srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login != "" {
+		req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func TestLoginRequired(t *testing.T) {
+	fx := newFixture(t)
+	if code := fx.call(t, "", "GET", "/api/tasks", nil, nil); code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated status = %d", code)
+	}
+}
+
+func TestBadLoginRejected(t *testing.T) {
+	fx := newFixture(t)
+	body, _ := json.Marshal(map[string]string{"Login": "alice", "Password": "wrong"})
+	resp, err := http.Post(fx.srv.URL+"/api/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestDashboardHTML(t *testing.T) {
+	fx := newFixture(t)
+	resp, err := http.Get(fx.srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "Swiss Army Knife") {
+		t.Error("dashboard missing title")
+	}
+	if !strings.Contains(buf.String(), "Workunits") {
+		t.Error("dashboard missing stats table")
+	}
+}
+
+func TestRegisterSampleFlow(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{
+			Name: "AT-1", Project: fx.project,
+			Species: "Arabidopsis thaliana", Treatment: "Light",
+		},
+	}, &created)
+	if code != http.StatusCreated || len(created.IDs) != 1 {
+		t.Fatalf("create: code=%d ids=%v", code, created.IDs)
+	}
+	var got model.Sample
+	code = fx.call(t, "alice", "GET", fmt.Sprintf("/api/samples/%d", created.IDs[0]), nil, &got)
+	if code != http.StatusOK || got.Species != "Arabidopsis thaliana" {
+		t.Errorf("get: code=%d sample=%+v", code, got)
+	}
+}
+
+func TestSampleUnknownAnnotationRejected(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{
+			Name: "bad", Project: fx.project, Species: "Martian weed",
+		},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown species accepted: %d", code)
+	}
+}
+
+func TestProjectAccessEnforced(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "outsider", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "x", Project: fx.project},
+	}, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider create: %d", code)
+	}
+}
+
+func TestBatchRegistration(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "tpl", Project: fx.project},
+		"Batch":  5, "Prefix": "batch",
+	}, &created)
+	if code != http.StatusCreated || len(created.IDs) != 5 {
+		t.Fatalf("batch: code=%d ids=%v", code, created.IDs)
+	}
+}
+
+func TestCloneSample(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "orig", Project: fx.project, Treatment: "Light"},
+	}, &created)
+	var clone struct{ ID int64 }
+	code := fx.call(t, "alice", "POST", fmt.Sprintf("/api/samples/%d/clone", created.IDs[0]),
+		map[string]string{"Name": "copy"}, &clone)
+	if code != http.StatusCreated || clone.ID == 0 {
+		t.Fatalf("clone: code=%d id=%d", code, clone.ID)
+	}
+	var got model.Sample
+	fx.call(t, "alice", "GET", fmt.Sprintf("/api/samples/%d", clone.ID), nil, &got)
+	if got.Name != "copy" || got.Treatment != "Light" {
+		t.Errorf("clone = %+v", got)
+	}
+}
+
+func TestAnnotationLifecycleOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	// Alice creates a pending annotation.
+	var created struct {
+		Term struct {
+			ID    int64
+			State string
+		}
+		Similar []any
+	}
+	code := fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+		"Vocabulary": model.VocabDiseaseState, "Value": "Hopeless",
+	}, &created)
+	if code != http.StatusCreated || created.Term.State != "pending" {
+		t.Fatalf("create annotation: %d %+v", code, created)
+	}
+	// Duplicate is a conflict.
+	code = fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+		"Vocabulary": model.VocabDiseaseState, "Value": "hopeless",
+	}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("duplicate: %d", code)
+	}
+	// A scientist cannot release.
+	code = fx.call(t, "alice", "POST", fmt.Sprintf("/api/annotations/%d/release", created.Term.ID), map[string]string{}, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("scientist release: %d", code)
+	}
+	// The expert sees the task and releases.
+	var tasks []map[string]any
+	fx.call(t, "eva", "GET", "/api/tasks", nil, &tasks)
+	if len(tasks) != 1 {
+		t.Fatalf("eva tasks = %+v", tasks)
+	}
+	code = fx.call(t, "eva", "POST", fmt.Sprintf("/api/annotations/%d/release", created.Term.ID), map[string]string{}, nil)
+	if code != http.StatusOK {
+		t.Errorf("expert release: %d", code)
+	}
+	// Listing shows the released term.
+	var terms []map[string]any
+	fx.call(t, "alice", "GET", "/api/annotations?vocabulary="+model.VocabDiseaseState+"&state=released", nil, &terms)
+	if len(terms) != 1 {
+		t.Errorf("terms = %+v", terms)
+	}
+}
+
+func TestMergeOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	var keep, drop struct {
+		Term    struct{ ID int64 }
+		Similar []any
+	}
+	fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+		"Vocabulary": model.VocabTissue, "Value": "Leaf",
+	}, &keep)
+	fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+		"Vocabulary": model.VocabTissue, "Value": "Leafe",
+	}, &drop)
+	// Creating the misspelling surfaced the original as similar.
+	if len(drop.Similar) == 0 {
+		t.Error("no similar candidates surfaced")
+	}
+	var recs map[string][]any
+	fx.call(t, "eva", "GET", "/api/annotations/recommendations", nil, &recs)
+	if len(recs) == 0 {
+		t.Error("no recommendations")
+	}
+	var res struct{ Winner struct{ Value string } }
+	code := fx.call(t, "eva", "POST", "/api/annotations/merge", map[string]any{
+		"Keep": keep.Term.ID, "Drop": drop.Term.ID,
+	}, &res)
+	if code != http.StatusOK || res.Winner.Value != "Leaf" {
+		t.Errorf("merge: %d %+v", code, res)
+	}
+}
+
+func TestImportAndExperimentOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	// Providers listed.
+	var providers []string
+	fx.call(t, "alice", "GET", "/api/providers", nil, &providers)
+	if len(providers) != 1 || providers[0] != "genechip" {
+		t.Fatalf("providers = %v", providers)
+	}
+	// Import everything.
+	var imp struct {
+		Workunit         int64
+		Resources        []int64
+		WorkflowInstance int64
+	}
+	code := fx.call(t, "alice", "POST", "/api/import", map[string]any{
+		"Provider": "genechip", "WorkunitName": "arrays", "Project": fx.project,
+	}, &imp)
+	if code != http.StatusCreated || len(imp.Resources) != 2 {
+		t.Fatalf("import: %d %+v", code, imp)
+	}
+	// Create matching extracts, then fetch+apply matches.
+	_ = fx.sys.Update(func(tx *store.Tx) error {
+		sid, _ := fx.sys.DB.CreateSample(tx, "alice", model.Sample{Name: "AT", Project: fx.project})
+		_, _ = fx.sys.DB.CreateExtract(tx, "alice", model.Extract{Name: "AT-1-control", Sample: sid})
+		_, _ = fx.sys.DB.CreateExtract(tx, "alice", model.Extract{Name: "AT-1-treated", Sample: sid})
+		return nil
+	})
+	var matches []map[string]any
+	code = fx.call(t, "alice", "GET", fmt.Sprintf("/api/import/%d/matches?apply=1", imp.Workunit), nil, &matches)
+	if code != http.StatusOK || len(matches) != 2 {
+		t.Fatalf("matches: %d %+v", code, matches)
+	}
+	code = fx.call(t, "alice", "POST", fmt.Sprintf("/api/import/%d/complete", imp.WorkflowInstance), map[string]string{}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("complete import: %d", code)
+	}
+	// Register the application (admin-ish action, any login allowed here).
+	var app struct{ ID int64 }
+	code = fx.call(t, "root", "POST", "/api/applications", model.Application{
+		Name: "two group analysis", Connector: "rserve", Program: "twogroup.R", Active: true,
+	}, &app)
+	if code != http.StatusCreated {
+		t.Fatalf("register app: %d", code)
+	}
+	// Unknown connector rejected.
+	code = fx.call(t, "root", "POST", "/api/applications", model.Application{
+		Name: "bad", Connector: "galaxy", Program: "x", Active: true,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown connector: %d", code)
+	}
+	// Define and run the experiment.
+	var exp struct{ ID int64 }
+	code = fx.call(t, "alice", "POST", "/api/experiments", model.Experiment{
+		Name: "AT", Project: fx.project, Resources: imp.Resources,
+	}, &exp)
+	if code != http.StatusCreated {
+		t.Fatalf("create experiment: %d", code)
+	}
+	var run struct {
+		Workunit         int64
+		WorkflowInstance int64
+		Resources        []int64
+		Failed           bool
+	}
+	code = fx.call(t, "alice", "POST", fmt.Sprintf("/api/experiments/%d/run", exp.ID), map[string]any{
+		"Application": app.ID, "WorkunitName": "results",
+		"Params": map[string]string{"reference_group": "control"},
+	}, &run)
+	if code != http.StatusOK || run.Failed {
+		t.Fatalf("run: %d %+v", code, run)
+	}
+	// Workunit view shows ready state and resources.
+	var wu struct {
+		Workunit  model.Workunit
+		Resources []model.DataResource
+	}
+	code = fx.call(t, "alice", "GET", fmt.Sprintf("/api/workunits/%d", run.Workunit), nil, &wu)
+	if code != http.StatusOK || wu.Workunit.State != model.WorkunitReady {
+		t.Fatalf("workunit: %d %+v", code, wu.Workunit)
+	}
+	// Download the zip.
+	var zipID int64
+	for _, r := range wu.Resources {
+		if r.Name == "results.zip" {
+			zipID = r.ID
+		}
+	}
+	req, _ := http.NewRequest("GET", fx.srv.URL+fmt.Sprintf("/api/resources/%d/download", zipID), nil)
+	req.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download: %d", resp.StatusCode)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "results.zip") {
+		t.Errorf("disposition = %q", cd)
+	}
+	// The outsider cannot see the workunit.
+	code = fx.call(t, "outsider", "GET", fmt.Sprintf("/api/workunits/%d", run.Workunit), nil, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("outsider workunit: %d", code)
+	}
+	// Workflow DOT export.
+	req2, _ := http.NewRequest("GET", fx.srv.URL+fmt.Sprintf("/api/workflows/%d/dot", run.WorkflowInstance), nil)
+	req2.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var dotBuf bytes.Buffer
+	_, _ = dotBuf.ReadFrom(resp2.Body)
+	if !strings.Contains(dotBuf.String(), "digraph") {
+		t.Errorf("dot = %q", dotBuf.String())
+	}
+}
+
+func TestSearchOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "searchable-sample", Project: fx.project},
+	}, nil)
+	var hits []map[string]any
+	code := fx.call(t, "alice", "GET", "/api/search?q=searchable", nil, &hits)
+	if code != http.StatusOK || len(hits) != 1 {
+		t.Fatalf("search: %d %+v", code, hits)
+	}
+	// History recorded.
+	var history []string
+	fx.call(t, "alice", "GET", "/api/search/history", nil, &history)
+	if len(history) != 1 || history[0] != "searchable" {
+		t.Errorf("history = %v", history)
+	}
+	// Save and list.
+	var saved struct{ ID int64 }
+	code = fx.call(t, "alice", "POST", "/api/search/save", map[string]string{
+		"Name": "mine", "Query": "searchable",
+	}, &saved)
+	if code != http.StatusCreated {
+		t.Fatalf("save: %d", code)
+	}
+	var queries []map[string]any
+	fx.call(t, "alice", "GET", "/api/search/saved", nil, &queries)
+	if len(queries) != 1 {
+		t.Errorf("saved = %+v", queries)
+	}
+	// CSV export.
+	req, _ := http.NewRequest("GET", fx.srv.URL+"/api/search/export?q=searchable", nil)
+	req.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if !strings.HasPrefix(buf.String(), "kind,id,score,name") {
+		t.Errorf("csv = %q", buf.String())
+	}
+	// Empty query is a 400.
+	code = fx.call(t, "alice", "GET", "/api/search?q=", nil, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty query: %d", code)
+	}
+}
+
+func TestAuditEndpointAdminOnly(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "alice", "GET", "/api/audit/recent", nil, nil)
+	if code != http.StatusForbidden {
+		t.Errorf("scientist audit: %d", code)
+	}
+	var entries []map[string]any
+	code = fx.call(t, "root", "GET", "/api/audit/recent?n=10", nil, &entries)
+	if code != http.StatusOK || len(entries) == 0 {
+		t.Errorf("admin audit: %d, %d entries", code, len(entries))
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	var stats model.Stats
+	resp, err := http.Get(fx.srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_ = json.NewDecoder(resp.Body).Decode(&stats)
+	if stats.Users != 4 || stats.Projects != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestLogoutInvalidatesToken(t *testing.T) {
+	fx := newFixture(t)
+	code := fx.call(t, "alice", "POST", "/api/logout", map[string]string{}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("logout: %d", code)
+	}
+	code = fx.call(t, "alice", "GET", "/api/tasks", nil, nil)
+	if code != http.StatusUnauthorized {
+		t.Errorf("after logout: %d", code)
+	}
+}

@@ -1,0 +1,120 @@
+package provider
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// The instrument simulators below stand in for the real FGCZ instruments
+// (the paper imports from an Affymetrix GeneChip scanner, among others).
+// Each generates a deterministic synthetic inventory keyed on the sample
+// names, so repeated runs — and the benchmark harness — see identical data.
+
+// GeneCount is the number of probes per synthetic expression profile.
+const GeneCount = 100
+
+// lcg is a tiny deterministic pseudo-random sequence seeded per sample.
+type lcg struct{ state uint64 }
+
+func newLCG(seed string) *lcg {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(seed))
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return &lcg{state: s}
+}
+
+func (l *lcg) next() uint64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return l.state
+}
+
+// float returns a pseudo-random float in [0,1).
+func (l *lcg) float() float64 {
+	return float64(l.next()>>11) / float64(1<<53)
+}
+
+// ExpressionProfile generates the deterministic synthetic expression vector
+// of a sample: GeneCount intensities on a log2-like scale. Every probe has
+// a fixed baseline shared by all samples plus small per-sample noise, and
+// samples whose name contains "treated" get probes 0–9 up-shifted by 3 —
+// a clean differential-expression signal for the two-group analysis to
+// find.
+func ExpressionProfile(sample string) []float64 {
+	noise := newLCG(sample)
+	out := make([]float64, GeneCount)
+	treated := strings.Contains(strings.ToLower(sample), "treated")
+	for g := range out {
+		base := newLCG(fmt.Sprintf("probe_%d", g))
+		v := 4 + 9*base.float() + 0.5*noise.float()
+		if treated && g < 10 {
+			v += 3 // differential expression in the first ten probes
+		}
+		out[g] = v
+	}
+	return out
+}
+
+// CELContent renders a synthetic Affymetrix CEL-like text file for a sample.
+// The format is intentionally simple and fully parsed by the analysis
+// connectors: a header followed by "probe_<i>\t<intensity>" lines.
+func CELContent(sample string) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[CEL]\nversion=3\nsample=%s\nprobes=%d\n[INTENSITY]\n", sample, GeneCount)
+	for g, v := range ExpressionProfile(sample) {
+		fmt.Fprintf(&b, "probe_%d\t%.4f\n", g, v)
+	}
+	return []byte(b.String())
+}
+
+// RAWContent renders a synthetic mass-spectrometer RAW-like text file: a
+// header plus deterministic (m/z, intensity) peak pairs.
+func RAWContent(sample string, peaks int) []byte {
+	rng := newLCG("ms:" + sample)
+	var b strings.Builder
+	fmt.Fprintf(&b, "[RAW]\ninstrument=LTQ-FT\nsample=%s\npeaks=%d\n[PEAKS]\n", sample, peaks)
+	for i := 0; i < peaks; i++ {
+		mz := 300 + 1700*rng.float()
+		intensity := 1e3 + 1e6*rng.float()
+		fmt.Fprintf(&b, "%.4f\t%.1f\n", mz, intensity)
+	}
+	return []byte(b.String())
+}
+
+// NewAffymetrixGeneChip simulates the Affymetrix GeneChip scanner of
+// Figure 9: for every sample name it produces one "<sample>.cel" file under
+// runs/. The provider lists only .cel files, mirroring the configured
+// relevance filter of the FGCZ deployment.
+func NewAffymetrixGeneChip(name string, samples []string) (*StoreProvider, *storage.MemStore) {
+	ms := storage.NewMemStore(name, false)
+	for _, s := range samples {
+		ms.Seed("runs/"+s+".cel", CELContent(s))
+	}
+	p := NewStoreProvider(
+		name,
+		"Affymetrix GeneChip array scanner (simulated)",
+		ms,
+		Filter{Suffixes: []string{".cel"}},
+	)
+	return p, ms
+}
+
+// NewMassSpec simulates a mass spectrometer producing "<sample>.raw" files.
+func NewMassSpec(name string, samples []string, peaksPerRun int) (*StoreProvider, *storage.MemStore) {
+	ms := storage.NewMemStore(name, false)
+	for _, s := range samples {
+		ms.Seed("acquisitions/"+s+".raw", RAWContent(s, peaksPerRun))
+	}
+	p := NewStoreProvider(
+		name,
+		"LTQ-FT mass spectrometer (simulated)",
+		ms,
+		Filter{Suffixes: []string{".raw"}},
+	)
+	return p, ms
+}

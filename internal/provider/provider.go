@@ -1,0 +1,178 @@
+// Package provider implements B-Fabric's data providers: configured sources
+// from which data files can be imported (Figure 9). The FGCZ deployment
+// imports from local file systems and from several instruments; here the
+// instruments are simulated with deterministic synthetic inventories that
+// exercise the identical import code path. A provider configuration
+// restricts the selectable files to the ones potentially relevant for the
+// user, which matters because real inventories are huge.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// FileEntry is one importable file offered by a provider.
+type FileEntry struct {
+	// Path is the provider-relative file path.
+	Path string
+	// Size is the content length in bytes.
+	Size int64
+	// Format is the detected file format (extension without dot).
+	Format string
+}
+
+// Provider is a configured data source.
+type Provider interface {
+	// Name is the unique provider name shown in the import screen.
+	Name() string
+	// Description documents the source for users.
+	Description() string
+	// StoreName returns the mounted storage.Store holding the files, so
+	// link-mode imports can build URIs pointing at the original location.
+	StoreName() string
+	// List returns the importable files, already restricted by the
+	// provider's relevance filter, sorted by path.
+	List() ([]FileEntry, error)
+	// Fetch reads one file's content.
+	Fetch(path string) ([]byte, error)
+}
+
+// Filter restricts a provider's inventory to relevant files.
+type Filter struct {
+	// Suffixes keeps only files ending in one of these (e.g. ".cel").
+	// Empty means all suffixes.
+	Suffixes []string
+	// Contains keeps only paths containing this substring. Empty means all.
+	Contains string
+	// MaxFiles caps the listing length; 0 means unlimited.
+	MaxFiles int
+}
+
+// Match reports whether a path passes the filter.
+func (f Filter) Match(path string) bool {
+	if f.Contains != "" && !strings.Contains(path, f.Contains) {
+		return false
+	}
+	if len(f.Suffixes) == 0 {
+		return true
+	}
+	for _, s := range f.Suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatOf derives the format tag from a file path ("chip01.cel" → "cel").
+func FormatOf(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 && i < len(path)-1 {
+		return strings.ToLower(path[i+1:])
+	}
+	return ""
+}
+
+// ErrUnknownProvider is returned when looking up an unregistered provider.
+var ErrUnknownProvider = errors.New("unknown data provider")
+
+// StoreProvider exposes a mounted storage.Store through a relevance filter.
+// It covers both the "local file system" provider and attached external
+// stores.
+type StoreProvider struct {
+	name        string
+	description string
+	store       storage.Store
+	filter      Filter
+}
+
+// NewStoreProvider builds a provider over a store.
+func NewStoreProvider(name, description string, s storage.Store, filter Filter) *StoreProvider {
+	return &StoreProvider{name: name, description: description, store: s, filter: filter}
+}
+
+// Name implements Provider.
+func (p *StoreProvider) Name() string { return p.name }
+
+// Description implements Provider.
+func (p *StoreProvider) Description() string { return p.description }
+
+// StoreName implements Provider.
+func (p *StoreProvider) StoreName() string { return p.store.Name() }
+
+// List implements Provider.
+func (p *StoreProvider) List() ([]FileEntry, error) {
+	fis, err := p.store.List("")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileEntry, 0, len(fis))
+	for _, fi := range fis {
+		if !p.filter.Match(fi.Path) {
+			continue
+		}
+		out = append(out, FileEntry{Path: fi.Path, Size: fi.Size, Format: FormatOf(fi.Path)})
+		if p.filter.MaxFiles > 0 && len(out) >= p.filter.MaxFiles {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Fetch implements Provider.
+func (p *StoreProvider) Fetch(path string) ([]byte, error) {
+	return p.store.Get(path)
+}
+
+// Hub is the registry of configured providers. New providers can be added
+// at run time, matching the paper's "new data providers can be added to the
+// system easily".
+type Hub struct {
+	mu        sync.RWMutex
+	providers map[string]Provider
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{providers: make(map[string]Provider)}
+}
+
+// Register adds a provider. Registering a duplicate name is an error.
+func (h *Hub) Register(p Provider) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.providers[p.Name()]; ok {
+		return fmt.Errorf("provider: %q already registered", p.Name())
+	}
+	h.providers[p.Name()] = p
+	return nil
+}
+
+// Get returns the named provider.
+func (h *Hub) Get(name string) (Provider, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	p, ok := h.providers[name]
+	if !ok {
+		return nil, fmt.Errorf("provider: %q: %w", name, ErrUnknownProvider)
+	}
+	return p, nil
+}
+
+// Names returns the sorted names of all registered providers.
+func (h *Hub) Names() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.providers))
+	for n := range h.providers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

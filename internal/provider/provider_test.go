@@ -1,0 +1,237 @@
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestFilterMatch(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		path string
+		want bool
+	}{
+		{Filter{}, "anything.bin", true},
+		{Filter{Suffixes: []string{".cel"}}, "a.cel", true},
+		{Filter{Suffixes: []string{".cel"}}, "a.raw", false},
+		{Filter{Suffixes: []string{".cel", ".raw"}}, "a.raw", true},
+		{Filter{Contains: "2010"}, "runs/2010/a.cel", true},
+		{Filter{Contains: "2010"}, "runs/2009/a.cel", false},
+		{Filter{Contains: "2010", Suffixes: []string{".cel"}}, "2010/a.raw", false},
+	}
+	for _, c := range cases {
+		if got := c.f.Match(c.path); got != c.want {
+			t.Errorf("Filter%+v.Match(%q) = %v", c.f, c.path, got)
+		}
+	}
+}
+
+func TestFormatOf(t *testing.T) {
+	for path, want := range map[string]string{
+		"a.CEL": "cel", "b.raw": "raw", "noext": "", "dir/x.tar.gz": "gz",
+		"trailingdot.": "",
+	} {
+		if got := FormatOf(path); got != want {
+			t.Errorf("FormatOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestStoreProviderListAndFetch(t *testing.T) {
+	ms := storage.NewMemStore("disk", true)
+	_ = ms.Put("runs/b.cel", []byte("bb"))
+	_ = ms.Put("runs/a.cel", []byte("a"))
+	_ = ms.Put("runs/junk.tmp", []byte("x"))
+	p := NewStoreProvider("local", "local disk", ms, Filter{Suffixes: []string{".cel"}})
+
+	if p.Name() != "local" || p.StoreName() != "disk" || p.Description() == "" {
+		t.Error("provider metadata wrong")
+	}
+	fs, err := p.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0].Path != "runs/a.cel" || fs[1].Path != "runs/b.cel" {
+		t.Errorf("List = %+v", fs)
+	}
+	if fs[0].Format != "cel" || fs[1].Size != 2 {
+		t.Errorf("entry metadata = %+v", fs)
+	}
+	data, err := p.Fetch("runs/a.cel")
+	if err != nil || string(data) != "a" {
+		t.Errorf("Fetch = %q, %v", data, err)
+	}
+}
+
+func TestStoreProviderMaxFiles(t *testing.T) {
+	ms := storage.NewMemStore("disk", true)
+	for i := 0; i < 20; i++ {
+		_ = ms.Put(fmt.Sprintf("f%02d.cel", i), []byte("x"))
+	}
+	p := NewStoreProvider("local", "d", ms, Filter{MaxFiles: 5})
+	fs, err := p.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 5 {
+		t.Errorf("MaxFiles ignored: %d files", len(fs))
+	}
+}
+
+func TestHub(t *testing.T) {
+	h := NewHub()
+	ms := storage.NewMemStore("m", true)
+	p := NewStoreProvider("zeta", "d", ms, Filter{})
+	q := NewStoreProvider("alpha", "d", ms, Filter{})
+	if err := h.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Register(p); err == nil {
+		t.Error("duplicate provider accepted")
+	}
+	names := h.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+	got, err := h.Get("zeta")
+	if err != nil || got.Name() != "zeta" {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := h.Get("missing"); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("missing provider: %v", err)
+	}
+}
+
+func TestExpressionProfileDeterministic(t *testing.T) {
+	a := ExpressionProfile("AT-wt-1")
+	b := ExpressionProfile("AT-wt-1")
+	c := ExpressionProfile("AT-wt-2")
+	if len(a) != GeneCount {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("profile not deterministic")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different samples produced identical profiles")
+	}
+	for i, v := range a {
+		if v < 4 || v > 17 {
+			t.Errorf("gene %d intensity %v out of range", i, v)
+		}
+	}
+}
+
+func TestTreatedSamplesAreShifted(t *testing.T) {
+	// The synthetic signal: "treated" samples have probes 0-9 up-shifted.
+	base := ExpressionProfile("s1")
+	_ = base
+	var meanTreated, meanControl float64
+	for i := 0; i < 20; i++ {
+		tr := ExpressionProfile(fmt.Sprintf("s%d-treated", i))
+		ct := ExpressionProfile(fmt.Sprintf("s%d-control", i))
+		for g := 0; g < 10; g++ {
+			meanTreated += tr[g]
+			meanControl += ct[g]
+		}
+	}
+	meanTreated /= 200
+	meanControl /= 200
+	if meanTreated-meanControl < 1.5 {
+		t.Errorf("treated shift too small: %v vs %v", meanTreated, meanControl)
+	}
+}
+
+func TestCELContentParseable(t *testing.T) {
+	data := string(CELContent("AT-xyz"))
+	if !strings.Contains(data, "sample=AT-xyz") {
+		t.Error("missing sample header")
+	}
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	probeLines := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "probe_") {
+			probeLines++
+			parts := strings.Split(l, "\t")
+			if len(parts) != 2 {
+				t.Fatalf("bad probe line %q", l)
+			}
+		}
+	}
+	if probeLines != GeneCount {
+		t.Errorf("probe lines = %d", probeLines)
+	}
+}
+
+func TestRAWContent(t *testing.T) {
+	data := string(RAWContent("ms-sample", 50))
+	if !strings.Contains(data, "sample=ms-sample") || !strings.Contains(data, "peaks=50") {
+		t.Error("missing headers")
+	}
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	peakLines := 0
+	inPeaks := false
+	for _, l := range lines {
+		if l == "[PEAKS]" {
+			inPeaks = true
+			continue
+		}
+		if inPeaks {
+			peakLines++
+		}
+	}
+	if peakLines != 50 {
+		t.Errorf("peak lines = %d", peakLines)
+	}
+}
+
+func TestAffymetrixProvider(t *testing.T) {
+	p, _ := NewAffymetrixGeneChip("genechip", []string{"s1", "s2", "s3"})
+	fs, err := p.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("List = %+v", fs)
+	}
+	for _, f := range fs {
+		if f.Format != "cel" || !strings.HasPrefix(f.Path, "runs/") {
+			t.Errorf("entry = %+v", f)
+		}
+	}
+	data, err := p.Fetch("runs/s2.cel")
+	if err != nil || !strings.Contains(string(data), "sample=s2") {
+		t.Errorf("Fetch = %v", err)
+	}
+	// The instrument store is read-only: imports must not write back.
+	if _, ok := interface{}(p).(Provider); !ok {
+		t.Error("not a Provider")
+	}
+}
+
+func TestMassSpecProvider(t *testing.T) {
+	p, _ := NewMassSpec("ltqft", []string{"m1", "m2"}, 10)
+	fs, err := p.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 || fs[0].Format != "raw" {
+		t.Fatalf("List = %+v", fs)
+	}
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/store"
+)
+
+// ExportCSV writes search results to w as CSV — the paper's "search results
+// can be exported into files". Columns: kind, id, score, name (when the hit
+// record has a name field).
+func (s *Service) ExportCSV(w io.Writer, hits []Hit) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "id", "score", "name"}); err != nil {
+		return err
+	}
+	st := s.rg.Store()
+	for _, h := range hits {
+		name := ""
+		if st.HasTable(h.Kind) {
+			if r, err := st.Get(h.Kind, h.ID); err == nil {
+				name = r.String("name")
+				if name == "" {
+					name = r.String("value") // annotation terms
+				}
+			}
+		}
+		rec := []string{
+			h.Kind,
+			strconv.FormatInt(h.ID, 10),
+			strconv.FormatFloat(h.Score, 'f', 2, 64),
+			name,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportRecordsCSV writes full records of one kind to w: the generic object
+// export used by the admin screens. Fields are emitted in sorted order for
+// determinism.
+func (s *Service) ExportRecordsCSV(w io.Writer, kind string, ids []int64) error {
+	st := s.rg.Store()
+	if !st.HasTable(kind) {
+		return fmt.Errorf("search: unknown kind %q", kind)
+	}
+	// Gather the union of fields over the exported rows.
+	fieldSet := make(map[string]bool)
+	records := make([]store.Record, 0, len(ids))
+	for _, id := range ids {
+		r, err := st.Get(kind, id)
+		if err != nil {
+			return err
+		}
+		for k := range r {
+			if k != store.IDField {
+				fieldSet[k] = true
+			}
+		}
+		records = append(records, r)
+	}
+	fields := make([]string, 0, len(fieldSet))
+	for f := range fieldSet {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"id"}, fields...)); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := make([]string, 0, len(fields)+1)
+		row = append(row, strconv.FormatInt(r.ID(), 10))
+		for _, f := range fields {
+			row = append(row, fmt.Sprint(r[f]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

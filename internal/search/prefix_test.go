@@ -1,0 +1,51 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPrefixQuery(t *testing.T) {
+	fx := newFixture(t)
+	fx.addSample(t, model.Sample{Name: "circadian-1"})
+	fx.addSample(t, model.Sample{Name: "circulation-2"})
+	fx.addSample(t, model.Sample{Name: "unrelated"})
+	hits, err := fx.svc.Search("", "circ*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("prefix hits = %+v", hits)
+	}
+}
+
+func TestPrefixCombinesWithTerms(t *testing.T) {
+	fx := newFixture(t)
+	fx.addSample(t, model.Sample{Name: "circadian-1", Treatment: "lumen"})
+	fx.addSample(t, model.Sample{Name: "circadian-2", Treatment: "dusk"})
+	hits, err := fx.svc.Search("", "circ* lumen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("combined hits = %+v", hits)
+	}
+}
+
+func TestPrefixParse(t *testing.T) {
+	q := ParseQuery("arabid* treatment:light")
+	if len(q.Prefixes) != 1 || q.Prefixes[0] != "arabid" {
+		t.Errorf("prefixes = %v", q.Prefixes)
+	}
+	if len(q.Terms) != 0 {
+		t.Errorf("terms = %v", q.Terms)
+	}
+}
+
+func TestBareStarIsEmptyQuery(t *testing.T) {
+	fx := newFixture(t)
+	if _, err := fx.svc.Search("", "*"); err == nil {
+		t.Error("bare star accepted")
+	}
+}

@@ -1,0 +1,376 @@
+// Package storage implements B-Fabric's managed file stores. Besides the
+// internal storage area, any external data store can be attached and made
+// accessible through the same interface; users never need to care where or
+// how the bytes are kept. Data resources carry URIs of the form
+// "bfabric://<store>/<path>" which the manager resolves transparently.
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileInfo describes one stored file.
+type FileInfo struct {
+	// Path is the store-relative path.
+	Path string
+	// Size is the content length in bytes.
+	Size int64
+}
+
+// Store is one mounted data store. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Name returns the mount name.
+	Name() string
+	// Writable reports whether Put is supported.
+	Writable() bool
+	// Put writes a file, creating parents as needed.
+	Put(path string, data []byte) error
+	// Get reads a file.
+	Get(path string) ([]byte, error)
+	// Stat describes a file.
+	Stat(path string) (FileInfo, error)
+	// List returns the files under the given prefix, sorted by path.
+	List(prefix string) ([]FileInfo, error)
+}
+
+// Sentinel errors.
+var (
+	// ErrNoStore is returned for unmounted store names.
+	ErrNoStore = errors.New("no such data store")
+	// ErrNoFile is returned for missing files.
+	ErrNoFile = errors.New("no such file")
+	// ErrReadOnly is returned when writing to a read-only store.
+	ErrReadOnly = errors.New("store is read-only")
+	// ErrBadURI is returned for malformed resource URIs.
+	ErrBadURI = errors.New("malformed resource URI")
+)
+
+// InternalStoreName is the name of the system's own storage area.
+const InternalStoreName = "internal"
+
+const uriScheme = "bfabric://"
+
+// MakeURI builds the canonical URI for a file in a store.
+func MakeURI(storeName, path string) string {
+	return uriScheme + storeName + "/" + strings.TrimPrefix(path, "/")
+}
+
+// ParseURI splits a canonical URI into store name and path.
+func ParseURI(uri string) (storeName, path string, err error) {
+	if !strings.HasPrefix(uri, uriScheme) {
+		return "", "", fmt.Errorf("storage: %q: %w", uri, ErrBadURI)
+	}
+	rest := strings.TrimPrefix(uri, uriScheme)
+	i := strings.IndexByte(rest, '/')
+	if i <= 0 || i == len(rest)-1 {
+		return "", "", fmt.Errorf("storage: %q: %w", uri, ErrBadURI)
+	}
+	return rest[:i], rest[i+1:], nil
+}
+
+// Checksum returns the hex SHA-256 of data, the integrity fingerprint
+// recorded on imported data resources.
+func Checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Manager owns the mounted stores.
+type Manager struct {
+	mu     sync.RWMutex
+	stores map[string]Store
+}
+
+// NewManager creates a manager with an in-memory internal store. Callers
+// that want a durable internal area can remount one with Mount.
+func NewManager() *Manager {
+	m := &Manager{stores: make(map[string]Store)}
+	m.stores[InternalStoreName] = NewMemStore(InternalStoreName, true)
+	return m
+}
+
+// Mount attaches a store under its name, replacing any previous mount with
+// the same name.
+func (m *Manager) Mount(s Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores[s.Name()] = s
+}
+
+// Unmount detaches the named store. The internal store cannot be unmounted.
+func (m *Manager) Unmount(name string) error {
+	if name == InternalStoreName {
+		return fmt.Errorf("storage: cannot unmount the internal store")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.stores[name]; !ok {
+		return fmt.Errorf("storage: %q: %w", name, ErrNoStore)
+	}
+	delete(m.stores, name)
+	return nil
+}
+
+// Store returns the mounted store with the given name.
+func (m *Manager) Store(name string) (Store, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: %q: %w", name, ErrNoStore)
+	}
+	return s, nil
+}
+
+// Stores returns the sorted names of all mounted stores.
+func (m *Manager) Stores() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.stores))
+	for n := range m.stores {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open resolves a URI and reads the file it names, regardless of which
+// store holds it — the "transparent capture and provision" of the paper.
+func (m *Manager) Open(uri string) ([]byte, error) {
+	storeName, path, err := ParseURI(uri)
+	if err != nil {
+		return nil, err
+	}
+	s, err := m.Store(storeName)
+	if err != nil {
+		return nil, err
+	}
+	return s.Get(path)
+}
+
+// StatURI resolves a URI and stats the file it names.
+func (m *Manager) StatURI(uri string) (FileInfo, error) {
+	storeName, path, err := ParseURI(uri)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	s, err := m.Store(storeName)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return s.Stat(path)
+}
+
+// WriteInternal stores data in the internal store and returns its URI.
+func (m *Manager) WriteInternal(path string, data []byte) (string, error) {
+	s, err := m.Store(InternalStoreName)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Put(path, data); err != nil {
+		return "", err
+	}
+	return MakeURI(InternalStoreName, path), nil
+}
+
+// --- in-memory store ---------------------------------------------------------
+
+// MemStore is an in-memory store, used for the internal area by default and
+// by the simulated instruments.
+type MemStore struct {
+	name     string
+	writable bool
+	mu       sync.RWMutex
+	files    map[string][]byte
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore(name string, writable bool) *MemStore {
+	return &MemStore{name: name, writable: writable, files: make(map[string][]byte)}
+}
+
+// Name implements Store.
+func (ms *MemStore) Name() string { return ms.name }
+
+// Writable implements Store.
+func (ms *MemStore) Writable() bool { return ms.writable }
+
+// Put implements Store.
+func (ms *MemStore) Put(path string, data []byte) error {
+	if !ms.writable {
+		return fmt.Errorf("storage: %s: %w", ms.name, ErrReadOnly)
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	ms.files[clean(path)] = cp
+	return nil
+}
+
+// forcePut writes regardless of writability; used by instrument simulators
+// to seed read-only inventories.
+func (ms *MemStore) forcePut(path string, data []byte) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	ms.files[clean(path)] = cp
+}
+
+// Seed loads a file into the store bypassing the read-only flag, for test
+// fixtures and simulated instrument inventories.
+func (ms *MemStore) Seed(path string, data []byte) { ms.forcePut(path, data) }
+
+// Get implements Store.
+func (ms *MemStore) Get(path string) ([]byte, error) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	data, ok := ms.files[clean(path)]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s/%s: %w", ms.name, path, ErrNoFile)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Stat implements Store.
+func (ms *MemStore) Stat(path string) (FileInfo, error) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	data, ok := ms.files[clean(path)]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("storage: %s/%s: %w", ms.name, path, ErrNoFile)
+	}
+	return FileInfo{Path: clean(path), Size: int64(len(data))}, nil
+}
+
+// List implements Store.
+func (ms *MemStore) List(prefix string) ([]FileInfo, error) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	prefix = strings.TrimPrefix(prefix, "/")
+	var out []FileInfo
+	for p, data := range ms.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, FileInfo{Path: p, Size: int64(len(data))})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func clean(path string) string {
+	return strings.TrimPrefix(filepath.ToSlash(path), "/")
+}
+
+// --- directory-backed store ---------------------------------------------------
+
+// DirStore exposes a directory of the local filesystem as a store.
+type DirStore struct {
+	name     string
+	root     string
+	writable bool
+}
+
+// NewDirStore mounts the directory root as a store.
+func NewDirStore(name, root string, writable bool) *DirStore {
+	return &DirStore{name: name, root: root, writable: writable}
+}
+
+// Name implements Store.
+func (ds *DirStore) Name() string { return ds.name }
+
+// Writable implements Store.
+func (ds *DirStore) Writable() bool { return ds.writable }
+
+// resolve maps a store path to a filesystem path, refusing escapes from the
+// root directory.
+func (ds *DirStore) resolve(path string) (string, error) {
+	p := filepath.Join(ds.root, filepath.FromSlash(clean(path)))
+	if rel, err := filepath.Rel(ds.root, p); err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("storage: path %q escapes store root", path)
+	}
+	return p, nil
+}
+
+// Put implements Store.
+func (ds *DirStore) Put(path string, data []byte) error {
+	if !ds.writable {
+		return fmt.Errorf("storage: %s: %w", ds.name, ErrReadOnly)
+	}
+	p, err := ds.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(p, data, 0o644)
+}
+
+// Get implements Store.
+func (ds *DirStore) Get(path string) ([]byte, error) {
+	p, err := ds.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("storage: %s/%s: %w", ds.name, path, ErrNoFile)
+	}
+	return data, err
+}
+
+// Stat implements Store.
+func (ds *DirStore) Stat(path string) (FileInfo, error) {
+	p, err := ds.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi, err := os.Stat(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return FileInfo{}, fmt.Errorf("storage: %s/%s: %w", ds.name, path, ErrNoFile)
+	}
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Path: clean(path), Size: fi.Size()}, nil
+}
+
+// List implements Store.
+func (ds *DirStore) List(prefix string) ([]FileInfo, error) {
+	var out []FileInfo
+	err := filepath.Walk(ds.root, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(ds.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, strings.TrimPrefix(prefix, "/")) {
+			out = append(out, FileInfo{Path: rel, Size: fi.Size()})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}

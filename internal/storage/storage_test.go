@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestURIRoundTrip(t *testing.T) {
+	uri := MakeURI("internal", "2010/01/chip01.cel")
+	if uri != "bfabric://internal/2010/01/chip01.cel" {
+		t.Errorf("uri = %q", uri)
+	}
+	storeName, path, err := ParseURI(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storeName != "internal" || path != "2010/01/chip01.cel" {
+		t.Errorf("parsed %q %q", storeName, path)
+	}
+}
+
+func TestParseURIMalformed(t *testing.T) {
+	for _, uri := range []string{
+		"", "http://x/y", "bfabric://", "bfabric://nopath", "bfabric://store/",
+	} {
+		if _, _, err := ParseURI(uri); !errors.Is(err, ErrBadURI) {
+			t.Errorf("ParseURI(%q) = %v, want ErrBadURI", uri, err)
+		}
+	}
+}
+
+func TestURIQuickRoundTrip(t *testing.T) {
+	f := func(store, path string) bool {
+		if store == "" || path == "" {
+			return true
+		}
+		// Stores and paths with '/' in odd spots are out of scope; restrict
+		// to sane names.
+		for _, r := range store {
+			if r == '/' {
+				return true
+			}
+		}
+		s2, p2, err := ParseURI(MakeURI(store, path))
+		if err != nil {
+			return false
+		}
+		_ = p2
+		return s2 == store
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	a := Checksum([]byte("hello"))
+	b := Checksum([]byte("hello"))
+	c := Checksum([]byte("world"))
+	if a != b {
+		t.Error("checksum not deterministic")
+	}
+	if a == c {
+		t.Error("different data, same checksum")
+	}
+	if len(a) != 64 {
+		t.Errorf("checksum length = %d", len(a))
+	}
+}
+
+func TestMemStoreCRUD(t *testing.T) {
+	ms := NewMemStore("mem", true)
+	if err := ms.Put("a/b.txt", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.Get("a/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Errorf("Get = %q", got)
+	}
+	fi, err := ms.Stat("/a/b.txt") // leading slash normalized
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 4 || fi.Path != "a/b.txt" {
+		t.Errorf("Stat = %+v", fi)
+	}
+	if _, err := ms.Get("missing"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("Get missing: %v", err)
+	}
+	if _, err := ms.Stat("missing"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("Stat missing: %v", err)
+	}
+}
+
+func TestMemStoreNoAliasing(t *testing.T) {
+	ms := NewMemStore("mem", true)
+	data := []byte("orig")
+	_ = ms.Put("f", data)
+	data[0] = 'X'
+	got, _ := ms.Get("f")
+	if string(got) != "orig" {
+		t.Error("Put aliased caller buffer")
+	}
+	got[0] = 'Y'
+	again, _ := ms.Get("f")
+	if string(again) != "orig" {
+		t.Error("Get aliased store buffer")
+	}
+}
+
+func TestMemStoreReadOnly(t *testing.T) {
+	ms := NewMemStore("inst", false)
+	if err := ms.Put("f", []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put on read-only: %v", err)
+	}
+	ms.Seed("f", []byte("seeded"))
+	got, err := ms.Get("f")
+	if err != nil || string(got) != "seeded" {
+		t.Errorf("Seed/Get = %q, %v", got, err)
+	}
+}
+
+func TestMemStoreList(t *testing.T) {
+	ms := NewMemStore("mem", true)
+	_ = ms.Put("runs/r1.cel", []byte("1"))
+	_ = ms.Put("runs/r2.cel", []byte("22"))
+	_ = ms.Put("other/x", []byte("3"))
+	fis, err := ms.List("runs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fis) != 2 || fis[0].Path != "runs/r1.cel" || fis[1].Size != 2 {
+		t.Errorf("List = %+v", fis)
+	}
+	all, _ := ms.List("")
+	if len(all) != 3 {
+		t.Errorf("List all = %+v", all)
+	}
+}
+
+func TestDirStoreCRUD(t *testing.T) {
+	dir := t.TempDir()
+	ds := NewDirStore("disk", dir, true)
+	if err := ds.Put("sub/f.txt", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Get("sub/f.txt")
+	if err != nil || string(got) != "content" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	fi, err := ds.Stat("sub/f.txt")
+	if err != nil || fi.Size != 7 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	fis, err := ds.List("")
+	if err != nil || len(fis) != 1 || fis[0].Path != "sub/f.txt" {
+		t.Fatalf("List = %+v, %v", fis, err)
+	}
+	if _, err := ds.Get("nope"); !errors.Is(err, ErrNoFile) {
+		t.Errorf("missing file: %v", err)
+	}
+}
+
+func TestDirStoreReadOnlyAndEscape(t *testing.T) {
+	dir := t.TempDir()
+	ds := NewDirStore("ro", dir, false)
+	if err := ds.Put("f", []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put: %v", err)
+	}
+	w := NewDirStore("w", filepath.Join(dir, "root"), true)
+	if err := w.Put("../escape.txt", []byte("x")); err == nil {
+		t.Error("path escape allowed")
+	}
+	if _, err := w.Get("../../etc/passwd"); err == nil {
+		t.Error("read escape allowed")
+	}
+}
+
+func TestManagerMountAndResolve(t *testing.T) {
+	m := NewManager()
+	inst := NewMemStore("genechip", false)
+	inst.Seed("runs/chip01.cel", []byte("CEL-DATA"))
+	m.Mount(inst)
+
+	names := m.Stores()
+	if len(names) != 2 || names[0] != "genechip" || names[1] != "internal" {
+		t.Errorf("Stores = %v", names)
+	}
+	data, err := m.Open(MakeURI("genechip", "runs/chip01.cel"))
+	if err != nil || string(data) != "CEL-DATA" {
+		t.Fatalf("Open = %q, %v", data, err)
+	}
+	fi, err := m.StatURI(MakeURI("genechip", "runs/chip01.cel"))
+	if err != nil || fi.Size != 8 {
+		t.Fatalf("StatURI = %+v, %v", fi, err)
+	}
+	if _, err := m.Open(MakeURI("nosuch", "f")); !errors.Is(err, ErrNoStore) {
+		t.Errorf("unknown store: %v", err)
+	}
+	if _, err := m.Open("garbage"); !errors.Is(err, ErrBadURI) {
+		t.Errorf("bad uri: %v", err)
+	}
+}
+
+func TestManagerWriteInternal(t *testing.T) {
+	m := NewManager()
+	uri, err := m.WriteInternal("imports/wu1/f.cel", []byte("bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uri != "bfabric://internal/imports/wu1/f.cel" {
+		t.Errorf("uri = %q", uri)
+	}
+	data, err := m.Open(uri)
+	if err != nil || string(data) != "bytes" {
+		t.Fatalf("read back = %q, %v", data, err)
+	}
+}
+
+func TestManagerUnmount(t *testing.T) {
+	m := NewManager()
+	m.Mount(NewMemStore("ext", true))
+	if err := m.Unmount("ext"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmount("ext"); !errors.Is(err, ErrNoStore) {
+		t.Errorf("double unmount: %v", err)
+	}
+	if err := m.Unmount(InternalStoreName); err == nil {
+		t.Error("internal store unmounted")
+	}
+}
+
+func TestManagerRemountReplaces(t *testing.T) {
+	m := NewManager()
+	a := NewMemStore("ext", true)
+	_ = a.Put("f", []byte("A"))
+	m.Mount(a)
+	b := NewMemStore("ext", true)
+	_ = b.Put("f", []byte("B"))
+	m.Mount(b)
+	data, err := m.Open(MakeURI("ext", "f"))
+	if err != nil || string(data) != "B" {
+		t.Fatalf("remount: %q, %v", data, err)
+	}
+}

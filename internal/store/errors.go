@@ -1,0 +1,24 @@
+package store
+
+import "errors"
+
+// Sentinel errors returned by the store. Callers should match them with
+// errors.Is since they are usually wrapped with context.
+var (
+	// ErrNotFound is returned when a record does not exist.
+	ErrNotFound = errors.New("record not found")
+	// ErrNoTable is returned when a table does not exist.
+	ErrNoTable = errors.New("no such table")
+	// ErrExists is returned when creating something that already exists.
+	ErrExists = errors.New("already exists")
+	// ErrUnique is returned when a write violates a unique index.
+	ErrUnique = errors.New("unique constraint violation")
+	// ErrReadOnly is returned when writing inside a read-only transaction.
+	ErrReadOnly = errors.New("read-only transaction")
+	// ErrClosed is returned when the store has been closed.
+	ErrClosed = errors.New("store closed")
+	// ErrBadValue is returned for unsupported field value types.
+	ErrBadValue = errors.New("unsupported value type")
+	// ErrTxDone is returned when using a finished transaction.
+	ErrTxDone = errors.New("transaction already finished")
+)

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// indexKey is the canonical string form of an indexed field value. Using a
+// typed string keeps index maps simple while still distinguishing types
+// (e.g. int64(1) never collides with "1").
+type indexKey string
+
+// keyFor converts a field value to its index key. The bool result reports
+// whether the value is indexable; slices are not.
+func keyFor(v any) (indexKey, bool) {
+	switch x := v.(type) {
+	case nil:
+		return "", false
+	case string:
+		return indexKey("s:" + x), true
+	case int64:
+		return indexKey(fmt.Sprintf("i:%d", x)), true
+	case float64:
+		return indexKey(fmt.Sprintf("f:%g", x)), true
+	case bool:
+		if x {
+			return "b:1", true
+		}
+		return "b:0", true
+	case time.Time:
+		return indexKey("t:" + x.UTC().Format(time.RFC3339Nano)), true
+	default:
+		return "", false
+	}
+}
+
+// index is a secondary index over one field of a table. Non-unique indexes
+// map key -> set of row IDs; unique indexes additionally enforce at most one
+// row per key.
+type index struct {
+	field  string
+	unique bool
+	byKey  map[indexKey]map[int64]struct{}
+}
+
+func newIndex(field string, unique bool) *index {
+	return &index{field: field, unique: unique, byKey: make(map[indexKey]map[int64]struct{})}
+}
+
+func (ix *index) insert(r Record, id int64) error {
+	v, ok := r[ix.field]
+	if !ok {
+		return nil // absent field is simply not indexed
+	}
+	key, ok := keyFor(v)
+	if !ok {
+		return nil
+	}
+	set := ix.byKey[key]
+	if ix.unique && len(set) > 0 {
+		if _, self := set[id]; !self {
+			return fmt.Errorf("field %q value %v: %w", ix.field, v, ErrUnique)
+		}
+	}
+	if set == nil {
+		set = make(map[int64]struct{})
+		ix.byKey[key] = set
+	}
+	set[id] = struct{}{}
+	return nil
+}
+
+func (ix *index) remove(r Record, id int64) {
+	v, ok := r[ix.field]
+	if !ok {
+		return
+	}
+	key, ok := keyFor(v)
+	if !ok {
+		return
+	}
+	set := ix.byKey[key]
+	delete(set, id)
+	if len(set) == 0 {
+		delete(ix.byKey, key)
+	}
+}
+
+// lookup returns the sorted IDs of rows whose indexed field equals v.
+func (ix *index) lookup(v any) []int64 {
+	key, ok := keyFor(v)
+	if !ok {
+		return nil
+	}
+	set := ix.byKey[key]
+	if len(set) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// checkUnique verifies that writing record r under id would not violate the
+// unique constraint, given the committed index state plus the transaction's
+// pending overlay (pendingSet/pendingDel describe rows written/deleted in
+// the transaction, keyed by id).
+func (ix *index) checkUnique(r Record, id int64, pending map[int64]Record, deleted map[int64]bool) error {
+	if !ix.unique {
+		return nil
+	}
+	v, ok := r[ix.field]
+	if !ok {
+		return nil
+	}
+	key, ok := keyFor(v)
+	if !ok {
+		return nil
+	}
+	// Committed holders of this key.
+	for holder := range ix.byKey[key] {
+		if holder == id {
+			continue
+		}
+		if deleted[holder] {
+			continue // will be gone at commit
+		}
+		if pr, ok := pending[holder]; ok {
+			// Holder is being rewritten in this tx; does it still hold the key?
+			if nk, ok2 := keyFor(pr[ix.field]); ok2 && nk == key {
+				return fmt.Errorf("field %q value %v held by row %d: %w", ix.field, v, holder, ErrUnique)
+			}
+			continue
+		}
+		return fmt.Errorf("field %q value %v held by row %d: %w", ix.field, v, holder, ErrUnique)
+	}
+	// Other pending writes in the same transaction.
+	for oid, pr := range pending {
+		if oid == id || deleted[oid] {
+			continue
+		}
+		if nk, ok2 := keyFor(pr[ix.field]); ok2 && nk == key {
+			return fmt.Errorf("field %q value %v pending on row %d: %w", ix.field, v, oid, ErrUnique)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// snapshot is the serialized form of a store. Records are flattened into a
+// typed representation so that gob round-trips preserve concrete types.
+type snapshot struct {
+	Version int
+	Tables  []tableSnapshot
+}
+
+type tableSnapshot struct {
+	Name    string
+	NextID  int64
+	Rows    []rowSnapshot
+	Indexes []indexSnapshot
+}
+
+type rowSnapshot struct {
+	ID     int64
+	Fields []fieldSnapshot
+}
+
+type indexSnapshot struct {
+	Field  string
+	Unique bool
+}
+
+// fieldSnapshot carries one field value with an explicit type tag.
+type fieldSnapshot struct {
+	Key  string
+	Kind uint8
+	S    string
+	I    int64
+	F    float64
+	B    bool
+	T    time.Time
+	LI   []int64
+	LS   []string
+}
+
+const (
+	kindString uint8 = iota
+	kindInt
+	kindFloat
+	kindBool
+	kindTime
+	kindIntList
+	kindStringList
+)
+
+func encodeField(key string, v any) (fieldSnapshot, error) {
+	fs := fieldSnapshot{Key: key}
+	switch x := v.(type) {
+	case string:
+		fs.Kind, fs.S = kindString, x
+	case int64:
+		fs.Kind, fs.I = kindInt, x
+	case float64:
+		fs.Kind, fs.F = kindFloat, x
+	case bool:
+		fs.Kind, fs.B = kindBool, x
+	case time.Time:
+		fs.Kind, fs.T = kindTime, x
+	case []int64:
+		fs.Kind, fs.LI = kindIntList, x
+	case []string:
+		fs.Kind, fs.LS = kindStringList, x
+	default:
+		return fs, fmt.Errorf("store: field %q: %w", key, ErrBadValue)
+	}
+	return fs, nil
+}
+
+func (fs fieldSnapshot) decode() any {
+	switch fs.Kind {
+	case kindString:
+		return fs.S
+	case kindInt:
+		return fs.I
+	case kindFloat:
+		return fs.F
+	case kindBool:
+		return fs.B
+	case kindTime:
+		return fs.T
+	case kindIntList:
+		return fs.LI
+	case kindStringList:
+		return fs.LS
+	default:
+		return nil
+	}
+}
+
+// Save serializes the entire committed state of the store to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{Version: 1}
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tables[name]
+		ts := tableSnapshot{Name: name, NextID: t.nextID}
+		ids := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			r := t.rows[id]
+			rs := rowSnapshot{ID: id}
+			keys := make([]string, 0, len(r))
+			for k := range r {
+				if k == IDField {
+					continue
+				}
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				f, err := encodeField(k, r[k])
+				if err != nil {
+					return err
+				}
+				rs.Fields = append(rs.Fields, f)
+			}
+			ts.Rows = append(ts.Rows, rs)
+		}
+		ixNames := make([]string, 0, len(t.indexes))
+		for f := range t.indexes {
+			ixNames = append(ixNames, f)
+		}
+		sort.Strings(ixNames)
+		for _, f := range ixNames {
+			ts.Indexes = append(ts.Indexes, indexSnapshot{Field: f, Unique: t.indexes[f].unique})
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load replaces the contents of the store with a snapshot previously
+// produced by Save. The store must be empty.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.tables) != 0 {
+		return fmt.Errorf("store: Load requires an empty store")
+	}
+	for _, ts := range snap.Tables {
+		t := newTable(ts.Name)
+		t.nextID = ts.NextID
+		for _, ixs := range ts.Indexes {
+			t.indexes[ixs.Field] = newIndex(ixs.Field, ixs.Unique)
+		}
+		for _, rs := range ts.Rows {
+			rec := make(Record, len(rs.Fields)+1)
+			rec[IDField] = rs.ID
+			for _, f := range rs.Fields {
+				rec[f.Key] = f.decode()
+			}
+			for _, ix := range t.indexes {
+				if err := ix.insert(rec, rs.ID); err != nil {
+					return fmt.Errorf("store: loading %s/%d: %w", ts.Name, rs.ID, err)
+				}
+			}
+			t.rows[rs.ID] = rec
+		}
+		s.tables[ts.Name] = t
+	}
+	return nil
+}
+
+// SaveFile writes the store snapshot atomically to the named file.
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile loads a snapshot from the named file into the empty store.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

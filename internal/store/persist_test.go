@@ -1,0 +1,109 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newTestStore(t, "sample", "extract")
+	if err := s.CreateIndex("sample", "name", true); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2010, 1, 2, 3, 4, 5, 0, time.UTC)
+	mustInsert(t, s, "sample", Record{
+		"name": "arabidopsis", "count": int64(42), "ratio": 0.5,
+		"active": true, "created": when,
+		"extracts": []int64{1, 2, 3}, "tags": []string{"plant", "light"},
+	})
+	mustInsert(t, s, "extract", Record{"name": "leaf"})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s2.Get("sample", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String("name") != "arabidopsis" || r.Int("count") != 42 ||
+		r.Float("ratio") != 0.5 || !r.Bool("active") ||
+		!r.Time("created").Equal(when) {
+		t.Errorf("scalar round trip failed: %v", r)
+	}
+	if len(r.IDs("extracts")) != 3 || len(r.Strings("tags")) != 2 {
+		t.Errorf("slice round trip failed: %v", r)
+	}
+	// Unique index survives the round trip.
+	err = s2.Update(func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"name": "arabidopsis"})
+		return err
+	})
+	if !errors.Is(err, ErrUnique) {
+		t.Errorf("unique index lost on load: %v", err)
+	}
+	// Serial IDs continue where they left off.
+	id := mustInsert(t, s2, "sample", Record{"name": "fresh"})
+	if id != 2 {
+		t.Errorf("nextID after load = %d, want 2", id)
+	}
+}
+
+func TestLoadRequiresEmptyStore(t *testing.T) {
+	s := newTestStore(t, "sample")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestStore(t, "other")
+	if err := s2.Load(&buf); err == nil {
+		t.Fatal("Load into non-empty store succeeded")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	s := New()
+	if err := s.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("Load of garbage succeeded")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gob")
+	s := newTestStore(t, "sample")
+	mustInsert(t, s, "sample", Record{"name": "persisted"})
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count("sample") != 1 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Tables()) != 0 {
+		t.Errorf("empty store round trip: %v", s2.Tables())
+	}
+}

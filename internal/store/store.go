@@ -1,0 +1,294 @@
+// Package store implements the embedded, transactional entity store that
+// underpins the B-Fabric reproduction. The original system sat on a
+// relational DBMS accessed through an ORM; this package provides the
+// equivalent substrate from scratch: named tables of flat records with
+// serial identifiers, secondary and unique indexes, snapshot transactions
+// with commit/rollback, ordered scans, and whole-store persistence.
+//
+// Records are flat maps from field name to a value of one of the supported
+// types (string, int64, float64, bool, time.Time, []int64, []string). The
+// store deep-copies records on the way in and out, so callers can never
+// alias the committed state.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is a single stored row: a flat map from field name to value.
+// Supported value types are string, int64, float64, bool, time.Time,
+// []int64 and []string. The ID field is managed by the store and is
+// exposed under the "id" key on read.
+type Record map[string]any
+
+// IDField is the reserved record key that carries the record identifier.
+const IDField = "id"
+
+// ID returns the record identifier, or 0 if the record has none.
+func (r Record) ID() int64 {
+	id, _ := r[IDField].(int64)
+	return id
+}
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	if r == nil {
+		return nil
+	}
+	out := make(Record, len(r))
+	for k, v := range r {
+		out[k] = cloneValue(v)
+	}
+	return out
+}
+
+// String returns the string stored under key, or "" if absent or of a
+// different type.
+func (r Record) String(key string) string {
+	s, _ := r[key].(string)
+	return s
+}
+
+// Int returns the int64 stored under key, or 0 if absent.
+func (r Record) Int(key string) int64 {
+	n, _ := r[key].(int64)
+	return n
+}
+
+// Float returns the float64 stored under key, or 0 if absent.
+func (r Record) Float(key string) float64 {
+	f, _ := r[key].(float64)
+	return f
+}
+
+// Bool returns the bool stored under key, or false if absent.
+func (r Record) Bool(key string) bool {
+	b, _ := r[key].(bool)
+	return b
+}
+
+// Time returns the time.Time stored under key, or the zero time if absent.
+func (r Record) Time(key string) time.Time {
+	t, _ := r[key].(time.Time)
+	return t
+}
+
+// IDs returns the []int64 stored under key, or nil if absent.
+func (r Record) IDs(key string) []int64 {
+	v, _ := r[key].([]int64)
+	return v
+}
+
+// Strings returns the []string stored under key, or nil if absent.
+func (r Record) Strings(key string) []string {
+	v, _ := r[key].([]string)
+	return v
+}
+
+func cloneValue(v any) any {
+	switch x := v.(type) {
+	case []int64:
+		out := make([]int64, len(x))
+		copy(out, x)
+		return out
+	case []string:
+		out := make([]string, len(x))
+		copy(out, x)
+		return out
+	default:
+		// Scalars (string, int64, float64, bool, time.Time) are value types.
+		return v
+	}
+}
+
+// validValue reports whether v is one of the supported record value types.
+func validValue(v any) bool {
+	switch v.(type) {
+	case string, int64, float64, bool, time.Time, []int64, []string:
+		return true
+	default:
+		return false
+	}
+}
+
+// table is the committed state of one record kind.
+type table struct {
+	name    string
+	rows    map[int64]Record
+	nextID  int64
+	indexes map[string]*index
+}
+
+func newTable(name string) *table {
+	return &table{
+		name:    name,
+		rows:    make(map[int64]Record),
+		nextID:  1,
+		indexes: make(map[string]*index),
+	}
+}
+
+// Store is an embedded transactional record store. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	closed bool
+
+	// commitSeq increments on every successful commit; used by observers.
+	commitSeq uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{tables: make(map[string]*table)}
+}
+
+// CreateTable creates a table with the given name. It is an error to create
+// a table that already exists.
+func (s *Store) CreateTable(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty table name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("store: table %q already exists: %w", name, ErrExists)
+	}
+	s.tables[name] = newTable(name)
+	return nil
+}
+
+// EnsureTable creates the table if it does not already exist.
+func (s *Store) EnsureTable(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		s.tables[name] = newTable(name)
+	}
+}
+
+// HasTable reports whether the named table exists.
+func (s *Store) HasTable(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[name]
+	return ok
+}
+
+// Tables returns the sorted names of all tables.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex registers a secondary index on the given field of the named
+// table. If unique is true the index enforces uniqueness of non-zero keys.
+// Existing rows are indexed immediately.
+func (s *Store) CreateIndex(tableName, field string, unique bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("store: table %q: %w", tableName, ErrNoTable)
+	}
+	if _, ok := t.indexes[field]; ok {
+		return fmt.Errorf("store: index on %s.%s already exists: %w", tableName, field, ErrExists)
+	}
+	idx := newIndex(field, unique)
+	// Index existing rows.
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := idx.insert(t.rows[id], id); err != nil {
+			return fmt.Errorf("store: building index %s.%s: %w", tableName, field, err)
+		}
+	}
+	t.indexes[field] = idx
+	return nil
+}
+
+// CommitSeq returns the number of transactions committed so far.
+func (s *Store) CommitSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commitSeq
+}
+
+// Close marks the store closed. Subsequent transactions fail with ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Get returns a copy of the record with the given id, outside any
+// transaction.
+func (s *Store) Get(tableName string, id int64) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q: %w", tableName, ErrNoTable)
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
+	}
+	return r.Clone(), nil
+}
+
+// Count returns the number of records in the named table.
+func (s *Store) Count(tableName string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// View runs fn inside a read-only transaction. Any write attempted by fn
+// fails with ErrReadOnly.
+func (s *Store) View(fn func(tx *Tx) error) error {
+	tx, err := s.begin(true)
+	if err != nil {
+		return err
+	}
+	defer tx.release()
+	return fn(tx)
+}
+
+// Update runs fn inside a read-write transaction. If fn returns nil the
+// transaction is committed; otherwise it is rolled back and the error
+// returned.
+func (s *Store) Update(fn func(tx *Tx) error) error {
+	tx, err := s.begin(false)
+	if err != nil {
+		return err
+	}
+	defer tx.release()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return tx.commit()
+}

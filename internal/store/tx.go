@@ -1,0 +1,449 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tx is a transaction over the store. Read-only transactions hold a shared
+// lock; read-write transactions hold the exclusive lock for their duration,
+// buffering writes so that rollback is trivial and commit is atomic.
+// Transactions are not safe for concurrent use by multiple goroutines.
+type Tx struct {
+	s        *Store
+	readonly bool
+	done     bool
+
+	// Pending per-table overlays, lazily allocated.
+	pending map[string]*txTable
+}
+
+// txTable is the pending overlay for one table within a transaction.
+type txTable struct {
+	writes  map[int64]Record // id -> new record state (deep copies)
+	deletes map[int64]bool   // id -> deleted in this tx
+	nextID  int64            // provisional next id (0 = untouched)
+}
+
+func (s *Store) begin(readonly bool) (*Tx, error) {
+	if readonly {
+		s.mu.RLock()
+	} else {
+		s.mu.Lock()
+	}
+	if s.closed {
+		if readonly {
+			s.mu.RUnlock()
+		} else {
+			s.mu.Unlock()
+		}
+		return nil, ErrClosed
+	}
+	return &Tx{s: s, readonly: readonly, pending: make(map[string]*txTable)}, nil
+}
+
+// release drops the transaction's lock. It is idempotent.
+func (tx *Tx) release() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	if tx.readonly {
+		tx.s.mu.RUnlock()
+	} else {
+		tx.s.mu.Unlock()
+	}
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	t, ok := tx.s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: table %q: %w", name, ErrNoTable)
+	}
+	return t, nil
+}
+
+func (tx *Tx) overlay(name string) *txTable {
+	o, ok := tx.pending[name]
+	if !ok {
+		o = &txTable{writes: make(map[int64]Record), deletes: make(map[int64]bool)}
+		tx.pending[name] = o
+	}
+	return o
+}
+
+func validateRecord(r Record) error {
+	for k, v := range r {
+		if k == IDField {
+			continue
+		}
+		if !validValue(v) {
+			return fmt.Errorf("store: field %q has %T: %w", k, v, ErrBadValue)
+		}
+	}
+	return nil
+}
+
+// Insert adds a new record to the named table and returns its assigned ID.
+// The input record is not modified.
+func (tx *Tx) Insert(tableName string, r Record) (int64, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	if tx.readonly {
+		return 0, ErrReadOnly
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	if err := validateRecord(r); err != nil {
+		return 0, err
+	}
+	o := tx.overlay(tableName)
+	if o.nextID == 0 {
+		o.nextID = t.nextID
+	}
+	id := o.nextID
+	o.nextID++
+	rec := r.Clone()
+	rec[IDField] = id
+	for _, ix := range t.indexes {
+		if err := ix.checkUnique(rec, id, o.writes, o.deletes); err != nil {
+			o.nextID-- // roll back the provisional id
+			return 0, err
+		}
+	}
+	o.writes[id] = rec
+	delete(o.deletes, id)
+	return id, nil
+}
+
+// Put replaces the record with the given id. The record must exist.
+func (tx *Tx) Put(tableName string, id int64, r Record) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.readonly {
+		return ErrReadOnly
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if err := validateRecord(r); err != nil {
+		return err
+	}
+	if !tx.exists(t, tableName, id) {
+		return fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
+	}
+	rec := r.Clone()
+	rec[IDField] = id
+	o := tx.overlay(tableName)
+	for _, ix := range t.indexes {
+		if err := ix.checkUnique(rec, id, o.writes, o.deletes); err != nil {
+			return err
+		}
+	}
+	o.writes[id] = rec
+	delete(o.deletes, id)
+	return nil
+}
+
+// Delete removes the record with the given id. Deleting a missing record
+// returns ErrNotFound.
+func (tx *Tx) Delete(tableName string, id int64) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.readonly {
+		return ErrReadOnly
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	if !tx.exists(t, tableName, id) {
+		return fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
+	}
+	o := tx.overlay(tableName)
+	delete(o.writes, id)
+	o.deletes[id] = true
+	return nil
+}
+
+func (tx *Tx) exists(t *table, tableName string, id int64) bool {
+	if o, ok := tx.pending[tableName]; ok {
+		if o.deletes[id] {
+			return false
+		}
+		if _, ok := o.writes[id]; ok {
+			return true
+		}
+	}
+	_, ok := t.rows[id]
+	return ok
+}
+
+// Get returns a copy of the record with the given id, observing the
+// transaction's own pending writes.
+func (tx *Tx) Get(tableName string, id int64) (Record, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if o, ok := tx.pending[tableName]; ok {
+		if o.deletes[id] {
+			return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
+		}
+		if r, ok := o.writes[id]; ok {
+			return r.Clone(), nil
+		}
+	}
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
+	}
+	return r.Clone(), nil
+}
+
+// Exists reports whether the record exists.
+func (tx *Tx) Exists(tableName string, id int64) bool {
+	if tx.done {
+		return false
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return false
+	}
+	return tx.exists(t, tableName, id)
+}
+
+// Count returns the number of live records in the table as seen by the
+// transaction.
+func (tx *Tx) Count(tableName string) int {
+	if tx.done {
+		return 0
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return 0
+	}
+	n := len(t.rows)
+	if o, ok := tx.pending[tableName]; ok {
+		for id := range o.writes {
+			if _, committed := t.rows[id]; !committed {
+				n++
+			}
+		}
+		for id := range o.deletes {
+			if _, committed := t.rows[id]; committed {
+				n--
+			}
+		}
+	}
+	return n
+}
+
+// Scan visits every live record of the table in ascending ID order. The
+// callback receives a copy of each record and returns false to stop early.
+func (tx *Tx) Scan(tableName string, fn func(r Record) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	o := tx.pending[tableName]
+	ids := make([]int64, 0, len(t.rows)+8)
+	for id := range t.rows {
+		if o != nil {
+			if o.deletes[id] {
+				continue
+			}
+			if _, rewritten := o.writes[id]; rewritten {
+				continue // added below from overlay
+			}
+		}
+		ids = append(ids, id)
+	}
+	if o != nil {
+		for id := range o.writes {
+			if !o.deletes[id] {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		var r Record
+		if o != nil {
+			if pr, ok := o.writes[id]; ok {
+				r = pr
+			}
+		}
+		if r == nil {
+			r = t.rows[id]
+		}
+		if !fn(r.Clone()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Lookup returns the sorted IDs of records whose field equals value, using
+// the field's index if one exists and falling back to a full scan otherwise.
+// The result observes the transaction's pending writes.
+func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	want, ok := keyFor(value)
+	if !ok {
+		return nil, fmt.Errorf("store: lookup value %T: %w", value, ErrBadValue)
+	}
+	o := tx.pending[tableName]
+	var ids []int64
+	if ix, haveIx := t.indexes[field]; haveIx {
+		for _, id := range ix.lookup(value) {
+			if o != nil {
+				if o.deletes[id] {
+					continue
+				}
+				if pr, rewritten := o.writes[id]; rewritten {
+					if k, ok2 := keyFor(pr[field]); !ok2 || k != want {
+						continue
+					}
+				}
+			}
+			ids = append(ids, id)
+		}
+	} else {
+		for id, r := range t.rows {
+			if o != nil {
+				if o.deletes[id] {
+					continue
+				}
+				if _, rewritten := o.writes[id]; rewritten {
+					continue
+				}
+			}
+			if k, ok2 := keyFor(r[field]); ok2 && k == want {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if o != nil {
+		for id, pr := range o.writes {
+			if o.deletes[id] {
+				continue
+			}
+			if k, ok2 := keyFor(pr[field]); ok2 && k == want {
+				if !containsID(ids, id) {
+					ids = append(ids, id)
+				}
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns copies of all records whose field equals value, in ID order.
+func (tx *Tx) Find(tableName, field string, value any) ([]Record, error) {
+	ids, err := tx.Lookup(tableName, field, value)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		r, err := tx.Get(tableName, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// First returns the first record whose field equals value, or ErrNotFound.
+func (tx *Tx) First(tableName, field string, value any) (Record, error) {
+	ids, err := tx.Lookup(tableName, field, value)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("store: %s where %s=%v: %w", tableName, field, value, ErrNotFound)
+	}
+	return tx.Get(tableName, ids[0])
+}
+
+// commit applies the transaction's pending writes to the committed state.
+// The exclusive lock is already held.
+func (tx *Tx) commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.readonly {
+		return nil
+	}
+	// Apply deletions then writes, maintaining indexes.
+	for name, o := range tx.pending {
+		t := tx.s.tables[name]
+		if t == nil {
+			continue // table vanished? cannot happen: tables are never dropped mid-tx
+		}
+		for id := range o.deletes {
+			if old, ok := t.rows[id]; ok {
+				for _, ix := range t.indexes {
+					ix.remove(old, id)
+				}
+				delete(t.rows, id)
+			}
+		}
+		ids := make([]int64, 0, len(o.writes))
+		for id := range o.writes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rec := o.writes[id]
+			if old, ok := t.rows[id]; ok {
+				for _, ix := range t.indexes {
+					ix.remove(old, id)
+				}
+			}
+			for _, ix := range t.indexes {
+				if err := ix.insert(rec, id); err != nil {
+					// Unique violations were checked at write time; hitting one
+					// here indicates a bug, but keep the store consistent.
+					return fmt.Errorf("store: commit %s/%d: %w", name, id, err)
+				}
+			}
+			t.rows[id] = rec
+		}
+		if o.nextID > t.nextID {
+			t.nextID = o.nextID
+		}
+	}
+	tx.s.commitSeq++
+	return nil
+}

@@ -1,0 +1,320 @@
+package tasks
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/vocab"
+)
+
+func newEngine(t *testing.T) (*Engine, *store.Store) {
+	t.Helper()
+	s := store.New()
+	e := New(s, nil)
+	return e, s
+}
+
+func TestCreateAndGet(t *testing.T) {
+	e, s := newEngine(t)
+	var id int64
+	err := s.Update(func(tx *store.Tx) error {
+		var err error
+		id, err = e.Create(tx, Task{
+			Type: TypeReviewError, Title: "Check failed import",
+			AssigneeRole: "admin", Kind: "workunit", Ref: 7,
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		got, err := e.Get(tx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != StateOpen || got.Title != "Check failed import" || got.Ref != 7 {
+			t.Errorf("task = %+v", got)
+		}
+		return nil
+	})
+}
+
+func TestCreateValidation(t *testing.T) {
+	e, s := newEngine(t)
+	err := s.Update(func(tx *store.Tx) error {
+		_, err := e.Create(tx, Task{Title: "", AssigneeRole: "expert"})
+		return err
+	})
+	if err == nil {
+		t.Error("empty title accepted")
+	}
+	err = s.Update(func(tx *store.Tx) error {
+		_, err := e.Create(tx, Task{Title: "no assignee"})
+		return err
+	})
+	if err == nil {
+		t.Error("missing assignee accepted")
+	}
+}
+
+func TestCompleteAndDoubleComplete(t *testing.T) {
+	e, s := newEngine(t)
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Create(tx, Task{Title: "t", AssigneeLogin: "alice"})
+		return nil
+	})
+	if err := s.Update(func(tx *store.Tx) error { return e.Complete(tx, "alice", id) }); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		got, _ := e.Get(tx, id)
+		if got.State != StateDone || got.DoneBy != "alice" {
+			t.Errorf("task = %+v", got)
+		}
+		return nil
+	})
+	err := s.Update(func(tx *store.Tx) error { return e.Complete(tx, "bob", id) })
+	if !errors.Is(err, ErrTaskClosed) {
+		t.Fatalf("double complete: %v", err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e, s := newEngine(t)
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Create(tx, Task{Title: "t", AssigneeRole: "expert"})
+		return nil
+	})
+	if err := s.Update(func(tx *store.Tx) error { return e.Cancel(tx, "eva", id) }); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		got, _ := e.Get(tx, id)
+		if got.State != StateCancelled {
+			t.Errorf("task = %+v", got)
+		}
+		return nil
+	})
+}
+
+func TestListOpenByLoginAndRole(t *testing.T) {
+	e, s := newEngine(t)
+	_ = s.Update(func(tx *store.Tx) error {
+		_, _ = e.Create(tx, Task{Title: "for alice", AssigneeLogin: "alice"})
+		_, _ = e.Create(tx, Task{Title: "for experts", AssigneeRole: "expert"})
+		_, _ = e.Create(tx, Task{Title: "for admins", AssigneeRole: "admin"})
+		id, _ := e.Create(tx, Task{Title: "done already", AssigneeLogin: "alice"})
+		return e.Complete(tx, "alice", id)
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		got, err := e.ListOpen(tx, "alice", "expert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("ListOpen = %+v", got)
+		}
+		if got[0].Title != "for alice" || got[1].Title != "for experts" {
+			t.Errorf("ListOpen order = %+v", got)
+		}
+		// A user with no roles sees only direct assignments.
+		solo, _ := e.ListOpen(tx, "alice")
+		if len(solo) != 1 {
+			t.Errorf("solo = %+v", solo)
+		}
+		return nil
+	})
+}
+
+func TestListOpenDeduplicates(t *testing.T) {
+	e, s := newEngine(t)
+	_ = s.Update(func(tx *store.Tx) error {
+		// Assigned both to the login and to the role: must appear once.
+		_, err := e.Create(tx, Task{Title: "dual", AssigneeLogin: "eva", AssigneeRole: "expert"})
+		return err
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		got, _ := e.ListOpen(tx, "eva", "expert")
+		if len(got) != 1 {
+			t.Errorf("deduplication failed: %+v", got)
+		}
+		return nil
+	})
+}
+
+func TestCountOpen(t *testing.T) {
+	e, s := newEngine(t)
+	_ = s.Update(func(tx *store.Tx) error {
+		_, _ = e.Create(tx, Task{Title: "a", AssigneeRole: "expert"})
+		id, _ := e.Create(tx, Task{Title: "b", AssigneeRole: "expert"})
+		return e.Complete(tx, "x", id)
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		n, err := e.CountOpen(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Errorf("CountOpen = %d", n)
+		}
+		return nil
+	})
+}
+
+// fullFixture wires vocab + tasks over one bus, as in the real system.
+func fullFixture(t *testing.T) (*vocab.Service, *Engine, *store.Store) {
+	t.Helper()
+	s := store.New()
+	bus := events.NewBus()
+	rg := entity.NewRegistry(s, bus)
+	if err := model.RegisterSchema(rg); err != nil {
+		t.Fatal(err)
+	}
+	sv := vocab.New(rg, model.AnnotatedFields(rg))
+	e := New(s, bus)
+	return sv, e, s
+}
+
+func TestPendingAnnotationSpawnsExpertTask(t *testing.T) {
+	sv, e, s := fullFixture(t)
+	var term vocab.Term
+	err := s.Update(func(tx *store.Tx) error {
+		var err error
+		term, err = sv.AddTerm(tx, "alice", model.VocabDiseaseState, "Hopeless", false)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		open, err := e.ListOpen(tx, "", "expert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(open) != 1 {
+			t.Fatalf("expert tasks = %+v", open)
+		}
+		tk := open[0]
+		if tk.Type != TypeReleaseAnnotation || tk.Ref != term.ID {
+			t.Errorf("task = %+v", tk)
+		}
+		return nil
+	})
+}
+
+func TestReleasedAnnotationSpawnsNoTask(t *testing.T) {
+	sv, e, s := fullFixture(t)
+	_ = s.Update(func(tx *store.Tx) error {
+		_, err := sv.AddTerm(tx, "eva", model.VocabSpecies, "Mus musculus", true)
+		return err
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		open, _ := e.ListOpen(tx, "", "expert")
+		if len(open) != 0 {
+			t.Errorf("tasks for released term: %+v", open)
+		}
+		return nil
+	})
+}
+
+func TestReleaseClosesTask(t *testing.T) {
+	sv, e, s := fullFixture(t)
+	var term vocab.Term
+	_ = s.Update(func(tx *store.Tx) error {
+		term, _ = sv.AddTerm(tx, "alice", model.VocabTissue, "Leaff", false)
+		return nil
+	})
+	err := s.Update(func(tx *store.Tx) error {
+		return sv.Release(tx, "eva", term.ID)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		open, _ := e.ListOpen(tx, "", "expert")
+		if len(open) != 0 {
+			t.Errorf("task not closed by release: %+v", open)
+		}
+		return nil
+	})
+}
+
+func TestMergeClosesTask(t *testing.T) {
+	sv, e, s := fullFixture(t)
+	var keep, drop vocab.Term
+	_ = s.Update(func(tx *store.Tx) error {
+		keep, _ = sv.AddTerm(tx, "alice", model.VocabTissue, "Leaf", true)
+		drop, _ = sv.AddTerm(tx, "bob", model.VocabTissue, "Leav", false)
+		return nil
+	})
+	err := s.Update(func(tx *store.Tx) error {
+		_, err := sv.Merge(tx, "eva", keep.ID, drop.ID, "")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		open, _ := e.ListOpen(tx, "", "expert")
+		if len(open) != 0 {
+			t.Errorf("task not closed by merge: %+v", open)
+		}
+		return nil
+	})
+}
+
+func TestTaskAndAnnotationCommitAtomically(t *testing.T) {
+	// If the surrounding transaction rolls back, neither the term nor the
+	// derived task survive.
+	sv, e, s := fullFixture(t)
+	boom := errors.New("boom")
+	err := s.Update(func(tx *store.Tx) error {
+		if _, err := sv.AddTerm(tx, "alice", model.VocabTissue, "Phantom", false); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		open, _ := e.ListOpen(tx, "", "expert")
+		if len(open) != 0 {
+			t.Errorf("task survived rollback: %+v", open)
+		}
+		n, _ := e.CountOpen(tx)
+		if n != 0 {
+			t.Errorf("CountOpen = %d", n)
+		}
+		return nil
+	})
+	if sv.Count() != 0 {
+		t.Error("term survived rollback")
+	}
+}
+
+func TestOpenForObject(t *testing.T) {
+	e, s := newEngine(t)
+	_ = s.Update(func(tx *store.Tx) error {
+		_, _ = e.Create(tx, Task{Title: "a", AssigneeRole: "expert", Kind: "annotation", Ref: 5})
+		_, _ = e.Create(tx, Task{Title: "b", AssigneeRole: "expert", Kind: "annotation", Ref: 6})
+		return nil
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		got, err := e.OpenForObject(tx, "annotation", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Title != "a" {
+			t.Errorf("OpenForObject = %+v", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,121 @@
+package vocab
+
+import "strings"
+
+// Levenshtein returns the edit distance between a and b (unit costs),
+// computed with the classic two-row dynamic program. It operates on runes
+// so that multi-byte annotations ("Müller") compare correctly.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(
+				prev[j]+1,      // deletion
+				curr[j-1]+1,    // insertion
+				prev[j-1]+cost, // substitution
+			)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// bigrams returns the multiset of character bigrams of s (lower-cased),
+// represented as a count map.
+func bigrams(s string) map[string]int {
+	rs := []rune(strings.ToLower(s))
+	out := make(map[string]int)
+	if len(rs) < 2 {
+		if len(rs) == 1 {
+			out[string(rs)] = 1
+		}
+		return out
+	}
+	for i := 0; i+1 < len(rs); i++ {
+		out[string(rs[i:i+2])]++
+	}
+	return out
+}
+
+// DiceCoefficient returns the Sørensen–Dice bigram similarity of a and b in
+// [0,1]. Identical strings score 1; strings sharing no bigrams score 0.
+func DiceCoefficient(a, b string) float64 {
+	ba, bb := bigrams(a), bigrams(b)
+	if len(ba) == 0 && len(bb) == 0 {
+		return 1
+	}
+	if len(ba) == 0 || len(bb) == 0 {
+		return 0
+	}
+	common, total := 0, 0
+	for g, ca := range ba {
+		total += ca
+		if cb, ok := bb[g]; ok {
+			common += minInt(ca, cb)
+		}
+	}
+	for _, cb := range bb {
+		total += cb
+	}
+	return 2 * float64(common) / float64(total)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Similarity combines normalized edit distance and bigram overlap into a
+// single [0,1] score. This mirrors the "similarly written versions of the
+// same annotation" detector of the paper: "Hopeless" vs "Hopeles" scores
+// well above the recommendation threshold, while unrelated terms score low.
+func Similarity(a, b string) float64 {
+	la, lb := strings.ToLower(strings.TrimSpace(a)), strings.ToLower(strings.TrimSpace(b))
+	if la == lb {
+		return 1
+	}
+	maxLen := len([]rune(la))
+	if n := len([]rune(lb)); n > maxLen {
+		maxLen = n
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	editSim := 1 - float64(Levenshtein(la, lb))/float64(maxLen)
+	dice := DiceCoefficient(la, lb)
+	// Weighted blend: edit similarity dominates for short strings where a
+	// single typo hurts bigram overlap disproportionately.
+	return 0.6*editSim + 0.4*dice
+}
+
+// DefaultSimilarityThreshold is the score above which two annotations are
+// recommended for merging.
+const DefaultSimilarityThreshold = 0.75

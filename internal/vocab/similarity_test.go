@@ -1,0 +1,132 @@
+package vocab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"Hopeless", "Hopeles", 1},
+		{"same", "same", 0},
+		{"abc", "cba", 2},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinUnicode(t *testing.T) {
+	// One rune substitution, not a byte-level mess.
+	if got := Levenshtein("Müller", "Muller"); got != 1 {
+		t.Errorf("Levenshtein(Müller, Muller) = %d, want 1", got)
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	// Symmetry.
+	sym := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	// Identity.
+	ident := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(ident, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("identity:", err)
+	}
+	// Distance bounded by the longer rune length.
+	bound := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		max := la
+		if lb > max {
+			max = lb
+		}
+		return d <= max
+	}
+	if err := quick.Check(bound, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("bound:", err)
+	}
+	// Triangle inequality over random triples.
+	tri := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error("triangle:", err)
+	}
+}
+
+func TestDiceCoefficient(t *testing.T) {
+	if got := DiceCoefficient("night", "nacht"); got <= 0 || got >= 1 {
+		// night/nacht share "ht": expect a small positive score.
+		t.Errorf("Dice(night,nacht) = %v", got)
+	}
+	if got := DiceCoefficient("same", "same"); got != 1 {
+		t.Errorf("Dice(identical) = %v", got)
+	}
+	if got := DiceCoefficient("abc", "xyz"); got != 0 {
+		t.Errorf("Dice(disjoint) = %v", got)
+	}
+	if got := DiceCoefficient("", ""); got != 1 {
+		t.Errorf("Dice(empty,empty) = %v", got)
+	}
+	if got := DiceCoefficient("", "abc"); got != 0 {
+		t.Errorf("Dice(empty,abc) = %v", got)
+	}
+	// Case-insensitive.
+	if got := DiceCoefficient("ABC", "abc"); got != 1 {
+		t.Errorf("Dice(case) = %v", got)
+	}
+}
+
+func TestDiceRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := DiceCoefficient(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityPaperExample(t *testing.T) {
+	// The paper's misspelling example must cross the recommendation
+	// threshold, and unrelated disease states must not.
+	got := Similarity("Hopeless", "Hopeles")
+	if got < DefaultSimilarityThreshold {
+		t.Errorf("Similarity(Hopeless,Hopeles) = %v, want >= %v", got, DefaultSimilarityThreshold)
+	}
+	unrelated := Similarity("Hopeless", "Diabetes")
+	if unrelated >= DefaultSimilarityThreshold {
+		t.Errorf("Similarity(Hopeless,Diabetes) = %v, want < threshold", unrelated)
+	}
+	if identical := Similarity("Healthy", "healthy "); identical != 1 {
+		t.Errorf("case/space-normalized identity = %v, want 1", identical)
+	}
+}
+
+func TestSimilarityRangeAndSymmetry(t *testing.T) {
+	rng := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(rng, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("range:", err)
+	}
+	sym := func(a, b string) bool {
+		return Similarity(a, b) == Similarity(b, a)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("symmetry:", err)
+	}
+}

@@ -1,0 +1,59 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the definition as a Graphviz digraph. If current is a valid
+// step id, that step is highlighted — this is the "graphical representation
+// of the workflow [where] the next step to be taken by the user is
+// highlighted" from the paper's import and experiment screens.
+func (d *Definition) DOT(current int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.Name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, style=rounded];\n")
+
+	steps := append([]Step(nil), d.Steps...)
+	sort.Slice(steps, func(i, j int) bool { return steps[i].ID < steps[j].ID })
+
+	needFinish := false
+	for _, s := range steps {
+		attrs := fmt.Sprintf("label=%q", s.Name)
+		if s.ID == current {
+			attrs += `, style="rounded,filled", fillcolor=lightblue, penwidth=2`
+		}
+		if s.ID == d.Initial {
+			attrs += `, peripheries=2`
+		}
+		fmt.Fprintf(&b, "  step%d [%s];\n", s.ID, attrs)
+		for _, a := range s.Actions {
+			if a.Result == Finish {
+				needFinish = true
+			}
+		}
+	}
+	if needFinish {
+		b.WriteString("  finish [shape=doublecircle, label=\"done\"];\n")
+	}
+	for _, s := range steps {
+		for _, a := range s.Actions {
+			label := a.Name
+			if a.Auto {
+				label += " (auto)"
+			}
+			if a.Condition != "" {
+				label += fmt.Sprintf(" [%s]", a.Condition)
+			}
+			target := fmt.Sprintf("step%d", a.Result)
+			if a.Result == Finish {
+				target = "finish"
+			}
+			fmt.Fprintf(&b, "  step%d -> %s [label=%q];\n", s.ID, target, label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

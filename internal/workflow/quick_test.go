@@ -1,0 +1,150 @@
+package workflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/store"
+)
+
+// TestQuickLinearChainsComplete: any randomly sized linear workflow, fired
+// step by step, terminates in the completed state with a full history.
+func TestQuickLinearChainsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		def := Definition{Name: "chain", Initial: 1}
+		for i := 1; i <= n; i++ {
+			result := i + 1
+			if i == n {
+				result = Finish
+			}
+			def.Steps = append(def.Steps, Step{
+				ID: i, Name: fmt.Sprintf("step %d", i),
+				Actions: []Action{{Name: "next", Result: result}},
+			})
+		}
+		s := store.New()
+		e := NewEngine(s)
+		if err := e.RegisterDefinition(def); err != nil {
+			return false
+		}
+		var id int64
+		err := s.Update(func(tx *store.Tx) error {
+			var err error
+			id, err = e.Start(tx, "chain", "q", nil)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := e.Fire(tx, id, "next", "q"); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		ok := true
+		_ = s.View(func(tx *store.Tx) error {
+			inst, err := e.Get(tx, id)
+			if err != nil || inst.State != StateCompleted {
+				ok = false
+				return nil
+			}
+			h, err := e.History(tx, id)
+			if err != nil || len(h) != n+1 { // (start) + n transitions
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAutoChainsComplete: linear chains of auto actions complete from
+// Start alone as long as they fit the auto budget.
+func TestQuickAutoChainsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30) // below the budget of 64
+		def := Definition{Name: "auto-chain", Initial: 1}
+		for i := 1; i <= n; i++ {
+			result := i + 1
+			if i == n {
+				result = Finish
+			}
+			def.Steps = append(def.Steps, Step{
+				ID: i, Name: fmt.Sprintf("s%d", i),
+				Actions: []Action{{Name: "go", Result: result, Auto: true}},
+			})
+		}
+		s := store.New()
+		e := NewEngine(s)
+		if err := e.RegisterDefinition(def); err != nil {
+			return false
+		}
+		var id int64
+		if err := s.Update(func(tx *store.Tx) error {
+			var err error
+			id, err = e.Start(tx, "auto-chain", "q", nil)
+			return err
+		}); err != nil {
+			return false
+		}
+		ok := false
+		_ = s.View(func(tx *store.Tx) error {
+			inst, err := e.Get(tx, id)
+			ok = err == nil && inst.State == StateCompleted
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVarsRoundTrip: arbitrary variable maps survive formatting,
+// storage and reparsing.
+func TestQuickVarsRoundTrip(t *testing.T) {
+	f := func(keys []string, values []string) bool {
+		m := map[string]string{}
+		for i, k := range keys {
+			if k == "" || i >= len(values) {
+				continue
+			}
+			// '=' in keys cannot round-trip (the format is k=v).
+			clean := true
+			for _, r := range k {
+				if r == '=' {
+					clean = false
+					break
+				}
+			}
+			if !clean {
+				continue
+			}
+			m[k] = values[i]
+		}
+		back := parseVars(formatVars(m))
+		if len(back) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			if back[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,485 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// twoStepDef builds a simple fetch→assign→finish import-like workflow.
+func twoStepDef() Definition {
+	return Definition{
+		Name:    "data-import",
+		Initial: 1,
+		Steps: []Step{
+			{ID: 1, Name: "fetch files", Actions: []Action{
+				{Name: "fetched", Result: 2},
+			}},
+			{ID: 2, Name: "assign extracts", Actions: []Action{
+				{Name: "save", Result: Finish},
+				{Name: "back", Result: 1},
+			}},
+		},
+	}
+}
+
+func newEngine(t *testing.T) (*Engine, *store.Store) {
+	t.Helper()
+	s := store.New()
+	return NewEngine(s), s
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		def  Definition
+		ok   bool
+	}{
+		{"valid", twoStepDef(), true},
+		{"empty name", Definition{Initial: 1, Steps: []Step{{ID: 1}}}, false},
+		{"no steps", Definition{Name: "x", Initial: 1}, false},
+		{"bad initial", Definition{Name: "x", Initial: 9, Steps: []Step{{ID: 1}}}, false},
+		{"dup step ids", Definition{Name: "x", Initial: 1, Steps: []Step{{ID: 1}, {ID: 1}}}, false},
+		{"dangling result", Definition{Name: "x", Initial: 1, Steps: []Step{
+			{ID: 1, Actions: []Action{{Name: "go", Result: 5}}},
+		}}, false},
+		{"unnamed action", Definition{Name: "x", Initial: 1, Steps: []Step{
+			{ID: 1, Actions: []Action{{Result: Finish}}},
+		}}, false},
+		{"dup action names", Definition{Name: "x", Initial: 1, Steps: []Step{
+			{ID: 1, Actions: []Action{{Name: "a", Result: Finish}, {Name: "a", Result: Finish}}},
+		}}, false},
+	}
+	for _, c := range cases {
+		err := c.def.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func TestRegisterRejectsUnknownFunctions(t *testing.T) {
+	e, _ := newEngine(t)
+	def := twoStepDef()
+	def.Steps[0].Actions[0].PreFunctions = []string{"missing"}
+	if err := e.RegisterDefinition(def); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("got %v, want ErrUnknownFunction", err)
+	}
+	def2 := twoStepDef()
+	def2.Steps[0].Actions[0].Condition = "missingCond"
+	if err := e.RegisterDefinition(def2); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("got %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestStartAndFireToCompletion(t *testing.T) {
+	e, s := newEngine(t)
+	if err := e.RegisterDefinition(twoStepDef()); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	err := s.Update(func(tx *store.Tx) error {
+		var err error
+		id, err = e.Start(tx, "data-import", "alice", map[string]string{"workunit": "42"})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		inst, err := e.Get(tx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.State != StateActive || inst.Step != 1 {
+			t.Errorf("instance = %+v", inst)
+		}
+		if inst.Vars["workunit"] != "42" {
+			t.Errorf("vars = %v", inst.Vars)
+		}
+		acts, _ := e.AvailableActions(tx, id, "alice")
+		if len(acts) != 1 || acts[0] != "fetched" {
+			t.Errorf("actions = %v", acts)
+		}
+		return nil
+	})
+	if err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "fetched", "alice") }); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		inst, _ := e.Get(tx, id)
+		if inst.Step != 2 || inst.State != StateActive {
+			t.Errorf("after fetched: %+v", inst)
+		}
+		return nil
+	})
+	if err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "save", "alice") }); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		inst, _ := e.Get(tx, id)
+		if inst.State != StateCompleted {
+			t.Errorf("final state = %q", inst.State)
+		}
+		return nil
+	})
+}
+
+func TestFireUnknownAction(t *testing.T) {
+	e, s := newEngine(t)
+	_ = e.RegisterDefinition(twoStepDef())
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "data-import", "a", nil)
+		return nil
+	})
+	err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "bogus", "a") })
+	if !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("got %v, want ErrUnknownAction", err)
+	}
+}
+
+func TestFireOnCompletedInstance(t *testing.T) {
+	e, s := newEngine(t)
+	_ = e.RegisterDefinition(twoStepDef())
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "data-import", "a", nil)
+		if err := e.Fire(tx, id, "fetched", "a"); err != nil {
+			return err
+		}
+		return e.Fire(tx, id, "save", "a")
+	})
+	err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "back", "a") })
+	if !errors.Is(err, ErrNotActive) {
+		t.Fatalf("got %v, want ErrNotActive", err)
+	}
+}
+
+func TestStartUnknownDefinition(t *testing.T) {
+	e, s := newEngine(t)
+	err := s.Update(func(tx *store.Tx) error {
+		_, err := e.Start(tx, "nope", "a", nil)
+		return err
+	})
+	if !errors.Is(err, ErrUnknownDefinition) {
+		t.Fatalf("got %v, want ErrUnknownDefinition", err)
+	}
+}
+
+func TestConditionsGateActions(t *testing.T) {
+	e, s := newEngine(t)
+	e.RegisterCondition("resourcesAssigned", func(ctx *Context) (bool, error) {
+		return ctx.Vars["assigned"] == "yes", nil
+	})
+	def := Definition{
+		Name:    "guarded",
+		Initial: 1,
+		Steps: []Step{
+			{ID: 1, Name: "assign", Actions: []Action{
+				{Name: "done", Result: Finish, Condition: "resourcesAssigned"},
+				{Name: "wait", Result: 1},
+			}},
+		},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "guarded", "a", nil)
+		return nil
+	})
+	// Condition false: action unavailable and firing fails.
+	_ = s.View(func(tx *store.Tx) error {
+		acts, _ := e.AvailableActions(tx, id, "a")
+		if len(acts) != 1 || acts[0] != "wait" {
+			t.Errorf("actions = %v", acts)
+		}
+		return nil
+	})
+	err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "done", "a") })
+	if !errors.Is(err, ErrConditionFalse) {
+		t.Fatalf("got %v, want ErrConditionFalse", err)
+	}
+	// Set the variable, condition passes.
+	_ = s.Update(func(tx *store.Tx) error { return e.SetVar(tx, id, "assigned", "yes") })
+	if err := s.Update(func(tx *store.Tx) error { return e.Fire(tx, id, "done", "a") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrePostFunctionsRunInOrder(t *testing.T) {
+	e, s := newEngine(t)
+	var calls []string
+	e.RegisterFunction("pre1", func(ctx *Context) error { calls = append(calls, "pre1"); return nil })
+	e.RegisterFunction("pre2", func(ctx *Context) error { calls = append(calls, "pre2"); return nil })
+	e.RegisterFunction("post1", func(ctx *Context) error { calls = append(calls, "post1"); return nil })
+	def := Definition{
+		Name: "fn", Initial: 1,
+		Steps: []Step{{ID: 1, Name: "s", Actions: []Action{{
+			Name: "go", Result: Finish,
+			PreFunctions:  []string{"pre1", "pre2"},
+			PostFunctions: []string{"post1"},
+		}}}},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "fn", "a", nil)
+		return e.Fire(tx, id, "go", "a")
+	})
+	want := []string{"pre1", "pre2", "post1"}
+	if fmt.Sprint(calls) != fmt.Sprint(want) {
+		t.Errorf("calls = %v, want %v", calls, want)
+	}
+}
+
+func TestFunctionFailureMarksInstanceFailed(t *testing.T) {
+	e, s := newEngine(t)
+	boom := errors.New("rserve unreachable")
+	e.RegisterFunction("explode", func(ctx *Context) error { return boom })
+	def := Definition{
+		Name: "failing", Initial: 1,
+		Steps: []Step{{ID: 1, Name: "s", Actions: []Action{{
+			Name: "go", Result: Finish, PostFunctions: []string{"explode"},
+		}}}},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	err := s.Update(func(tx *store.Tx) error {
+		var startErr error
+		id, startErr = e.Start(tx, "failing", "a", nil)
+		if startErr != nil {
+			return startErr
+		}
+		if fireErr := e.Fire(tx, id, "go", "a"); !errors.Is(fireErr, boom) {
+			t.Errorf("Fire = %v, want boom", fireErr)
+		}
+		return nil // commit the failure state
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		inst, _ := e.Get(tx, id)
+		if inst.State != StateFailed {
+			t.Errorf("state = %q", inst.State)
+		}
+		if !strings.Contains(inst.Error, "rserve unreachable") {
+			t.Errorf("error = %q", inst.Error)
+		}
+		failed, _ := e.FailedInstances(tx)
+		if len(failed) != 1 || failed[0] != id {
+			t.Errorf("FailedInstances = %v", failed)
+		}
+		return nil
+	})
+}
+
+func TestAutoActionsChain(t *testing.T) {
+	// Models the single-step "generate R report" workflow of Figure 15:
+	// start → (auto) run → finish, with a post-function doing the work.
+	e, s := newEngine(t)
+	ran := false
+	e.RegisterFunction("generateReport", func(ctx *Context) error {
+		ran = true
+		ctx.Vars["report"] = "ready"
+		return nil
+	})
+	def := Definition{
+		Name: "run-experiment", Initial: 1,
+		Steps: []Step{{ID: 1, Name: "generate R report", Actions: []Action{{
+			Name: "run", Result: Finish, Auto: true,
+			PostFunctions: []string{"generateReport"},
+		}}}},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "run-experiment", "alice", nil)
+		return nil
+	})
+	if !ran {
+		t.Error("auto action did not run")
+	}
+	_ = s.View(func(tx *store.Tx) error {
+		inst, _ := e.Get(tx, id)
+		if inst.State != StateCompleted || inst.Vars["report"] != "ready" {
+			t.Errorf("instance = %+v", inst)
+		}
+		return nil
+	})
+}
+
+func TestAutoActionBudgetStopsCycles(t *testing.T) {
+	e, s := newEngine(t)
+	def := Definition{
+		Name: "loop", Initial: 1,
+		Steps: []Step{
+			{ID: 1, Name: "a", Actions: []Action{{Name: "go", Result: 2, Auto: true}}},
+			{ID: 2, Name: "b", Actions: []Action{{Name: "back", Result: 1, Auto: true}}},
+		},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Update(func(tx *store.Tx) error {
+		_, err := e.Start(tx, "loop", "a", nil)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("got %v, want budget error", err)
+	}
+}
+
+func TestHistoryRecordsTransitions(t *testing.T) {
+	e, s := newEngine(t)
+	_ = e.RegisterDefinition(twoStepDef())
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "data-import", "alice", nil)
+		if err := e.Fire(tx, id, "fetched", "alice"); err != nil {
+			return err
+		}
+		return e.Fire(tx, id, "save", "bob")
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		h, err := e.History(tx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != 3 {
+			t.Fatalf("history = %+v", h)
+		}
+		if h[0].Action != "(start)" || h[1].Action != "fetched" || h[2].Action != "save" {
+			t.Errorf("history actions = %+v", h)
+		}
+		if h[1].FromStep != 1 || h[1].ToStep != 2 || h[1].Actor != "alice" {
+			t.Errorf("entry = %+v", h[1])
+		}
+		if h[2].ToStep != Finish {
+			t.Errorf("final entry = %+v", h[2])
+		}
+		return nil
+	})
+}
+
+func TestVarsPersistAcrossFunctions(t *testing.T) {
+	e, s := newEngine(t)
+	e.RegisterFunction("setResult", func(ctx *Context) error {
+		ctx.Vars["result_workunit"] = "99"
+		return nil
+	})
+	def := Definition{
+		Name: "vars", Initial: 1,
+		Steps: []Step{
+			{ID: 1, Name: "s1", Actions: []Action{{Name: "go", Result: 2, PostFunctions: []string{"setResult"}}}},
+			{ID: 2, Name: "s2", Actions: []Action{{Name: "end", Result: Finish}}},
+		},
+	}
+	if err := e.RegisterDefinition(def); err != nil {
+		t.Fatal(err)
+	}
+	var id int64
+	_ = s.Update(func(tx *store.Tx) error {
+		id, _ = e.Start(tx, "vars", "a", map[string]string{"seed": "1"})
+		return e.Fire(tx, id, "go", "a")
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		inst, _ := e.Get(tx, id)
+		if inst.Vars["result_workunit"] != "99" || inst.Vars["seed"] != "1" {
+			t.Errorf("vars = %v", inst.Vars)
+		}
+		return nil
+	})
+}
+
+func TestActiveInstances(t *testing.T) {
+	e, s := newEngine(t)
+	_ = e.RegisterDefinition(twoStepDef())
+	var a, b int64
+	_ = s.Update(func(tx *store.Tx) error {
+		a, _ = e.Start(tx, "data-import", "x", nil)
+		b, _ = e.Start(tx, "data-import", "x", nil)
+		if err := e.Fire(tx, a, "fetched", "x"); err != nil {
+			return err
+		}
+		return e.Fire(tx, a, "save", "x")
+	})
+	_ = s.View(func(tx *store.Tx) error {
+		active, err := e.ActiveInstances(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(active) != 1 || active[0] != b {
+			t.Errorf("active = %v", active)
+		}
+		return nil
+	})
+}
+
+func TestDuplicateDefinitionRejected(t *testing.T) {
+	e, _ := newEngine(t)
+	if err := e.RegisterDefinition(twoStepDef()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterDefinition(twoStepDef()); err == nil {
+		t.Error("duplicate definition accepted")
+	}
+}
+
+func TestDefinitionsSorted(t *testing.T) {
+	e, _ := newEngine(t)
+	_ = e.RegisterDefinition(Definition{Name: "zzz", Initial: 1, Steps: []Step{{ID: 1, Name: "s"}}})
+	_ = e.RegisterDefinition(Definition{Name: "aaa", Initial: 1, Steps: []Step{{ID: 1, Name: "s"}}})
+	got := e.Definitions()
+	if len(got) != 2 || got[0] != "aaa" || got[1] != "zzz" {
+		t.Errorf("Definitions = %v", got)
+	}
+	if e.Definition("aaa") == nil || e.Definition("nope") != nil {
+		t.Error("Definition lookup wrong")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	def := twoStepDef()
+	dot := def.DOT(2)
+	for _, want := range []string{
+		"digraph \"data-import\"",
+		"step1", "step2",
+		"fetch files", "assign extracts",
+		"fillcolor=lightblue", // current step highlighted
+		"finish",              // terminal node present
+		"peripheries=2",       // initial step marked
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// No highlight when current step doesn't exist.
+	plain := def.DOT(-99)
+	if strings.Contains(plain, "lightblue") {
+		t.Error("unexpected highlight")
+	}
+}
+
+func TestSetVarOnMissingInstance(t *testing.T) {
+	e, s := newEngine(t)
+	err := s.Update(func(tx *store.Tx) error { return e.SetVar(tx, 42, "k", "v") })
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
