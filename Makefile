@@ -1,0 +1,18 @@
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Race-checks the packages with dedicated concurrency tests (zero-copy read
+# path and search flush).
+race:
+	go test -race ./internal/store/... ./internal/search/...
+
+# Runs the full benchmark suite with -benchmem and refreshes
+# BENCH_baseline.json. Override the per-benchmark budget with
+# BENCHTIME=1s make bench
+bench:
+	scripts/bench.sh

@@ -7,6 +7,7 @@ package audit
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -100,7 +101,9 @@ func entryFromRecord(r store.Record) Entry {
 	return Entry{
 		ID: r.ID(), Seq: r.Int("seq"), Topic: r.String("topic"),
 		Kind: r.String("kind"), Ref: r.Int("ref"), Actor: r.String("actor"),
-		At: r.Time("at"), Fields: r.Strings("fields"),
+		// The record may be a shared reference from the zero-copy read
+		// path; clone the slice so the Entry is fully caller-owned.
+		At: r.Time("at"), Fields: slices.Clone(r.Strings("fields")),
 	}
 }
 
@@ -110,7 +113,7 @@ func sortEntries(es []Entry) {
 
 // ByActor returns the actor's manipulations in sequence order.
 func (l *Log) ByActor(tx *store.Tx, actor string) ([]Entry, error) {
-	rs, err := tx.Find(auditTable, "actor", actor)
+	rs, err := tx.FindRef(auditTable, "actor", actor)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +127,7 @@ func (l *Log) ByActor(tx *store.Tx, actor string) ([]Entry, error) {
 
 // ByObject returns the manipulations of one object in sequence order.
 func (l *Log) ByObject(tx *store.Tx, kind string, ref int64) ([]Entry, error) {
-	rs, err := tx.Find(auditTable, "refkey", refKey(kind, ref))
+	rs, err := tx.FindRef(auditTable, "refkey", refKey(kind, ref))
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +143,7 @@ func (l *Log) ByObject(tx *store.Tx, kind string, ref int64) ([]Entry, error) {
 // monitoring view.
 func (l *Log) Recent(tx *store.Tx, n int) ([]Entry, error) {
 	var out []Entry
-	err := tx.Scan(auditTable, func(r store.Record) bool {
+	err := tx.ScanRef(auditTable, func(r store.Record) bool {
 		out = append(out, entryFromRecord(r))
 		return true
 	})

@@ -97,9 +97,10 @@ func (sv *Service) SetPassword(tx *store.Tx, login, password string) error {
 	return err
 }
 
-// verify checks a password against the stored credential.
+// verify checks a password against the stored credential. The credential
+// record is read by reference; only its string values are extracted.
 func (sv *Service) verify(tx *store.Tx, login, password string) error {
-	r, err := tx.First(credTable, "login", login)
+	r, err := tx.FirstRef(credTable, "login", login)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
 			return ErrBadCredentials

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -317,7 +318,7 @@ func (rg *Registry) validate(tx *store.Tx, k *Kind, values map[string]any, creat
 
 // linkKey encodes an entity endpoint as "kind:id" for the link table.
 func linkKey(kind string, id int64) string {
-	return kind + ":" + fmt.Sprint(id)
+	return kind + ":" + strconv.FormatInt(id, 10)
 }
 
 // parseLinkKey splits "kind:id" back into its parts.
@@ -326,12 +327,11 @@ func parseLinkKey(key string) (kind string, id int64, ok bool) {
 	if i < 0 {
 		return "", 0, false
 	}
-	kind = key[:i]
-	_, err := fmt.Sscan(key[i+1:], &id)
+	id, err := strconv.ParseInt(key[i+1:], 10, 64)
 	if err != nil {
 		return "", 0, false
 	}
-	return kind, id, true
+	return key[:i], id, true
 }
 
 // syncLinks rewrites the outgoing link records of entity (kind,id) to match
@@ -462,7 +462,7 @@ func (rg *Registry) Delete(tx *store.Tx, kind string, id int64, actor string) er
 		return err
 	}
 	if len(inbound) > 0 {
-		l, _ := tx.Get(linksTable, inbound[0])
+		l, _ := tx.GetRef(linksTable, inbound[0])
 		return fmt.Errorf("entity: %s/%d referenced by %s: %w", kind, id, l.String("from"), ErrReferenced)
 	}
 	if err := rg.dropLinks(tx, kind, id); err != nil {
@@ -475,12 +475,22 @@ func (rg *Registry) Delete(tx *store.Tx, kind string, id int64, actor string) er
 	return nil
 }
 
-// Get returns the entity record.
+// Get returns a copy of the entity record, which the caller may mutate.
 func (rg *Registry) Get(tx *store.Tx, kind string, id int64) (store.Record, error) {
 	if _, ok := rg.kinds[kind]; !ok {
 		return nil, fmt.Errorf("entity: %q: %w", kind, ErrUnknownKind)
 	}
 	return tx.Get(kind, id)
+}
+
+// GetRef returns the entity record without copying it. The store's aliasing
+// contract applies: the record (including slice values) must be treated as
+// read-only. Use it on read paths that only extract values.
+func (rg *Registry) GetRef(tx *store.Tx, kind string, id int64) (store.Record, error) {
+	if _, ok := rg.kinds[kind]; !ok {
+		return nil, fmt.Errorf("entity: %q: %w", kind, ErrUnknownKind)
+	}
+	return tx.GetRef(kind, id)
 }
 
 func (rg *Registry) publish(tx *store.Tx, topic, kind string, id int64, actor string, values map[string]any) {

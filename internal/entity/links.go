@@ -38,7 +38,9 @@ func (rg *Registry) edges(tx *store.Tx, side, kind string, id int64) ([]LinkEdge
 	}
 	out := make([]LinkEdge, 0, len(ids))
 	for _, lid := range ids {
-		l, err := tx.Get(linksTable, lid)
+		// Zero-copy read: the edge struct is built from extracted values, so
+		// the shared record is never retained or mutated.
+		l, err := tx.GetRef(linksTable, lid)
 		if err != nil {
 			return nil, err
 		}

@@ -323,14 +323,20 @@ func (s *Service) BestMatches(tx *store.Tx, workunit int64) ([]Match, error) {
 		r, e  int
 		score float64
 	}
+	extractNames := make([]string, len(extracts))
+	for i, e := range extracts {
+		extractNames[i] = normalizeName(e.Name)
+	}
 	var pairs []pair
 	for ri, r := range resources {
 		if r.Extract != 0 {
 			continue
 		}
-		rname := normalizeName(r.Name)
-		for ei, e := range extracts {
-			score := vocab.Similarity(rname, normalizeName(e.Name))
+		// One scorer per resource amortizes the query side of the
+		// similarity computation across all candidate extracts.
+		sc := vocab.NewScorer(normalizeName(r.Name))
+		for ei := range extracts {
+			score := sc.Score(extractNames[ei])
 			if score > 0 {
 				pairs = append(pairs, pair{r: ri, e: ei, score: score})
 			}

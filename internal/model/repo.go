@@ -35,7 +35,7 @@ func (db *DB) CreateOrganization(tx *store.Tx, actor string, o Organization) (in
 
 // GetOrganization fetches an organization by id.
 func (db *DB) GetOrganization(tx *store.Tx, id int64) (Organization, error) {
-	r, err := db.rg.Get(tx, KindOrganization, id)
+	r, err := db.rg.GetRef(tx, KindOrganization, id)
 	if err != nil {
 		return Organization{}, err
 	}
@@ -51,7 +51,7 @@ func (db *DB) CreateInstitute(tx *store.Tx, actor string, in Institute) (int64, 
 
 // GetInstitute fetches an institute by id.
 func (db *DB) GetInstitute(tx *store.Tx, id int64) (Institute, error) {
-	r, err := db.rg.Get(tx, KindInstitute, id)
+	r, err := db.rg.GetRef(tx, KindInstitute, id)
 	if err != nil {
 		return Institute{}, err
 	}
@@ -72,7 +72,7 @@ func (db *DB) CreateUser(tx *store.Tx, actor string, u User) (int64, error) {
 
 // GetUser fetches a user by id.
 func (db *DB) GetUser(tx *store.Tx, id int64) (User, error) {
-	r, err := db.rg.Get(tx, KindUser, id)
+	r, err := db.rg.GetRef(tx, KindUser, id)
 	if err != nil {
 		return User{}, err
 	}
@@ -81,7 +81,7 @@ func (db *DB) GetUser(tx *store.Tx, id int64) (User, error) {
 
 // UserByLogin fetches a user by login name.
 func (db *DB) UserByLogin(tx *store.Tx, login string) (User, error) {
-	r, err := tx.First(KindUser, "login", login)
+	r, err := tx.FirstRef(KindUser, "login", login)
 	if err != nil {
 		return User{}, err
 	}
@@ -90,7 +90,7 @@ func (db *DB) UserByLogin(tx *store.Tx, login string) (User, error) {
 
 // UsersByRole returns all users holding the given role, in id order.
 func (db *DB) UsersByRole(tx *store.Tx, role string) ([]User, error) {
-	rs, err := tx.Find(KindUser, "role", role)
+	rs, err := tx.FindRef(KindUser, "role", role)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,7 @@ func (db *DB) CreateProject(tx *store.Tx, actor string, p Project) (int64, error
 
 // GetProject fetches a project by id.
 func (db *DB) GetProject(tx *store.Tx, id int64) (Project, error) {
-	r, err := db.rg.Get(tx, KindProject, id)
+	r, err := db.rg.GetRef(tx, KindProject, id)
 	if err != nil {
 		return Project{}, err
 	}
@@ -152,7 +152,7 @@ func (db *DB) CreateSample(tx *store.Tx, actor string, s Sample) (int64, error) 
 
 // GetSample fetches a sample by id.
 func (db *DB) GetSample(tx *store.Tx, id int64) (Sample, error) {
-	r, err := db.rg.Get(tx, KindSample, id)
+	r, err := db.rg.GetRef(tx, KindSample, id)
 	if err != nil {
 		return Sample{}, err
 	}
@@ -197,7 +197,7 @@ func (db *DB) BatchCreateSamples(tx *store.Tx, actor string, template Sample, pr
 // SamplesOfProject returns every sample of the project in id order. This is
 // the query that scopes drop-down menus to the user's project.
 func (db *DB) SamplesOfProject(tx *store.Tx, project int64) ([]Sample, error) {
-	rs, err := tx.Find(KindSample, "project", project)
+	rs, err := tx.FindRef(KindSample, "project", project)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +217,7 @@ func (db *DB) CreateExtract(tx *store.Tx, actor string, e Extract) (int64, error
 
 // GetExtract fetches an extract by id.
 func (db *DB) GetExtract(tx *store.Tx, id int64) (Extract, error) {
-	r, err := db.rg.Get(tx, KindExtract, id)
+	r, err := db.rg.GetRef(tx, KindExtract, id)
 	if err != nil {
 		return Extract{}, err
 	}
@@ -254,7 +254,7 @@ func (db *DB) BatchCreateExtracts(tx *store.Tx, actor string, template Extract, 
 
 // ExtractsOfSample returns the extracts derived from a sample.
 func (db *DB) ExtractsOfSample(tx *store.Tx, sample int64) ([]Extract, error) {
-	rs, err := tx.Find(KindExtract, "sample", sample)
+	rs, err := tx.FindRef(KindExtract, "sample", sample)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +300,7 @@ func (db *DB) CreateWorkunit(tx *store.Tx, actor string, w Workunit) (int64, err
 
 // GetWorkunit fetches a workunit by id.
 func (db *DB) GetWorkunit(tx *store.Tx, id int64) (Workunit, error) {
-	r, err := db.rg.Get(tx, KindWorkunit, id)
+	r, err := db.rg.GetRef(tx, KindWorkunit, id)
 	if err != nil {
 		return Workunit{}, err
 	}
@@ -329,7 +329,7 @@ func (db *DB) CreateDataResource(tx *store.Tx, actor string, d DataResource) (in
 
 // GetDataResource fetches a data resource by id.
 func (db *DB) GetDataResource(tx *store.Tx, id int64) (DataResource, error) {
-	r, err := db.rg.Get(tx, KindDataResource, id)
+	r, err := db.rg.GetRef(tx, KindDataResource, id)
 	if err != nil {
 		return DataResource{}, err
 	}
@@ -344,7 +344,7 @@ func (db *DB) AssignExtract(tx *store.Tx, actor string, resource, extract int64)
 
 // ResourcesOfWorkunit returns the data resources contained in a workunit.
 func (db *DB) ResourcesOfWorkunit(tx *store.Tx, workunit int64) ([]DataResource, error) {
-	rs, err := tx.Find(KindDataResource, "workunit", workunit)
+	rs, err := tx.FindRef(KindDataResource, "workunit", workunit)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +369,7 @@ func (db *DB) CreateApplication(tx *store.Tx, actor string, a Application) (int6
 
 // GetApplication fetches an application by id.
 func (db *DB) GetApplication(tx *store.Tx, id int64) (Application, error) {
-	r, err := db.rg.Get(tx, KindApplication, id)
+	r, err := db.rg.GetRef(tx, KindApplication, id)
 	if err != nil {
 		return Application{}, err
 	}
@@ -378,7 +378,7 @@ func (db *DB) GetApplication(tx *store.Tx, id int64) (Application, error) {
 
 // ApplicationByName fetches an application by its unique name.
 func (db *DB) ApplicationByName(tx *store.Tx, name string) (Application, error) {
-	r, err := tx.First(KindApplication, "name", name)
+	r, err := tx.FirstRef(KindApplication, "name", name)
 	if err != nil {
 		return Application{}, err
 	}
@@ -396,7 +396,7 @@ func (db *DB) CreateExperiment(tx *store.Tx, actor string, e Experiment) (int64,
 
 // GetExperiment fetches an experiment definition by id.
 func (db *DB) GetExperiment(tx *store.Tx, id int64) (Experiment, error) {
-	r, err := db.rg.Get(tx, KindExperiment, id)
+	r, err := db.rg.GetRef(tx, KindExperiment, id)
 	if err != nil {
 		return Experiment{}, err
 	}

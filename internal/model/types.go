@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -137,6 +138,11 @@ type Experiment struct {
 }
 
 // --- record conversions -------------------------------------------------
+//
+// The conversions accept shared record references from the store's zero-copy
+// read path. Scalar fields are value types; slice-valued fields are cloned so
+// the returned structs are fully owned by the caller and can be mutated
+// without touching committed state.
 
 func userFromRecord(r store.Record) User {
 	return User{
@@ -158,7 +164,7 @@ func instituteFromRecord(r store.Record) Institute {
 func projectFromRecord(r store.Record) Project {
 	return Project{
 		ID: r.ID(), Name: r.String("name"), Description: r.String("description"),
-		Coach: r.Int("coach"), Members: r.IDs("members"),
+		Coach: r.Int("coach"), Members: slices.Clone(r.IDs("members")),
 		Institute: r.Int("institute"), Area: r.String("area"),
 	}
 }
@@ -223,7 +229,7 @@ func applicationFromRecord(r store.Record) Application {
 	return Application{
 		ID: r.ID(), Name: r.String("name"), Description: r.String("description"),
 		Connector: r.String("connector"), Program: r.String("program"),
-		InputSpec: r.Strings("input_spec"), ParamSpec: r.Strings("param_spec"),
+		InputSpec: slices.Clone(r.Strings("input_spec")), ParamSpec: slices.Clone(r.Strings("param_spec")),
 		Active: r.Bool("active"),
 	}
 }
@@ -231,8 +237,8 @@ func applicationFromRecord(r store.Record) Application {
 func experimentFromRecord(r store.Record) Experiment {
 	return Experiment{
 		ID: r.ID(), Name: r.String("name"), Project: r.Int("project"),
-		Owner: r.Int("owner"), Resources: r.IDs("resources"),
-		Samples: r.IDs("samples"), Extracts: r.IDs("extracts"),
+		Owner: r.Int("owner"), Resources: slices.Clone(r.IDs("resources")),
+		Samples: slices.Clone(r.IDs("samples")), Extracts: slices.Clone(r.IDs("extracts")),
 		Attributes:  ParseKV(r.Strings("attributes")),
 		Description: r.String("description"),
 	}

@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"fmt"
 	"net/http"
 	"testing"
 
@@ -33,5 +34,91 @@ func TestBrowseEndpoint(t *testing.T) {
 		if code >= 500 {
 			t.Errorf("browse unknown kind: %d", code)
 		}
+	}
+}
+
+func TestBrowseListPagination(t *testing.T) {
+	fx := newFixture(t)
+	var created struct{ IDs []int64 }
+	fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "tpl", Project: fx.project},
+		"Batch":  7, "Prefix": "page",
+	}, &created)
+	if len(created.IDs) != 7 {
+		t.Fatalf("batch created %d samples", len(created.IDs))
+	}
+
+	type page struct {
+		Items []map[string]any `json:"items"`
+		Next  int64            `json:"next"`
+	}
+	var first page
+	if code := fx.call(t, "alice", "GET", "/api/browse/sample?limit=3", nil, &first); code != http.StatusOK {
+		t.Fatalf("first page: %d", code)
+	}
+	if len(first.Items) != 3 || first.Next == 0 {
+		t.Fatalf("first page: %d items, next=%d", len(first.Items), first.Next)
+	}
+
+	// Follow the cursor to the end; pages must be in ascending id order
+	// without gaps or repeats.
+	seen := map[float64]bool{}
+	last := float64(0)
+	cur := first
+	for {
+		for _, item := range cur.Items {
+			id, _ := item["id"].(float64)
+			if id <= last {
+				t.Fatalf("ids out of order: %v after %v", id, last)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %v", id)
+			}
+			seen[id] = true
+			last = id
+		}
+		if cur.Next == 0 {
+			break
+		}
+		var next page
+		if code := fx.call(t, "alice", "GET",
+			fmt.Sprintf("/api/browse/sample?from=%d&limit=3", cur.Next), nil, &next); code != http.StatusOK {
+			t.Fatalf("next page: %d", code)
+		}
+		cur = next
+	}
+	if len(seen) != 7 {
+		t.Fatalf("paginated over %d samples, want 7", len(seen))
+	}
+
+	// Unknown kinds 404; bad cursors 400.
+	if code := fx.call(t, "alice", "GET", "/api/browse/not-a-kind", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown kind list: %d", code)
+	}
+	if code := fx.call(t, "alice", "GET", "/api/browse/sample?from=x", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("bad cursor: %d", code)
+	}
+
+	// Project scoping: a scientist outside the project sees none of its
+	// samples, an expert sees all of them, and non-project-scoped kinds
+	// (users) stay visible to everyone.
+	var outsiderView, expertView, usersView page
+	if code := fx.call(t, "outsider", "GET", "/api/browse/sample?limit=100", nil, &outsiderView); code != http.StatusOK {
+		t.Fatalf("outsider list: %d", code)
+	}
+	if len(outsiderView.Items) != 0 {
+		t.Errorf("outsider sees %d samples of a foreign project", len(outsiderView.Items))
+	}
+	if code := fx.call(t, "eva", "GET", "/api/browse/sample?limit=100", nil, &expertView); code != http.StatusOK {
+		t.Fatalf("expert list: %d", code)
+	}
+	if len(expertView.Items) != 7 {
+		t.Errorf("expert sees %d samples, want 7", len(expertView.Items))
+	}
+	if code := fx.call(t, "outsider", "GET", "/api/browse/user?limit=100", nil, &usersView); code != http.StatusOK {
+		t.Fatalf("user list: %d", code)
+	}
+	if len(usersView.Items) == 0 {
+		t.Error("outsider sees no users; unscoped kinds should be visible")
 	}
 }

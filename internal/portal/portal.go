@@ -74,6 +74,7 @@ func (s *Server) routes() {
 
 	s.mux.HandleFunc("GET /api/workunits/{id}", s.auth(s.handleGetWorkunit))
 	s.mux.HandleFunc("GET /api/resources/{id}/download", s.auth(s.handleDownload))
+	s.mux.HandleFunc("GET /api/browse/{kind}", s.auth(s.handleBrowseList))
 	s.mux.HandleFunc("GET /api/browse/{kind}/{id}", s.auth(s.handleBrowse))
 	s.mux.HandleFunc("GET /api/workflows/{id}/dot", s.auth(s.handleWorkflowDOT))
 
@@ -724,6 +725,115 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", res.Name))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(data)
+}
+
+// recordProject resolves the project that gates visibility of a record, or
+// 0 when the kind is not project-scoped (organizations, users, ...). A
+// negative result means the scope could not be resolved; hide the record.
+func recordProject(tx *store.Tx, kind string, rec store.Record) int64 {
+	switch kind {
+	case model.KindProject:
+		return rec.ID()
+	case model.KindExtract:
+		if sm, err := tx.GetRef(model.KindSample, rec.Int("sample")); err == nil {
+			return sm.Int("project")
+		}
+		return -1
+	case model.KindDataResource:
+		if wu, err := tx.GetRef(model.KindWorkunit, rec.Int("workunit")); err == nil {
+			return wu.Int("project")
+		}
+		return -1
+	default:
+		return rec.Int("project")
+	}
+}
+
+// handleBrowseList serves an ordered, paginated listing of one entity kind:
+// GET /api/browse/{kind}?from=<id>&limit=<n>. It rides the store's ordered
+// ScanRange primitive and its zero-copy read path: records are collected by
+// reference (immutable committed snapshots) and serialized without cloning.
+// The response carries a "next" cursor to pass as the following page's from.
+//
+// Project scoping matches the single-object endpoints: experts and admins
+// see everything, other users only records of their projects (access per
+// project is resolved once and cached across the page).
+func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
+	kind := r.PathValue("kind")
+	if s.sys.Registry.Kind(kind) == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("portal: unknown kind %q", kind))
+		return
+	}
+	var from int64
+	if v := r.URL.Query().Get("from"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || parsed < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("portal: bad from %q", v))
+			return
+		}
+		from = parsed
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("portal: bad limit %q", v))
+			return
+		}
+		if parsed > 500 {
+			parsed = 500
+		}
+		limit = parsed
+	}
+	login := loginOf(r)
+	var out struct {
+		Items []store.Record `json:"items"`
+		Next  int64          `json:"next"` // 0: no further pages
+	}
+	out.Items = []store.Record{}
+	err := s.sys.View(func(tx *store.Tx) error {
+		u, err := s.sys.DB.UserByLogin(tx, login)
+		if err != nil {
+			return err
+		}
+		seeAll := u.Role == model.RoleAdmin || u.Role == model.RoleExpert
+		allowed := map[int64]bool{}
+		// Cap the records examined per page so a heavily-filtered listing
+		// (a user who can see little of a large table) does bounded work
+		// per request; the cursor records where the scan stopped, so a
+		// short or empty page with next != 0 still makes progress.
+		const scanBudget = 5000
+		scanned := 0
+		return tx.ScanRangeRef(kind, from, 0, func(rec store.Record) bool {
+			if len(out.Items) == limit || scanned == scanBudget {
+				out.Next = rec.ID()
+				return false
+			}
+			scanned++
+			if !seeAll {
+				switch project := recordProject(tx, kind, rec); {
+				case project < 0:
+					return true // unresolvable scope: hide
+				case project > 0:
+					ok, cached := allowed[project]
+					if !cached {
+						ok = s.sys.Auth.CanAccessProject(tx, login, project)
+						allowed[project] = ok
+					}
+					if !ok {
+						return true
+					}
+				}
+			}
+			out.Items = append(out.Items, rec)
+			return true
+		})
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {

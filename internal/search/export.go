@@ -19,21 +19,29 @@ func (s *Service) ExportCSV(w io.Writer, hits []Hit) error {
 		return err
 	}
 	st := s.rg.Store()
-	for _, h := range hits {
-		name := ""
-		if st.HasTable(h.Kind) {
-			if r, err := st.Get(h.Kind, h.ID); err == nil {
-				name = r.String("name")
-				if name == "" {
-					name = r.String("value") // annotation terms
+	// One read transaction for all hits; names are extracted from shared
+	// record references without cloning.
+	names := make([]string, len(hits))
+	_ = st.View(func(tx *store.Tx) error {
+		for i, h := range hits {
+			if !st.HasTable(h.Kind) {
+				continue
+			}
+			if r, err := tx.GetRef(h.Kind, h.ID); err == nil {
+				names[i] = r.String("name")
+				if names[i] == "" {
+					names[i] = r.String("value") // annotation terms
 				}
 			}
 		}
+		return nil
+	})
+	for i, h := range hits {
 		rec := []string{
 			h.Kind,
 			strconv.FormatInt(h.ID, 10),
 			strconv.FormatFloat(h.Score, 'f', 2, 64),
-			name,
+			names[i],
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -51,20 +59,28 @@ func (s *Service) ExportRecordsCSV(w io.Writer, kind string, ids []int64) error 
 	if !st.HasTable(kind) {
 		return fmt.Errorf("search: unknown kind %q", kind)
 	}
-	// Gather the union of fields over the exported rows.
+	// Gather the union of fields over the exported rows. The records are
+	// read by reference in one transaction; the refs stay valid snapshots
+	// for the write loop below because committed records are immutable.
 	fieldSet := make(map[string]bool)
 	records := make([]store.Record, 0, len(ids))
-	for _, id := range ids {
-		r, err := st.Get(kind, id)
-		if err != nil {
-			return err
-		}
-		for k := range r {
-			if k != store.IDField {
-				fieldSet[k] = true
+	err := st.View(func(tx *store.Tx) error {
+		for _, id := range ids {
+			r, err := tx.GetRef(kind, id)
+			if err != nil {
+				return err
 			}
+			for k := range r {
+				if k != store.IDField {
+					fieldSet[k] = true
+				}
+			}
+			records = append(records, r)
 		}
-		records = append(records, r)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	fields := make([]string, 0, len(fieldSet))
 	for f := range fieldSet {

@@ -11,7 +11,9 @@ package search
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"unicode"
@@ -31,18 +33,22 @@ type Hit struct {
 }
 
 // docKey encodes (kind, id) as the index document key.
-func docKey(kind string, id int64) string { return kind + ":" + fmt.Sprint(id) }
+func docKey(kind string, id int64) string { return kind + ":" + strconv.FormatInt(id, 10) }
 
 func parseDocKey(key string) (string, int64) {
 	i := strings.LastIndexByte(key, ':')
-	var id int64
-	_, _ = fmt.Sscan(key[i+1:], &id)
+	id, _ := strconv.ParseInt(key[i+1:], 10, 64)
 	return key[:i], id
 }
 
 // Service is the search engine.
 type Service struct {
 	rg *entity.Registry
+
+	// flushMu serializes Flush cycles end to end (drain, read, apply) so
+	// two concurrent flushes cannot apply reads of the same document out of
+	// order. It is never taken while mu or a store lock is held.
+	flushMu sync.Mutex
 
 	mu sync.Mutex
 	// terms maps term -> docKey -> term frequency.
@@ -123,28 +129,45 @@ func (s *Service) onEvent(ev events.Event) error {
 }
 
 // ReindexAll marks every record of every registered kind (and the
-// annotation table) dirty, forcing a full rebuild on the next query.
+// annotation table) dirty, forcing a full rebuild on the next query. Keys
+// are gathered with zero-copy scans before the service mutex is taken, so
+// the store is never locked while s.mu is held.
 func (s *Service) ReindexAll() {
 	st := s.rg.Store()
 	kinds := append(s.rg.Kinds(), "annotation")
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var keys []string
 	for _, kind := range kinds {
 		if !st.HasTable(kind) {
 			continue
 		}
 		_ = st.View(func(tx *store.Tx) error {
-			return tx.Scan(kind, func(r store.Record) bool {
-				s.dirty[docKey(kind, r.ID())] = true
+			return tx.ScanRef(kind, func(r store.Record) bool {
+				keys = append(keys, docKey(kind, r.ID()))
 				return true
 			})
 		})
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		s.dirty[k] = true
+	}
 }
 
-// Flush applies all pending index updates by re-reading committed state.
-// Queries call it implicitly.
+// Flush applies all pending index updates incrementally, re-reading only the
+// dirty documents from committed state. Queries call it implicitly.
+//
+// The read side is zero-copy: dirty keys are grouped by kind and fetched
+// with GetRef in one read transaction per kind. Because committed records
+// are immutable, the references stay consistent snapshots while the postings
+// are rebuilt after the transaction ends, outside the store lock.
 func (s *Service) Flush() {
+	// One flush cycle at a time: a document re-dirtied while this flush is
+	// reading is drained by the next flush, which necessarily reads newer
+	// state, so index applies can never go backwards.
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+
 	s.mu.Lock()
 	if len(s.dirty) == 0 {
 		s.mu.Unlock()
@@ -156,28 +179,52 @@ func (s *Service) Flush() {
 	}
 	s.dirty = make(map[string]bool)
 	s.mu.Unlock()
-	sort.Strings(pending)
+	sort.Strings(pending) // deterministic order, grouped by kind
 
+	type dirtyDoc struct {
+		key  string
+		kind string
+		rec  store.Record // nil: document deleted, drop its postings
+	}
+	docs := make([]dirtyDoc, len(pending))
 	st := s.rg.Store()
-	for _, key := range pending {
-		kind, id := parseDocKey(key)
-		var rec store.Record
+	for start := 0; start < len(pending); {
+		kind, _ := parseDocKey(pending[start])
+		end := start
+		for end < len(pending) {
+			if k, _ := parseDocKey(pending[end]); k != kind {
+				break
+			}
+			end++
+		}
 		if st.HasTable(kind) {
 			_ = st.View(func(tx *store.Tx) error {
-				r, err := tx.Get(kind, id)
-				if err == nil {
-					rec = r
+				for i := start; i < end; i++ {
+					_, id := parseDocKey(pending[i])
+					rec, err := tx.GetRef(kind, id)
+					if err != nil {
+						rec = nil
+					}
+					docs[i] = dirtyDoc{key: pending[i], kind: kind, rec: rec}
 				}
 				return nil
 			})
+		} else {
+			for i := start; i < end; i++ {
+				docs[i] = dirtyDoc{key: pending[i], kind: kind}
+			}
 		}
-		s.mu.Lock()
-		s.removeDoc(key)
-		if rec != nil {
-			s.indexDoc(key, kind, rec)
-		}
-		s.mu.Unlock()
+		start = end
 	}
+
+	s.mu.Lock()
+	for _, d := range docs {
+		s.removeDoc(d.key)
+		if d.rec != nil {
+			s.indexDoc(d.key, d.kind, d.rec)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // removeDoc drops a document's postings. Caller holds s.mu.
@@ -367,33 +414,6 @@ func (s *Service) Search(login, query string) ([]Hit, error) {
 		postings = append(postings, merged)
 	}
 
-	scores := make(map[string]float64)
-	if q.Or {
-		for _, p := range postings {
-			for key, tf := range p {
-				scores[key] += float64(tf)
-			}
-		}
-	} else {
-		// AND: intersect, starting from the smallest posting list.
-		sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
-		if len(postings) == 0 || len(postings[0]) == 0 {
-			return nil, nil
-		}
-		for key, tf := range postings[0] {
-			scores[key] = float64(tf)
-		}
-		for _, p := range postings[1:] {
-			for key := range scores {
-				if tf, ok := p[key]; ok {
-					scores[key] += float64(tf)
-				} else {
-					delete(scores, key)
-				}
-			}
-		}
-	}
-
 	kindOK := func(kind string) bool {
 		if len(q.Kinds) == 0 {
 			return true
@@ -405,22 +425,70 @@ func (s *Service) Search(login, query string) ([]Hit, error) {
 		}
 		return false
 	}
-	hits := make([]Hit, 0, len(scores))
-	for key, score := range scores {
-		kind, id := parseDocKey(key)
-		if !kindOK(kind) {
-			continue
+
+	var hits []Hit
+	if q.Or {
+		scores := make(map[string]float64)
+		for _, p := range postings {
+			for key, tf := range p {
+				scores[key] += float64(tf)
+			}
 		}
-		hits = append(hits, Hit{Kind: kind, ID: id, Score: score})
+		hits = make([]Hit, 0, len(scores))
+		for key, score := range scores {
+			kind, id := parseDocKey(key)
+			if !kindOK(kind) {
+				continue
+			}
+			hits = append(hits, Hit{Kind: kind, ID: id, Score: score})
+		}
+	} else {
+		// AND: walk the smallest posting list and probe the others directly,
+		// accumulating matches into the hit slice without an intermediate
+		// scores map.
+		sort.Slice(postings, func(i, j int) bool { return len(postings[i]) < len(postings[j]) })
+		if len(postings) == 0 || len(postings[0]) == 0 {
+			return nil, nil
+		}
+		hits = make([]Hit, 0, len(postings[0]))
+		for key, tf := range postings[0] {
+			score := float64(tf)
+			matched := true
+			for _, p := range postings[1:] {
+				tf2, ok := p[key]
+				if !ok {
+					matched = false
+					break
+				}
+				score += float64(tf2)
+			}
+			if !matched {
+				continue
+			}
+			kind, id := parseDocKey(key)
+			if !kindOK(kind) {
+				continue
+			}
+			hits = append(hits, Hit{Kind: kind, ID: id, Score: score})
+		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	slices.SortFunc(hits, func(a, b Hit) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		if hits[i].Kind != hits[j].Kind {
-			return hits[i].Kind < hits[j].Kind
+		if c := strings.Compare(a.Kind, b.Kind); c != 0 {
+			return c
 		}
-		return hits[i].ID < hits[j].ID
+		if a.ID != b.ID {
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	return hits, nil
 }
@@ -444,7 +512,7 @@ func (s *Service) SaveQuery(tx *store.Tx, owner, name, query string) (int64, err
 
 // SavedQueries lists the owner's saved queries in id order.
 func (s *Service) SavedQueries(tx *store.Tx, owner string) ([]SavedQuery, error) {
-	rs, err := tx.Find(savedTable, "owner", owner)
+	rs, err := tx.FindRef(savedTable, "owner", owner)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package store
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"time"
 )
 
@@ -20,9 +20,9 @@ func keyFor(v any) (indexKey, bool) {
 	case string:
 		return indexKey("s:" + x), true
 	case int64:
-		return indexKey(fmt.Sprintf("i:%d", x)), true
+		return indexKey("i:" + strconv.FormatInt(x, 10)), true
 	case float64:
-		return indexKey(fmt.Sprintf("f:%g", x)), true
+		return indexKey("f:" + strconv.FormatFloat(x, 'g', -1, 64)), true
 	case bool:
 		if x {
 			return "b:1", true
@@ -35,17 +35,18 @@ func keyFor(v any) (indexKey, bool) {
 	}
 }
 
-// index is a secondary index over one field of a table. Non-unique indexes
-// map key -> set of row IDs; unique indexes additionally enforce at most one
-// row per key.
+// index is a secondary index over one field of a table. Postings are kept as
+// sorted id slices, maintained incrementally on insert/remove, so lookups
+// return ordered results without re-sorting. Unique indexes additionally
+// enforce at most one row per key.
 type index struct {
 	field  string
 	unique bool
-	byKey  map[indexKey]map[int64]struct{}
+	byKey  map[indexKey][]int64
 }
 
 func newIndex(field string, unique bool) *index {
-	return &index{field: field, unique: unique, byKey: make(map[indexKey]map[int64]struct{})}
+	return &index{field: field, unique: unique, byKey: make(map[indexKey][]int64)}
 }
 
 func (ix *index) insert(r Record, id int64) error {
@@ -57,17 +58,12 @@ func (ix *index) insert(r Record, id int64) error {
 	if !ok {
 		return nil
 	}
-	set := ix.byKey[key]
-	if ix.unique && len(set) > 0 {
-		if _, self := set[id]; !self {
-			return fmt.Errorf("field %q value %v: %w", ix.field, v, ErrUnique)
-		}
+	ids := ix.byKey[key]
+	n := len(ids)
+	if ix.unique && n > 0 && !(n == 1 && ids[0] == id) {
+		return fmt.Errorf("field %q value %v: %w", ix.field, v, ErrUnique)
 	}
-	if set == nil {
-		set = make(map[int64]struct{})
-		ix.byKey[key] = set
-	}
-	set[id] = struct{}{}
+	ix.byKey[key] = insertSorted(ids, id)
 	return nil
 }
 
@@ -80,29 +76,28 @@ func (ix *index) remove(r Record, id int64) {
 	if !ok {
 		return
 	}
-	set := ix.byKey[key]
-	delete(set, id)
-	if len(set) == 0 {
+	ids := removeSorted(ix.byKey[key], id)
+	if len(ids) == 0 {
 		delete(ix.byKey, key)
+		return
 	}
+	ix.byKey[key] = ids
 }
 
-// lookup returns the sorted IDs of rows whose indexed field equals v.
+// lookup returns the sorted IDs of rows whose indexed field equals v. The
+// result is a fresh slice the caller may keep.
 func (ix *index) lookup(v any) []int64 {
 	key, ok := keyFor(v)
 	if !ok {
 		return nil
 	}
-	set := ix.byKey[key]
-	if len(set) == 0 {
+	ids := ix.byKey[key]
+	if len(ids) == 0 {
 		return nil
 	}
-	ids := make([]int64, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	out := make([]int64, len(ids))
+	copy(out, ids)
+	return out
 }
 
 // checkUnique verifies that writing record r under id would not violate the
@@ -122,7 +117,7 @@ func (ix *index) checkUnique(r Record, id int64, pending map[int64]Record, delet
 		return nil
 	}
 	// Committed holders of this key.
-	for holder := range ix.byKey[key] {
+	for _, holder := range ix.byKey[key] {
 		if holder == id {
 			continue
 		}

@@ -113,12 +113,8 @@ func (s *Store) Save(w io.Writer) error {
 	for _, name := range names {
 		t := s.tables[name]
 		ts := tableSnapshot{Name: name, NextID: t.nextID}
-		ids := make([]int64, 0, len(t.rows))
-		for id := range t.rows {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		// t.ids is maintained sorted; no per-save rebuild needed.
+		for _, id := range t.ids {
 			r := t.rows[id]
 			rs := rowSnapshot{ID: id}
 			keys := make([]string, 0, len(r))
@@ -187,6 +183,7 @@ func (s *Store) Load(r io.Reader) error {
 				}
 			}
 			t.rows[rs.ID] = rec
+			t.insertID(rs.ID)
 		}
 		s.tables[ts.Name] = t
 	}

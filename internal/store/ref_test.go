@@ -1,0 +1,329 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// collectIDs runs a range scan and returns the visited ids.
+func collectIDs(t *testing.T, tx *Tx, table string, from, to int64, ref bool) []int64 {
+	t.Helper()
+	var ids []int64
+	fn := func(r Record) bool {
+		ids = append(ids, r.ID())
+		return true
+	}
+	var err error
+	if ref {
+		err = tx.ScanRangeRef(table, from, to, fn)
+	} else {
+		err = tx.ScanRange(table, from, to, fn)
+	}
+	if err != nil {
+		t.Fatalf("ScanRange(%d,%d): %v", from, to, err)
+	}
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScanRangeBoundaries(t *testing.T) {
+	s := newTestStore(t, "t")
+	for i := 0; i < 10; i++ {
+		mustInsert(t, s, "t", Record{"n": int64(i)}) // ids 1..10
+	}
+	// Punch holes so boundaries land on both present and missing ids.
+	err := s.Update(func(tx *Tx) error {
+		if err := tx.Delete("t", 4); err != nil {
+			return err
+		}
+		return tx.Delete("t", 9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		from, to int64
+		want     []int64
+	}{
+		{0, 0, []int64{1, 2, 3, 5, 6, 7, 8, 10}}, // unbounded
+		{3, 7, []int64{3, 5, 6, 7}},              // inclusive both ends
+		{4, 9, []int64{5, 6, 7, 8}},              // bounds on deleted ids
+		{0, 5, []int64{1, 2, 3, 5}},              // open start
+		{8, 0, []int64{8, 10}},                   // open end
+		{10, 10, []int64{10}},                    // single record
+		{11, 0, nil},                             // past the end
+		{7, 3, nil},                              // inverted range
+	}
+	for _, ref := range []bool{false, true} {
+		err := s.View(func(tx *Tx) error {
+			for _, c := range cases {
+				if got := collectIDs(t, tx, "t", c.from, c.to, ref); !equalIDs(got, c.want) {
+					t.Errorf("ScanRange(ref=%v, %d, %d) = %v, want %v", ref, c.from, c.to, got, c.want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScanRangeUnknownTable(t *testing.T) {
+	s := newTestStore(t, "t")
+	err := s.View(func(tx *Tx) error {
+		return tx.ScanRange("nope", 0, 0, func(Record) bool { return true })
+	})
+	if !errors.Is(err, ErrNoTable) {
+		t.Fatalf("got %v, want ErrNoTable", err)
+	}
+}
+
+func TestScanRangeEarlyStop(t *testing.T) {
+	s := newTestStore(t, "t")
+	for i := 0; i < 5; i++ {
+		mustInsert(t, s, "t", Record{"n": int64(i)})
+	}
+	var seen []int64
+	err := s.View(func(tx *Tx) error {
+		return tx.ScanRangeRef("t", 2, 0, func(r Record) bool {
+			seen = append(seen, r.ID())
+			return len(seen) < 2
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(seen, []int64{2, 3}) {
+		t.Fatalf("early stop visited %v, want [2 3]", seen)
+	}
+}
+
+// TestScanRangeObservesOverlay verifies that range scans inside a read-write
+// transaction merge pending inserts, rewrites and deletes into the committed
+// order.
+func TestScanRangeObservesOverlay(t *testing.T) {
+	s := newTestStore(t, "t")
+	for i := 0; i < 6; i++ {
+		mustInsert(t, s, "t", Record{"v": "old"}) // ids 1..6
+	}
+	err := s.Update(func(tx *Tx) error {
+		if err := tx.Delete("t", 2); err != nil {
+			return err
+		}
+		if err := tx.Put("t", 4, Record{"v": "new"}); err != nil {
+			return err
+		}
+		if _, err := tx.Insert("t", Record{"v": "ins"}); err != nil { // id 7
+			return err
+		}
+		var ids []int64
+		vals := map[int64]string{}
+		if err := tx.ScanRangeRef("t", 2, 7, func(r Record) bool {
+			ids = append(ids, r.ID())
+			vals[r.ID()] = r.String("v")
+			return true
+		}); err != nil {
+			return err
+		}
+		if want := []int64{3, 4, 5, 6, 7}; !equalIDs(ids, want) {
+			t.Errorf("overlay scan = %v, want %v", ids, want)
+		}
+		if vals[4] != "new" || vals[7] != "ins" || vals[3] != "old" {
+			t.Errorf("overlay scan values = %v", vals)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefSnapshotImmutability pins the aliasing contract: a reference
+// obtained inside a transaction remains an unchanged snapshot after the
+// transaction ends and later writers rewrite the row, because commits
+// replace record maps instead of mutating them.
+func TestRefSnapshotImmutability(t *testing.T) {
+	s := newTestStore(t, "t")
+	id := mustInsert(t, s, "t", Record{"v": "before", "tags": []string{"x"}})
+
+	var ref Record
+	err := s.View(func(tx *Tx) error {
+		var err error
+		ref, err = tx.GetRef("t", id)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = s.Update(func(tx *Tx) error {
+		return tx.Put("t", id, Record{"v": "after", "tags": []string{"y", "z"}})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := ref.String("v"); got != "before" {
+		t.Fatalf("held ref mutated: v = %q, want %q", got, "before")
+	}
+	if tags := ref.Strings("tags"); len(tags) != 1 || tags[0] != "x" {
+		t.Fatalf("held ref slice mutated: %v", tags)
+	}
+	cur, err := s.Get("t", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cur.String("v"); got != "after" {
+		t.Fatalf("committed state = %q, want %q", got, "after")
+	}
+}
+
+// TestRefReadersNeverSeeTornRecords hammers zero-copy readers against a
+// committing writer; run with -race. Every record keeps the invariant
+// a == b, both while scanning under the shared lock and on references
+// retained after the reading transaction has ended.
+func TestRefReadersNeverSeeTornRecords(t *testing.T) {
+	s := newTestStore(t, "t")
+	if err := s.CreateIndex("t", "a", false); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 32
+	err := s.Update(func(tx *Tx) error {
+		for i := 0; i < rows; i++ {
+			if _, err := tx.Insert("t", Record{"a": int64(0), "b": int64(0)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: rewrites rows, always keeping a == b
+		defer wg.Done()
+		for v := int64(1); v <= rounds; v++ {
+			id := v%rows + 1
+			err := s.Update(func(tx *Tx) error {
+				return tx.Put("t", id, Record{"a": v, "b": v})
+			})
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var held []Record
+				err := s.View(func(tx *Tx) error {
+					return tx.ScanRef("t", func(rec Record) bool {
+						if a, b := rec.Int("a"), rec.Int("b"); a != b {
+							t.Errorf("torn record %d during scan: a=%d b=%d", rec.ID(), a, b)
+						}
+						held = append(held, rec)
+						return true
+					})
+				})
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				// The transaction is over; retained refs must still be
+				// internally consistent snapshots.
+				for _, rec := range held {
+					if a, b := rec.Int("a"), rec.Int("b"); a != b {
+						t.Errorf("torn record %d after release: a=%d b=%d", rec.ID(), a, b)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestLookupRewriteNoDuplicates is a regression test for the Lookup overlay
+// dedupe: a row rewritten in the transaction with an unchanged indexed value
+// must appear exactly once.
+func TestLookupRewriteNoDuplicates(t *testing.T) {
+	s := newTestStore(t, "t")
+	if err := s.CreateIndex("t", "grp", false); err != nil {
+		t.Fatal(err)
+	}
+	id := mustInsert(t, s, "t", Record{"grp": "g", "n": int64(1)})
+	err := s.Update(func(tx *Tx) error {
+		if err := tx.Put("t", id, Record{"grp": "g", "n": int64(2)}); err != nil {
+			return err
+		}
+		ids, err := tx.Lookup("t", "grp", "g")
+		if err != nil {
+			return err
+		}
+		if !equalIDs(ids, []int64{id}) {
+			t.Errorf("Lookup after rewrite = %v, want [%d]", ids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindRefSharesRecords verifies FindRef returns the committed maps
+// themselves (no copies) while Find returns independent clones.
+func TestFindRefSharesRecords(t *testing.T) {
+	s := newTestStore(t, "t")
+	if err := s.CreateIndex("t", "grp", false); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, s, "t", Record{"grp": "g", "tags": []string{"a"}})
+	err := s.View(func(tx *Tx) error {
+		refs, err := tx.FindRef("t", "grp", "g")
+		if err != nil {
+			return err
+		}
+		ref2, err := tx.GetRef("t", refs[0].ID())
+		if err != nil {
+			return err
+		}
+		// Same underlying map: mutating would be a contract violation, but
+		// identity is observable through shared slice storage.
+		if &refs[0].Strings("tags")[0] != &ref2.Strings("tags")[0] {
+			t.Error("FindRef and GetRef returned different copies")
+		}
+		clone, err := tx.Get("t", refs[0].ID())
+		if err != nil {
+			return err
+		}
+		if &clone.Strings("tags")[0] == &refs[0].Strings("tags")[0] {
+			t.Error("Get returned a shared record, want a deep copy")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

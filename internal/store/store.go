@@ -7,8 +7,14 @@
 //
 // Records are flat maps from field name to a value of one of the supported
 // types (string, int64, float64, bool, time.Time, []int64, []string). The
-// store deep-copies records on the way in and out, so callers can never
-// alias the committed state.
+// store deep-copies records on the way in, and committed records are never
+// mutated in place afterwards: every write replaces the whole record map.
+// This immutability contract is what makes the zero-copy read path safe —
+// Tx.GetRef, Tx.ScanRef, Tx.FindRef and friends hand out shared references
+// to committed records that remain valid snapshots even after the
+// transaction ends, provided callers treat them as read-only. The classic
+// Get/Scan/Find API still returns deep copies for callers that mutate.
+// See DESIGN.md for the full aliasing contract.
 package store
 
 import (
@@ -116,8 +122,11 @@ func validValue(v any) bool {
 
 // table is the committed state of one record kind.
 type table struct {
-	name    string
-	rows    map[int64]Record
+	name string
+	rows map[int64]Record
+	// ids holds the live record IDs in ascending order, maintained
+	// incrementally on commit so ordered scans never rebuild or re-sort.
+	ids     []int64
 	nextID  int64
 	indexes map[string]*index
 }
@@ -129,6 +138,41 @@ func newTable(name string) *table {
 		nextID:  1,
 		indexes: make(map[string]*index),
 	}
+}
+
+// insertID adds id to the table's sorted id slice.
+func (t *table) insertID(id int64) { t.ids = insertSorted(t.ids, id) }
+
+// removeID drops id from the table's sorted id slice.
+func (t *table) removeID(id int64) { t.ids = removeSorted(t.ids, id) }
+
+// insertSorted adds id to the ascending slice, keeping it sorted and
+// duplicate-free. Serial IDs almost always append; the general case falls
+// back to a binary-search insertion.
+func insertSorted(ids []int64, id int64) []int64 {
+	n := len(ids)
+	if n == 0 || id > ids[n-1] {
+		return append(ids, id)
+	}
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	if i < n && ids[i] == id {
+		return ids // already present
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeSorted drops id from the ascending slice, if present.
+func removeSorted(ids []int64, id int64) []int64 {
+	n := len(ids)
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	if i == n || ids[i] != id {
+		return ids
+	}
+	copy(ids[i:], ids[i+1:])
+	return ids[:n-1]
 }
 
 // Store is an embedded transactional record store. The zero value is not
@@ -211,13 +255,8 @@ func (s *Store) CreateIndex(tableName, field string, unique bool) error {
 		return fmt.Errorf("store: index on %s.%s already exists: %w", tableName, field, ErrExists)
 	}
 	idx := newIndex(field, unique)
-	// Index existing rows.
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	// Index existing rows in id order.
+	for _, id := range t.ids {
 		if err := idx.insert(t.rows[id], id); err != nil {
 			return fmt.Errorf("store: building index %s.%s: %w", tableName, field, err)
 		}

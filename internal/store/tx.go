@@ -186,8 +186,24 @@ func (tx *Tx) exists(t *table, tableName string, id int64) bool {
 }
 
 // Get returns a copy of the record with the given id, observing the
-// transaction's own pending writes.
+// transaction's own pending writes. The copy is the caller's to mutate.
 func (tx *Tx) Get(tableName string, id int64) (Record, error) {
+	r, err := tx.GetRef(tableName, id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// GetRef returns the record with the given id without copying it, observing
+// the transaction's own pending writes.
+//
+// Aliasing contract: the returned record (including its slice values) is
+// shared with the store and MUST NOT be mutated. Committed records are
+// immutable — writes replace whole record maps — so the reference stays a
+// valid, consistent snapshot even after the transaction ends. Callers that
+// need to modify the record must use Get (or Clone the reference).
+func (tx *Tx) GetRef(tableName string, id int64) (Record, error) {
 	if tx.done {
 		return nil, ErrTxDone
 	}
@@ -200,14 +216,14 @@ func (tx *Tx) Get(tableName string, id int64) (Record, error) {
 			return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
 		}
 		if r, ok := o.writes[id]; ok {
-			return r.Clone(), nil
+			return r, nil
 		}
 	}
 	r, ok := t.rows[id]
 	if !ok {
 		return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
 	}
-	return r.Clone(), nil
+	return r, nil
 }
 
 // Exists reports whether the record exists.
@@ -251,6 +267,34 @@ func (tx *Tx) Count(tableName string) int {
 // Scan visits every live record of the table in ascending ID order. The
 // callback receives a copy of each record and returns false to stop early.
 func (tx *Tx) Scan(tableName string, fn func(r Record) bool) error {
+	return tx.scanRange(tableName, 0, 0, true, fn)
+}
+
+// ScanRef is Scan without the per-record copy: the callback receives shared
+// references to live records, in ascending ID order. The GetRef aliasing
+// contract applies — records must not be mutated.
+func (tx *Tx) ScanRef(tableName string, fn func(r Record) bool) error {
+	return tx.scanRange(tableName, 0, 0, false, fn)
+}
+
+// ScanRange visits the live records with fromID <= id <= toID in ascending
+// ID order, receiving copies. A fromID of 0 means "from the first record"; a
+// toID of 0 means "to the last". This is the primitive behind paginated
+// browsing: pass the last seen id + 1 as fromID to resume a scan.
+func (tx *Tx) ScanRange(tableName string, fromID, toID int64, fn func(r Record) bool) error {
+	return tx.scanRange(tableName, fromID, toID, true, fn)
+}
+
+// ScanRangeRef is ScanRange without the per-record copy. The GetRef aliasing
+// contract applies.
+func (tx *Tx) ScanRangeRef(tableName string, fromID, toID int64, fn func(r Record) bool) error {
+	return tx.scanRange(tableName, fromID, toID, false, fn)
+}
+
+// scanRange is the shared ordered-scan core. It walks the table's
+// incrementally-maintained sorted id slice — no per-call rebuild or sort —
+// merging in the transaction's pending overlay when one exists.
+func (tx *Tx) scanRange(tableName string, fromID, toID int64, clone bool, fn func(r Record) bool) error {
 	if tx.done {
 		return ErrTxDone
 	}
@@ -258,39 +302,75 @@ func (tx *Tx) Scan(tableName string, fn func(r Record) bool) error {
 	if err != nil {
 		return err
 	}
+	emit := func(r Record) bool {
+		if clone {
+			r = r.Clone()
+		}
+		return fn(r)
+	}
+	inRange := func(id int64) bool {
+		return id >= fromID && (toID == 0 || id <= toID)
+	}
+
+	// Restrict the committed id slice to [fromID, toID].
+	ids := t.ids
+	if fromID > 0 {
+		lo := sort.Search(len(ids), func(k int) bool { return ids[k] >= fromID })
+		ids = ids[lo:]
+	}
+	if toID > 0 {
+		hi := sort.Search(len(ids), func(k int) bool { return ids[k] > toID })
+		ids = ids[:hi]
+	}
+
 	o := tx.pending[tableName]
-	ids := make([]int64, 0, len(t.rows)+8)
-	for id := range t.rows {
-		if o != nil {
+	if o == nil || (len(o.writes) == 0 && len(o.deletes) == 0) {
+		// Fast path: no overlay, walk the committed order directly.
+		for _, id := range ids {
+			if !emit(t.rows[id]) {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	// Overlay ids (new inserts and rewrites) in range, sorted.
+	oids := make([]int64, 0, len(o.writes))
+	for id := range o.writes {
+		if !o.deletes[id] && inRange(id) {
+			oids = append(oids, id)
+		}
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+
+	// Merge-walk committed and overlay ids. Rewritten committed ids are
+	// emitted from the overlay side; deleted ids are skipped.
+	i, j := 0, 0
+	for i < len(ids) || j < len(oids) {
+		switch {
+		case j >= len(oids) || (i < len(ids) && ids[i] < oids[j]):
+			id := ids[i]
+			i++
 			if o.deletes[id] {
 				continue
 			}
 			if _, rewritten := o.writes[id]; rewritten {
-				continue // added below from overlay
+				continue // comes from the overlay side
 			}
-		}
-		ids = append(ids, id)
-	}
-	if o != nil {
-		for id := range o.writes {
-			if !o.deletes[id] {
-				ids = append(ids, id)
+			if !emit(t.rows[id]) {
+				return nil
 			}
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		var r Record
-		if o != nil {
-			if pr, ok := o.writes[id]; ok {
-				r = pr
+		case i >= len(ids) || oids[j] < ids[i]:
+			if !emit(o.writes[oids[j]]) {
+				return nil
 			}
-		}
-		if r == nil {
-			r = t.rows[id]
-		}
-		if !fn(r.Clone()) {
-			return nil
+			j++
+		default: // equal: rewritten committed row
+			if !emit(o.writes[oids[j]]) {
+				return nil
+			}
+			i++
+			j++
 		}
 	}
 	return nil
@@ -314,16 +394,17 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 	o := tx.pending[tableName]
 	var ids []int64
 	if ix, haveIx := t.indexes[field]; haveIx {
-		for _, id := range ix.lookup(value) {
-			if o != nil {
-				if o.deletes[id] {
-					continue
-				}
-				if pr, rewritten := o.writes[id]; rewritten {
-					if k, ok2 := keyFor(pr[field]); !ok2 || k != want {
-						continue
-					}
-				}
+		committed := ix.lookup(value)
+		if o == nil || (len(o.writes) == 0 && len(o.deletes) == 0) {
+			// Fast path: the index result is already sorted and final.
+			return committed, nil
+		}
+		for _, id := range committed {
+			if o.deletes[id] {
+				continue
+			}
+			if _, rewritten := o.writes[id]; rewritten {
+				continue // re-checked against the pending state below
 			}
 			ids = append(ids, id)
 		}
@@ -343,14 +424,14 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 		}
 	}
 	if o != nil {
+		// Rewritten and inserted rows were excluded above, so appending every
+		// matching pending write cannot produce duplicates.
 		for id, pr := range o.writes {
 			if o.deletes[id] {
 				continue
 			}
 			if k, ok2 := keyFor(pr[field]); ok2 && k == want {
-				if !containsID(ids, id) {
-					ids = append(ids, id)
-				}
+				ids = append(ids, id)
 			}
 		}
 	}
@@ -358,24 +439,29 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 	return ids, nil
 }
 
-func containsID(ids []int64, id int64) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
-}
-
 // Find returns copies of all records whose field equals value, in ID order.
 func (tx *Tx) Find(tableName, field string, value any) ([]Record, error) {
+	out, err := tx.FindRef(tableName, field, value)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range out {
+		out[i] = r.Clone()
+	}
+	return out, nil
+}
+
+// FindRef returns shared references to all records whose field equals value,
+// in ID order. The GetRef aliasing contract applies: the records must not be
+// mutated.
+func (tx *Tx) FindRef(tableName, field string, value any) ([]Record, error) {
 	ids, err := tx.Lookup(tableName, field, value)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Record, 0, len(ids))
 	for _, id := range ids {
-		r, err := tx.Get(tableName, id)
+		r, err := tx.GetRef(tableName, id)
 		if err != nil {
 			return nil, err
 		}
@@ -384,8 +470,19 @@ func (tx *Tx) Find(tableName, field string, value any) ([]Record, error) {
 	return out, nil
 }
 
-// First returns the first record whose field equals value, or ErrNotFound.
+// First returns a copy of the first record whose field equals value, or
+// ErrNotFound.
 func (tx *Tx) First(tableName, field string, value any) (Record, error) {
+	r, err := tx.FirstRef(tableName, field, value)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// FirstRef returns a shared reference to the first record whose field equals
+// value, or ErrNotFound. The GetRef aliasing contract applies.
+func (tx *Tx) FirstRef(tableName, field string, value any) (Record, error) {
 	ids, err := tx.Lookup(tableName, field, value)
 	if err != nil {
 		return nil, err
@@ -393,7 +490,7 @@ func (tx *Tx) First(tableName, field string, value any) (Record, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("store: %s where %s=%v: %w", tableName, field, value, ErrNotFound)
 	}
-	return tx.Get(tableName, ids[0])
+	return tx.GetRef(tableName, ids[0])
 }
 
 // commit applies the transaction's pending writes to the committed state.
@@ -417,6 +514,7 @@ func (tx *Tx) commit() error {
 					ix.remove(old, id)
 				}
 				delete(t.rows, id)
+				t.removeID(id)
 			}
 		}
 		ids := make([]int64, 0, len(o.writes))
@@ -426,7 +524,8 @@ func (tx *Tx) commit() error {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
 			rec := o.writes[id]
-			if old, ok := t.rows[id]; ok {
+			old, existed := t.rows[id]
+			if existed {
 				for _, ix := range t.indexes {
 					ix.remove(old, id)
 				}
@@ -438,7 +537,13 @@ func (tx *Tx) commit() error {
 					return fmt.Errorf("store: commit %s/%d: %w", name, id, err)
 				}
 			}
+			// Committed records are immutable: the map under t.rows[id] is
+			// replaced wholesale, never written through, so references handed
+			// out by GetRef/ScanRef stay valid snapshots.
 			t.rows[id] = rec
+			if !existed {
+				t.insertID(id)
+			}
 		}
 		if o.nextID > t.nextID {
 			t.nextID = o.nextID

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/events"
 	"repro/internal/store"
@@ -87,7 +88,7 @@ func New(s *store.Store, bus *events.Bus) *Engine {
 	return e
 }
 
-func refKey(kind string, ref int64) string { return fmt.Sprintf("%s:%d", kind, ref) }
+func refKey(kind string, ref int64) string { return kind + ":" + strconv.FormatInt(ref, 10) }
 
 func taskFromRecord(r store.Record) Task {
 	return Task{
@@ -132,7 +133,7 @@ func (e *Engine) Create(tx *store.Tx, t Task) (int64, error) {
 
 // Get returns the task with the given id.
 func (e *Engine) Get(tx *store.Tx, id int64) (Task, error) {
-	r, err := tx.Get(tasksTable, id)
+	r, err := tx.GetRef(tasksTable, id)
 	if err != nil {
 		return Task{}, err
 	}
@@ -178,14 +179,14 @@ func (e *Engine) ListOpen(tx *store.Tx, login string, roles ...string) ([]Task, 
 		}
 	}
 	if login != "" {
-		rs, err := tx.Find(tasksTable, "assignee_login", login)
+		rs, err := tx.FindRef(tasksTable, "assignee_login", login)
 		if err != nil {
 			return nil, err
 		}
 		add(rs)
 	}
 	for _, role := range roles {
-		rs, err := tx.Find(tasksTable, "assignee_role", role)
+		rs, err := tx.FindRef(tasksTable, "assignee_role", role)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +198,7 @@ func (e *Engine) ListOpen(tx *store.Tx, login string, roles ...string) ([]Task, 
 
 // OpenForObject returns the open tasks referring to the given object.
 func (e *Engine) OpenForObject(tx *store.Tx, kind string, ref int64) ([]Task, error) {
-	rs, err := tx.Find(tasksTable, "refkey", refKey(kind, ref))
+	rs, err := tx.FindRef(tasksTable, "refkey", refKey(kind, ref))
 	if err != nil {
 		return nil, err
 	}

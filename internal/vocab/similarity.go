@@ -97,23 +97,150 @@ func minInt(a, b int) int {
 // single [0,1] score. This mirrors the "similarly written versions of the
 // same annotation" detector of the paper: "Hopeless" vs "Hopeles" scores
 // well above the recommendation threshold, while unrelated terms score low.
+//
+// For scoring one value against many candidates, use a Scorer, which
+// amortizes the query-side work and reuses scratch buffers.
 func Similarity(a, b string) float64 {
-	la, lb := strings.ToLower(strings.TrimSpace(a)), strings.ToLower(strings.TrimSpace(b))
-	if la == lb {
+	return NewScorer(a).Score(b)
+}
+
+// Scorer scores the similarity of one fixed value against many candidates.
+// It precomputes the value's normalized form, rune slice and bigram multiset
+// once, and reuses DP rows and scratch maps across Score calls, so a scan
+// over n candidates allocates O(1) instead of O(n). A Scorer is not safe for
+// concurrent use.
+type Scorer struct {
+	norm  string
+	runes []rune
+	grams map[[2]rune]int
+	total int // bigram multiset size of the value
+
+	// Reusable per-candidate scratch.
+	cand       []rune
+	cgrams     map[[2]rune]int
+	prev, curr []int
+}
+
+// NewScorer prepares a scorer for the given value.
+func NewScorer(value string) *Scorer {
+	sc := &Scorer{
+		norm:   strings.ToLower(strings.TrimSpace(value)),
+		grams:  make(map[[2]rune]int),
+		cgrams: make(map[[2]rune]int),
+	}
+	sc.runes = []rune(sc.norm)
+	sc.total = fillGrams(sc.grams, sc.runes)
+	return sc
+}
+
+// Score returns Similarity(value, candidate) for the scorer's value.
+func (sc *Scorer) Score(candidate string) float64 {
+	lb := strings.ToLower(strings.TrimSpace(candidate))
+	if sc.norm == lb {
 		return 1
 	}
-	maxLen := len([]rune(la))
-	if n := len([]rune(lb)); n > maxLen {
+	sc.cand = appendRunes(sc.cand[:0], lb)
+	maxLen := len(sc.runes)
+	if n := len(sc.cand); n > maxLen {
 		maxLen = n
 	}
 	if maxLen == 0 {
 		return 1
 	}
-	editSim := 1 - float64(Levenshtein(la, lb))/float64(maxLen)
-	dice := DiceCoefficient(la, lb)
+	editSim := 1 - float64(sc.levenshtein())/float64(maxLen)
+	dice := sc.dice()
 	// Weighted blend: edit similarity dominates for short strings where a
 	// single typo hurts bigram overlap disproportionately.
 	return 0.6*editSim + 0.4*dice
+}
+
+// levenshtein computes the edit distance between the scorer's value and the
+// current candidate (sc.cand). Shared prefixes and suffixes are trimmed
+// first — vocabulary terms typically share long stems — shrinking the DP to
+// the differing core; the DP rows are reused across calls.
+func (sc *Scorer) levenshtein() int {
+	a, b := sc.runes, sc.cand
+	for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+		a, b = a[1:], b[1:]
+	}
+	for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if cap(sc.prev) < len(b)+1 {
+		sc.prev = make([]int, len(b)+1)
+		sc.curr = make([]int, len(b)+1)
+	}
+	prev, curr := sc.prev[:len(b)+1], sc.curr[:len(b)+1]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(
+				prev[j]+1,      // deletion
+				curr[j-1]+1,    // insertion
+				prev[j-1]+cost, // substitution
+			)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+// dice computes the Sørensen–Dice bigram similarity between the scorer's
+// value and the current candidate, using [2]rune-keyed multisets so that no
+// per-bigram strings are allocated.
+func (sc *Scorer) dice() float64 {
+	clear(sc.cgrams)
+	ctotal := fillGrams(sc.cgrams, sc.cand)
+	if sc.total == 0 && ctotal == 0 {
+		return 1
+	}
+	if sc.total == 0 || ctotal == 0 {
+		return 0
+	}
+	common := 0
+	for g, cb := range sc.cgrams {
+		if ca := sc.grams[g]; ca > 0 {
+			common += minInt(ca, cb)
+		}
+	}
+	return 2 * float64(common) / float64(sc.total+ctotal)
+}
+
+// fillGrams adds the bigram multiset of rs to m and returns its size. A
+// single-rune string contributes one pseudo-bigram, mirroring bigrams; the
+// -1 sentinel cannot collide with any real second rune.
+func fillGrams(m map[[2]rune]int, rs []rune) int {
+	switch len(rs) {
+	case 0:
+		return 0
+	case 1:
+		m[[2]rune{rs[0], -1}]++
+		return 1
+	}
+	for i := 0; i+1 < len(rs); i++ {
+		m[[2]rune{rs[i], rs[i+1]}]++
+	}
+	return len(rs) - 1
+}
+
+func appendRunes(dst []rune, s string) []rune {
+	for _, r := range s {
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // DefaultSimilarityThreshold is the score above which two annotations are

@@ -150,7 +150,7 @@ func (sv *Service) AddTerm(tx *store.Tx, actor, vocabulary, value string, releas
 
 // Get returns the term with the given id.
 func (sv *Service) Get(tx *store.Tx, id int64) (Term, error) {
-	r, err := tx.Get(termsTable, id)
+	r, err := tx.GetRef(termsTable, id)
 	if err != nil {
 		return Term{}, err
 	}
@@ -159,7 +159,7 @@ func (sv *Service) Get(tx *store.Tx, id int64) (Term, error) {
 
 // Lookup finds a term by vocabulary and (case-insensitive) value.
 func (sv *Service) Lookup(tx *store.Tx, vocabulary, value string) (Term, error) {
-	r, err := tx.First(termsTable, "key", termKey(vocabulary, value))
+	r, err := tx.FirstRef(termsTable, "key", termKey(vocabulary, value))
 	if err != nil {
 		return Term{}, err
 	}
@@ -169,7 +169,7 @@ func (sv *Service) Lookup(tx *store.Tx, vocabulary, value string) (Term, error) 
 // Terms returns all terms of a vocabulary, optionally filtered by state
 // (empty state = all), sorted by value. This backs the drop-down menus.
 func (sv *Service) Terms(tx *store.Tx, vocabulary, state string) ([]Term, error) {
-	rs, err := tx.Find(termsTable, "vocabulary", vocabulary)
+	rs, err := tx.FindRef(termsTable, "vocabulary", vocabulary)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +188,7 @@ func (sv *Service) Terms(tx *store.Tx, vocabulary, state string) ([]Term, error)
 // Pending returns every pending term across all vocabularies — the expert's
 // review queue.
 func (sv *Service) Pending(tx *store.Tx) ([]Term, error) {
-	rs, err := tx.Find(termsTable, "state", StatePending)
+	rs, err := tx.FindRef(termsTable, "state", StatePending)
 	if err != nil {
 		return nil, err
 	}
@@ -233,19 +233,25 @@ func (sv *Service) Exists(tx *store.Tx, vocabulary, value string) bool {
 // candidates scoring at or above the service threshold, best first. The
 // exact (case-insensitive) match is excluded: it is a duplicate, not a
 // merge candidate.
+//
+// The scan is zero-copy (term records are read by reference and only their
+// string values extracted) and amortizes the query side of the similarity
+// computation across all comparisons via a Scorer.
 func (sv *Service) Similar(tx *store.Tx, vocabulary, value string) ([]Candidate, error) {
-	terms, err := sv.Terms(tx, vocabulary, "")
+	rs, err := tx.FindRef(termsTable, "vocabulary", vocabulary)
 	if err != nil {
 		return nil, err
 	}
+	sc := NewScorer(value)
 	norm := strings.ToLower(strings.TrimSpace(value))
 	var out []Candidate
-	for _, t := range terms {
-		if strings.ToLower(t.Value) == norm {
+	for _, r := range rs {
+		tv := r.String("value")
+		if strings.ToLower(tv) == norm {
 			continue
 		}
-		if score := Similarity(value, t.Value); score >= sv.threshold {
-			out = append(out, Candidate{Term: t, Score: score})
+		if score := sc.Score(tv); score >= sv.threshold {
+			out = append(out, Candidate{Term: termFromRecord(r), Score: score})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite with -benchmem and refreshes
+# BENCH_baseline.json, the committed performance baseline that future PRs
+# diff against.
+#
+# Usage:
+#   scripts/bench.sh                 # default -benchtime (0.2s)
+#   BENCHTIME=1s scripts/bench.sh    # longer, steadier numbers
+#   OUT=/tmp/bench.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.2s}"
+OUT="${OUT:-BENCH_baseline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench=. -benchmem -run='^$' -benchtime="$BENCHTIME" -timeout 60m ./... | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | cut -d' ' -f3)" '
+/^pkg: / { pkg = $2 }
+/^cpu: / { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        sep = (metrics == "" ? "" : ", ")
+        metrics = metrics sprintf("%s\"%s\": %s", sep, $(i + 1), $i)
+    }
+    recs[n++] = sprintf("    {\"package\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}", \
+                        pkg, name, iters, metrics)
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
