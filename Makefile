@@ -1,9 +1,15 @@
-.PHONY: build test race bench
+.PHONY: build test race bench verify
 
 build:
 	go build ./...
 
 test:
+	go test ./...
+
+# The tier-1 gate: everything CI (and the next PR) must keep green.
+verify:
+	go build ./...
+	go vet ./...
 	go test ./...
 
 # Race-checks the packages with dedicated concurrency tests (zero-copy read

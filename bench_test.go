@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/apps"
@@ -659,6 +660,109 @@ func BenchmarkSAU_AuditLog(b *testing.B) {
 					return err
 				})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- D1/D2: durability (WAL + group commit + recovery) -------------------------
+
+// BenchmarkD1_DurableRegisterSample is F2 through the durable write path:
+// every sample registration is WAL-logged before it is acknowledged. The
+// sync policies bound the cost spectrum; the parallel group-commit
+// variant shows concurrent registrations sharing fsyncs, which is how a
+// facility-facing deployment would actually run SyncAlways.
+func BenchmarkD1_DurableRegisterSample(b *testing.B) {
+	durable := func(sync store.SyncPolicy) core.Options {
+		return core.Options{
+			DisableSearch: true, DisableAudit: true,
+			DataDir: b.TempDir(), Sync: sync, SnapshotEvery: -1,
+		}
+	}
+	register := func(sys *core.System, project int64, i int64) error {
+		return sys.Update(func(tx *store.Tx) error {
+			_, err := sys.DB.CreateSample(tx, "alice", model.Sample{
+				Name: fmt.Sprintf("s%d", i), Project: project,
+			})
+			return err
+		})
+	}
+	for _, sync := range []store.SyncPolicy{store.SyncOff, store.SyncInterval, store.SyncAlways} {
+		b.Run("fsync-"+sync.String(), func(b *testing.B) {
+			sys, project := benchSystem(b, durable(sync))
+			defer sys.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := register(sys, project, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("fsync-always-group", func(b *testing.B) {
+		sys, project := benchSystem(b, durable(store.SyncAlways))
+		defer sys.Close()
+		var seq atomic.Int64
+		b.SetParallelism(64)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := register(sys, project, seq.Add(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkD2_Recovery measures cold-start recovery (store.Open: snapshot
+// load + WAL replay + index-free arming) of a generated FGCZ-shaped
+// population, both from a pure WAL (worst case: every commit replayed)
+// and from a compacted snapshot (the state bfabric-admin snapshot leaves
+// behind).
+func BenchmarkD2_Recovery(b *testing.B) {
+	const scale = 0.1 // ~7.6k entities, ~4.7k annotation links
+	build := func(b *testing.B, compact bool) string {
+		dir := b.TempDir()
+		s, err := store.Open(dir, store.DurabilityOptions{Sync: store.SyncOff, SnapshotEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.NewWithStore(s, core.Options{DisableSearch: true, DisableAudit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := genload.Generate(sys, genload.FGCZJan2010.Scaled(scale)); err != nil {
+			b.Fatal(err)
+		}
+		if compact {
+			if err := s.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, variant := range []struct {
+		name    string
+		compact bool
+	}{{"from-wal", false}, {"from-snapshot", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			dir := build(b, variant.compact)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := store.Open(dir, store.DurabilityOptions{Sync: store.SyncOff, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Count(model.KindWorkunit) == 0 {
+					b.Fatal("incomplete recovery")
+				}
+				if err := s.Close(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,11 +1,19 @@
 // Command bfabric-admin provides B-Fabric's administrative functions from
 // the shell: generating and inspecting deployments, reviewing pending
-// annotations, merging duplicates, querying the audit log, and exporting
-// object tables — operating on store snapshot files.
+// annotations, merging duplicates, querying the audit log, exporting
+// object tables, and managing durable data directories (forced snapshots,
+// WAL inspection).
+//
+// Every -in flag accepts either a snapshot file (deploy.gob) or a durable
+// data directory created by `bfabric -data-dir`; directories are opened
+// through full WAL recovery. Mutating commands write back where the data
+// came from: snapshot files are atomically replaced, data directories get
+// a fresh snapshot + WAL truncation.
 //
 // Usage:
 //
 //	bfabric-admin gen    -out deploy.gob [-scale 0.1]
+//	bfabric-admin gen    -data-dir ./data [-scale 0.1]
 //	bfabric-admin stats  -in deploy.gob
 //	bfabric-admin list   -in deploy.gob -kind sample [-limit 20]
 //	bfabric-admin pending -in deploy.gob
@@ -15,6 +23,8 @@
 //	bfabric-admin export -in deploy.gob -kind sample
 //	bfabric-admin export-project -in deploy.gob -project 3 -out project.zip
 //	bfabric-admin import-project -in deploy.gob -archive project.zip -out deploy.gob
+//	bfabric-admin snapshot -data-dir ./data
+//	bfabric-admin wal      -data-dir ./data
 package main
 
 import (
@@ -57,6 +67,10 @@ func main() {
 		err = cmdExportProject(args)
 	case "import-project":
 		err = cmdImportProject(args)
+	case "snapshot":
+		err = cmdSnapshot(args)
+	case "wal":
+		err = cmdWAL(args)
 	default:
 		usage()
 	}
@@ -66,26 +80,96 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project|snapshot|wal} [flags]")
 	os.Exit(2)
 }
 
-// openSystem loads a snapshot and wires a system over it. Search is
-// disabled: admin commands never need the index and skipping it keeps
-// start-up instant on large snapshots.
+// openSystem loads a snapshot file — or recovers a durable data directory
+// — and wires a system over it. Search is disabled: admin commands never
+// need the index and skipping it keeps start-up instant on large
+// deployments.
 func openSystem(path string) (*core.System, error) {
-	s := store.New()
-	if err := s.LoadFile(path); err != nil {
+	s, err := openStore(path)
+	if err != nil {
 		return nil, err
 	}
 	return core.NewWithStore(s, core.Options{DisableSearch: true})
 }
 
+// openStore opens path as a data directory (with WAL recovery) or as a
+// plain snapshot file.
+func openStore(path string) (*store.Store, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		// Automatic snapshots stay off: admin runs are short-lived and
+		// persist explicitly on the way out.
+		return store.Open(path, store.DurabilityOptions{Sync: store.SyncAlways, SnapshotEvery: -1})
+	}
+	s := store.New()
+	if err := s.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// persist writes a mutated system back. For a durable directory opened in
+// place, that is a snapshot + WAL truncation; otherwise a snapshot file
+// write to out.
+//
+// Note that a durable directory is never a dry-run source: the mutation
+// was write-ahead logged into it the moment the transaction committed.
+// With -out pointing elsewhere the snapshot file is written in addition,
+// and we say so rather than let the operator believe the directory was
+// left untouched.
+func persist(sys *core.System, in, out string) error {
+	if out == "" {
+		out = in
+	}
+	if sys.Store.Durable() {
+		if out != in {
+			if err := sys.Store.SaveFile(out); err != nil {
+				return err
+			}
+			fmt.Printf("note: %s is a durable data directory; the change is committed there too (exported snapshot: %s)\n", in, out)
+		}
+		if err := sys.Store.Snapshot(); err != nil {
+			return err
+		}
+		return sys.Store.Close()
+	}
+	if err := sys.Store.SaveFile(out); err != nil {
+		return err
+	}
+	return sys.Store.Close()
+}
+
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	out := fs.String("out", "deploy.gob", "snapshot output path")
+	dataDir := fs.String("data-dir", "", "generate into a durable data directory instead of a snapshot file")
 	scale := fs.Float64("scale", 1.0, "population scale (1.0 = full FGCZ)")
+	fsyncFlag := fs.String("fsync", "off", "WAL sync policy while generating (always, interval, off)")
 	_ = fs.Parse(args)
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *dataDir != "" && set["out"] {
+		return fmt.Errorf("-out and -data-dir are mutually exclusive: gen writes either a snapshot file or a durable directory")
+	}
+	if *dataDir == "" && set["fsync"] {
+		return fmt.Errorf("-fsync only applies with -data-dir")
+	}
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			return err
+		}
+		stats, err := genload.PopulateDir(*dataDir, genload.FGCZJan2010.Scaled(*scale), policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated durable deployment (scale %.3f) -> %s\n", *scale, *dataDir)
+		fmt.Print(genload.StatsTable(stats))
+		return nil
+	}
 	sys := core.MustNew(core.Options{DisableSearch: true, DisableAudit: true})
 	p := genload.FGCZJan2010.Scaled(*scale)
 	if err := genload.Generate(sys, p); err != nil {
@@ -96,6 +180,69 @@ func cmdGen(args []string) error {
 	}
 	fmt.Printf("generated deployment (scale %.3f) -> %s\n", *scale, *out)
 	fmt.Print(genload.StatsTable(sys.DB.CollectStats()))
+	return nil
+}
+
+// cmdSnapshot forces a snapshot + WAL truncation on a data directory —
+// the operator's compaction and pre-backup hook.
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable data directory")
+	_ = fs.Parse(args)
+	if *dataDir == "" {
+		return fmt.Errorf("-data-dir is required")
+	}
+	s, err := store.Open(*dataDir, store.DurabilityOptions{Sync: store.SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot(); err != nil {
+		s.Close()
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	info, err := store.InspectDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written: seq %d, %d bytes\n", info.SnapshotSeq, info.SnapshotSize)
+	return nil
+}
+
+// cmdWAL prints the on-disk durability state of a data directory without
+// opening or mutating it.
+func cmdWAL(args []string) error {
+	fs := flag.NewFlagSet("wal", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable data directory")
+	_ = fs.Parse(args)
+	if *dataDir == "" {
+		return fmt.Errorf("-data-dir is required")
+	}
+	info, err := store.InspectDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	if info.HasSnapshot {
+		fmt.Printf("snapshot: seq %-8d %10d bytes  %s\n",
+			info.SnapshotSeq, info.SnapshotSize, info.SnapshotTime.Format("2006-01-02 15:04:05"))
+	} else {
+		fmt.Println("snapshot: none")
+	}
+	for _, seg := range info.Segments {
+		state := "ok"
+		if seg.Torn {
+			state = "TORN TAIL"
+		}
+		fmt.Printf("segment:  base %-6d %10d bytes  %5d records (seq %d..%d)  %s\n",
+			seg.Base, seg.Size, seg.Records, seg.FirstSeq, seg.LastSeq, state)
+	}
+	if info.Damaged {
+		fmt.Printf("DAMAGED: mid-history records are torn or missing; recovery will refuse this directory — restore from backup (intact prefix ends at commit %d)\n", info.LastSeq)
+		return nil
+	}
+	fmt.Printf("recoverable through commit %d\n", info.LastSeq)
 	return nil
 }
 
@@ -174,9 +321,6 @@ func cmdRelease(args []string) error {
 	id := fs.Int64("id", 0, "annotation id")
 	actor := fs.String("actor", "admin", "reviewing expert login")
 	_ = fs.Parse(args)
-	if *out == "" {
-		*out = *in
-	}
 	sys, err := openSystem(*in)
 	if err != nil {
 		return err
@@ -187,7 +331,7 @@ func cmdRelease(args []string) error {
 		return err
 	}
 	fmt.Printf("released annotation %d\n", *id)
-	return sys.Store.SaveFile(*out)
+	return persist(sys, *in, *out)
 }
 
 func cmdMerge(args []string) error {
@@ -199,9 +343,6 @@ func cmdMerge(args []string) error {
 	newValue := fs.String("value", "", "optional new spelling for the merged term")
 	actor := fs.String("actor", "admin", "merging expert login")
 	_ = fs.Parse(args)
-	if *out == "" {
-		*out = *in
-	}
 	sys, err := openSystem(*in)
 	if err != nil {
 		return err
@@ -216,7 +357,7 @@ func cmdMerge(args []string) error {
 	}); err != nil {
 		return err
 	}
-	return sys.Store.SaveFile(*out)
+	return persist(sys, *in, *out)
 }
 
 func cmdAudit(args []string) error {
@@ -256,8 +397,8 @@ func cmdExport(args []string) error {
 	kind := fs.String("kind", "sample", "entity kind")
 	limit := fs.Int("limit", 1000, "max rows")
 	_ = fs.Parse(args)
-	s := store.New()
-	if err := s.LoadFile(*in); err != nil {
+	s, err := openStore(*in)
+	if err != nil {
 		return err
 	}
 	sys, err := core.NewWithStore(s, core.Options{DisableAudit: true})
@@ -311,9 +452,6 @@ func cmdImportProject(args []string) error {
 	out := fs.String("out", "", "output snapshot (default: overwrite input)")
 	actor := fs.String("actor", "admin", "importing login")
 	_ = fs.Parse(args)
-	if *out == "" {
-		*out = *in
-	}
 	sys, err := openSystem(*in)
 	if err != nil {
 		return err
@@ -329,5 +467,5 @@ func cmdImportProject(args []string) error {
 	fmt.Printf("imported project %d: %d samples, %d extracts, %d workunits, %d resources, %d experiments (%d terms added, %d payloads)\n",
 		res.Project, res.Samples, res.Extracts, res.Workunits, res.Resources,
 		res.Experiments, res.TermsAdded, res.PayloadsStored)
-	return sys.Store.SaveFile(*out)
+	return persist(sys, *in, *out)
 }

@@ -1,21 +1,36 @@
 // Command bfabric runs the B-Fabric web portal. It wires a complete
-// in-memory system, optionally seeds a demo deployment (instrument
-// providers, users, vocabularies) and serves the portal over HTTP.
+// system, optionally seeds a demo deployment (instrument providers,
+// users, vocabularies) and serves the portal over HTTP.
 //
 // Usage:
 //
-//	bfabric [-addr :8077] [-seed]
+//	bfabric [-addr :8077] [-seed] [-data-dir DIR] [-fsync always|interval|off]
+//	        [-sync-every 25ms] [-snapshot-every BYTES]
+//
+// Without -data-dir the system is volatile: everything lives in memory
+// and dies with the process. With -data-dir every committed transaction
+// is written ahead to a log in that directory before the commit is
+// acknowledged, and restarting the server recovers the full committed
+// state — including after a kill -9. See docs/operations.md for the
+// durability policies and the data-dir layout.
 //
 // With -seed the server starts with the demo fixture of the paper's
 // Section 2: users alice (scientist), eva (expert) and root (admin), all
 // with password "demo", project p1000, a simulated Affymetrix GeneChip
-// provider, and the two-group-analysis application registered.
+// provider, and the two-group-analysis application registered. Seeding is
+// skipped when the data directory already contains users, so restarting a
+// seeded durable server does not duplicate the fixture.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -27,28 +42,85 @@ import (
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	seed := flag.Bool("seed", false, "seed the demo deployment")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or off")
+	syncEvery := flag.Duration("sync-every", 25*time.Millisecond, "background fsync period for -fsync interval")
+	snapshotEvery := flag.Int64("snapshot-every", 0, "WAL bytes that trigger a background snapshot+truncate (0 = 64 MiB default, negative disables)")
 	flag.Parse()
 
-	sys, err := core.New(core.Options{})
+	opts := core.Options{}
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("bfabric: %v", err)
+		}
+		opts.DataDir = *dataDir
+		opts.Sync = policy
+		opts.SyncEvery = *syncEvery
+		opts.SnapshotEvery = *snapshotEvery
+		opts.OnStoreError = func(err error) { log.Printf("bfabric: durability: %v", err) }
+	}
+
+	sys, err := core.New(opts)
 	if err != nil {
 		log.Fatalf("bfabric: wiring system: %v", err)
 	}
-	if *seed {
-		if err := seedDemo(sys); err != nil {
-			log.Fatalf("bfabric: seeding demo data: %v", err)
+	if *dataDir != "" {
+		if info, ok := sys.Store.WALInfo(); ok {
+			log.Printf("durable store at %s (fsync=%s), recovered through commit %d",
+				*dataDir, info.Policy, info.LastSeq)
 		}
-		log.Printf("seeded demo deployment: logins alice/eva/root, password %q", "demo")
+	}
+	if *seed {
+		// Providers and their storage mounts live in process memory, so
+		// they are registered on every start; only the store-writing half
+		// of the fixture is skipped once the data dir carries it.
+		if err := registerDemoProviders(sys); err != nil {
+			log.Fatalf("bfabric: registering demo providers: %v", err)
+		}
+		if sys.Store.Count(model.KindUser) > 0 {
+			log.Printf("data dir already seeded; skipping demo data")
+		} else {
+			if err := seedDemoData(sys); err != nil {
+				log.Fatalf("bfabric: seeding demo data: %v", err)
+			}
+			log.Printf("seeded demo deployment: logins alice/eva/root, password %q", "demo")
+		}
 	}
 
-	srv := portal.New(sys)
+	httpSrv := &http.Server{Addr: *addr, Handler: portal.New(sys)}
+
+	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then close the
+	// store (final WAL fsync). kill -9 is recovered on the next start.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-sigs
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("bfabric: draining connections: %v", err)
+		}
+	}()
+
 	log.Printf("B-Fabric portal listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	// ListenAndServe returns as soon as Shutdown is *called*; wait for the
+	// drain to finish before closing the store underneath the handlers.
+	<-drained
+	if err := sys.Close(); err != nil {
+		log.Fatalf("bfabric: shutdown: %v", err)
+	}
+	log.Printf("bfabric: clean shutdown")
 }
 
-// seedDemo builds the Section 2 starting state.
-func seedDemo(sys *core.System) error {
+// registerDemoProviders mounts the Section 2 instrument simulators. This
+// state is process-local and must be rebuilt on every start.
+func registerDemoProviders(sys *core.System) error {
 	samples := []string{"AT-1-control", "AT-2-control", "AT-1-treated", "AT-2-treated"}
 	gp, gpStore := provider.NewAffymetrixGeneChip("genechip", samples)
 	sys.Storage.Mount(gpStore)
@@ -57,9 +129,11 @@ func seedDemo(sys *core.System) error {
 	}
 	ms, msStore := provider.NewMassSpec("ltqft", []string{"MS-run-1", "MS-run-2"}, 200)
 	sys.Storage.Mount(msStore)
-	if err := sys.Providers.Register(ms); err != nil {
-		return err
-	}
+	return sys.Providers.Register(ms)
+}
+
+// seedDemoData writes the Section 2 starting state into the store.
+func seedDemoData(sys *core.System) error {
 	return sys.Update(func(tx *store.Tx) error {
 		org, err := sys.DB.CreateOrganization(tx, "seed", model.Organization{Name: "University of Zurich", Country: "CH"})
 		if err != nil {

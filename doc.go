@@ -4,7 +4,10 @@
 // an extensible platform for coupling user applications on the fly.
 //
 // The implementation lives under internal/ (one package per subsystem; see
-// DESIGN.md for the inventory), the binaries under cmd/, runnable
-// walk-throughs under examples/, and the paper-artifact benchmarks in
-// bench_test.go next to this file.
+// DESIGN.md for the inventory and README.md for the tour), the binaries
+// under cmd/, runnable walk-throughs under examples/, operator notes under
+// docs/, and the paper-artifact benchmarks in bench_test.go next to this
+// file. Storage is durable when a data directory is configured: commits
+// are write-ahead logged with group commit and recovered on restart
+// (DESIGN.md, "Durability"; docs/operations.md for running it).
 package repro

@@ -3,9 +3,16 @@
 // vocabularies, tasks, workflows, storage, providers, import, application
 // integration, search, audit and auth — wired together exactly as the
 // examples, the portal and the benchmark harness consume them.
+//
+// Wiring is idempotent over restored state: tables are ensured, not
+// created, and secondary indexes are rebuilt from recovered rows. That is
+// what lets New(Options{DataDir: ...}) recover a durable store (snapshot +
+// WAL replay, see internal/store) and then re-register the schema on top.
 package core
 
 import (
+	"time"
+
 	"repro/internal/apps"
 	"repro/internal/audit"
 	"repro/internal/auth"
@@ -23,13 +30,31 @@ import (
 )
 
 // Options tunes which optional subsystems a System carries. The zero value
-// enables everything.
+// enables everything and keeps the store in memory.
 type Options struct {
 	// DisableSearch skips the full-text index (useful for bulk-load
 	// benchmarks where indexing would dominate).
 	DisableSearch bool
 	// DisableAudit skips the audit log.
 	DisableAudit bool
+
+	// DataDir, when non-empty, makes the system durable: the store is
+	// opened (and recovered) from this directory and every commit goes
+	// through the write-ahead log. Empty keeps the classic in-memory
+	// store.
+	DataDir string
+	// Sync is the WAL sync policy (store.SyncAlways unless set).
+	Sync store.SyncPolicy
+	// SyncEvery is the background fsync period under store.SyncInterval.
+	SyncEvery time.Duration
+	// SnapshotEvery is the WAL size in bytes that triggers a background
+	// snapshot + truncation; 0 = store default (64 MiB), negative
+	// disables automatic snapshots.
+	SnapshotEvery int64
+	// OnStoreError receives background durability failures (e.g. a
+	// failing snapshot while the WAL keeps growing) so the host process
+	// can log them as they happen instead of discovering them at Close.
+	OnStoreError func(error)
 }
 
 // System is a fully wired B-Fabric instance.
@@ -51,9 +76,29 @@ type System struct {
 	Auth       *auth.Service
 }
 
-// New builds a complete in-memory system over a fresh store.
+// New builds a complete system. With Options.DataDir set the store is
+// durable — recovered from the directory's snapshot + WAL on startup —
+// otherwise it is a fresh in-memory store. Durable systems should be
+// Closed to get the final WAL fsync.
 func New(opts Options) (*System, error) {
-	return NewWithStore(store.New(), opts)
+	if opts.DataDir == "" {
+		return NewWithStore(store.New(), opts)
+	}
+	s, err := store.Open(opts.DataDir, store.DurabilityOptions{
+		Sync:          opts.Sync,
+		SyncEvery:     opts.SyncEvery,
+		SnapshotEvery: opts.SnapshotEvery,
+		OnError:       opts.OnStoreError,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewWithStore(s, opts)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	return sys, nil
 }
 
 // NewWithStore wires a system over an existing store — typically one just
@@ -122,4 +167,11 @@ func (sys *System) Update(fn func(tx *store.Tx) error) error {
 // View runs fn in a read-only transaction on the system store.
 func (sys *System) View(fn func(tx *store.Tx) error) error {
 	return sys.Store.View(fn)
+}
+
+// Close shuts the system down. On durable systems this flushes and closes
+// the write-ahead log; a cleanly closed system is fully durable regardless
+// of sync policy. In-memory systems only reject further transactions.
+func (sys *System) Close() error {
+	return sys.Store.Close()
 }

@@ -127,6 +127,39 @@ func inBatches(sys *core.System, n int, fn func(tx *store.Tx, i int) error) erro
 	return nil
 }
 
+// PopulateDir generates profile p into a durable data directory through
+// the store's write-ahead log, then snapshots and truncates so the
+// directory ends as a compact snapshot plus an empty WAL — the shape a
+// freshly provisioned deployment should have. The directory is left
+// cleanly closed; open it with store.Open or core.New{DataDir}.
+// It returns the generated population statistics.
+func PopulateDir(dir string, p Profile, sync store.SyncPolicy) (model.Stats, error) {
+	// Refuse a directory that already holds data: generating on top would
+	// silently double every population.
+	if info, err := store.InspectDir(dir); err == nil && (info.HasSnapshot || info.LastSeq > 0) {
+		return model.Stats{}, fmt.Errorf("genload: data directory %s already holds commits through seq %d; refusing to generate on top", dir, info.LastSeq)
+	}
+	s, err := store.Open(dir, store.DurabilityOptions{Sync: sync, SnapshotEvery: -1})
+	if err != nil {
+		return model.Stats{}, err
+	}
+	sys, err := core.NewWithStore(s, core.Options{DisableSearch: true, DisableAudit: true})
+	if err != nil {
+		s.Close()
+		return model.Stats{}, err
+	}
+	if err := Generate(sys, p); err != nil {
+		s.Close()
+		return model.Stats{}, err
+	}
+	stats := sys.DB.CollectStats()
+	if err := s.Snapshot(); err != nil {
+		s.Close()
+		return model.Stats{}, err
+	}
+	return stats, s.Close()
+}
+
 // Generate populates the system with the profile's entity counts. It is
 // deterministic for a given profile (including seed). Generation commits
 // in bounded batches, one entity family at a time, mirroring bulk

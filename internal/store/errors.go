@@ -21,4 +21,9 @@ var (
 	ErrBadValue = errors.New("unsupported value type")
 	// ErrTxDone is returned when using a finished transaction.
 	ErrTxDone = errors.New("transaction already finished")
+	// ErrCorrupt is returned when recovery finds damage it cannot repair
+	// without losing committed transactions from the middle of the
+	// history (a torn tail on the newest WAL segment is repaired, not
+	// reported).
+	ErrCorrupt = errors.New("corrupt data directory")
 )

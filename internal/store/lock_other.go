@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDataDir is a no-op on platforms without flock semantics; the
+// single-writer discipline is the operator's to uphold there.
+func lockDataDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory lock on <dir>/LOCK so that two
+// processes can never have the same data directory's WAL open for
+// appending (the second writer would interleave frames and its recovery
+// pass could truncate records the first already acknowledged). The lock
+// dies with the process — kill -9 included — so a crash never leaves a
+// stale lock to clean up. Fails fast instead of blocking.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data directory %s is in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}

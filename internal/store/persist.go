@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 )
@@ -13,7 +14,10 @@ import (
 // typed representation so that gob round-trips preserve concrete types.
 type snapshot struct {
 	Version int
-	Tables  []tableSnapshot
+	// Seq is the commit sequence the snapshot captures; WAL records at or
+	// below it are redundant. Zero on snapshots from before the WAL era.
+	Seq    uint64
+	Tables []tableSnapshot
 }
 
 type tableSnapshot struct {
@@ -102,20 +106,72 @@ func (fs fieldSnapshot) decode() any {
 
 // Save serializes the entire committed state of the store to w.
 func (s *Store) Save(w io.Writer) error {
+	_, err := s.writeSnapshot(w)
+	return err
+}
+
+// frozenTable is a lightweight consistent cut of one table: the sorted id
+// slice plus shared references to the committed record maps. Committed
+// records are immutable (writes replace whole maps — the same contract
+// that funds the zero-copy read path), so the frozen view stays a valid
+// snapshot after the store lock is released.
+type frozenTable struct {
+	name    string
+	nextID  int64
+	ids     []int64
+	rows    []Record // parallel to ids
+	indexes []indexSnapshot
+}
+
+// freeze captures a consistent cut of the whole store under the read
+// lock. It copies O(rows) references, not the data, so the lock hold —
+// and therefore the commit stall during a background snapshot — is
+// milliseconds even at deployment scale; the expensive gob encode runs
+// lock-free afterwards.
+func (s *Store) freeze() (uint64, []frozenTable) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	snap := snapshot{Version: 1}
 	names := make([]string, 0, len(s.tables))
 	for n := range s.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	tables := make([]frozenTable, 0, len(names))
 	for _, name := range names {
 		t := s.tables[name]
-		ts := tableSnapshot{Name: name, NextID: t.nextID}
-		// t.ids is maintained sorted; no per-save rebuild needed.
-		for _, id := range t.ids {
-			r := t.rows[id]
+		ft := frozenTable{
+			name:   name,
+			nextID: t.nextID,
+			// t.ids is spliced in place by later deletes; copy it.
+			ids:  append([]int64(nil), t.ids...),
+			rows: make([]Record, len(t.ids)),
+		}
+		for i, id := range t.ids {
+			ft.rows[i] = t.rows[id]
+		}
+		ixNames := make([]string, 0, len(t.indexes))
+		for f := range t.indexes {
+			ixNames = append(ixNames, f)
+		}
+		sort.Strings(ixNames)
+		for _, f := range ixNames {
+			ft.indexes = append(ft.indexes, indexSnapshot{Field: f, Unique: t.indexes[f].unique})
+		}
+		tables = append(tables, ft)
+	}
+	return s.commitSeq, tables
+}
+
+// writeSnapshot serializes the committed state and reports the commit
+// sequence the snapshot captures. The read lock is held only while
+// freezing the record references, not for the encode.
+func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
+	seq, tables := s.freeze()
+	snap := snapshot{Version: 1, Seq: seq}
+	for _, ft := range tables {
+		ts := tableSnapshot{Name: ft.name, NextID: ft.nextID, Indexes: ft.indexes}
+		for i, id := range ft.ids {
+			r := ft.rows[i]
 			rs := rowSnapshot{ID: id}
 			keys := make([]string, 0, len(r))
 			for k := range r {
@@ -128,23 +184,15 @@ func (s *Store) Save(w io.Writer) error {
 			for _, k := range keys {
 				f, err := encodeField(k, r[k])
 				if err != nil {
-					return err
+					return 0, err
 				}
 				rs.Fields = append(rs.Fields, f)
 			}
 			ts.Rows = append(ts.Rows, rs)
 		}
-		ixNames := make([]string, 0, len(t.indexes))
-		for f := range t.indexes {
-			ixNames = append(ixNames, f)
-		}
-		sort.Strings(ixNames)
-		for _, f := range ixNames {
-			ts.Indexes = append(ts.Indexes, indexSnapshot{Field: f, Unique: t.indexes[f].unique})
-		}
 		snap.Tables = append(snap.Tables, ts)
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	return snap.Seq, gob.NewEncoder(w).Encode(snap)
 }
 
 // Load replaces the contents of the store with a snapshot previously
@@ -165,6 +213,7 @@ func (s *Store) Load(r io.Reader) error {
 	if len(s.tables) != 0 {
 		return fmt.Errorf("store: Load requires an empty store")
 	}
+	s.commitSeq = snap.Seq
 	for _, ts := range snap.Tables {
 		t := newTable(ts.Name)
 		t.nextID = ts.NextID
@@ -190,23 +239,39 @@ func (s *Store) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes the store snapshot atomically to the named file.
+// SaveFile writes the store snapshot atomically (write to a temp file,
+// fsync, rename, fsync the directory) to the named file.
 func (s *Store) SaveFile(path string) error {
+	_, err := s.writeSnapshotFile(path)
+	return err
+}
+
+// writeSnapshotFile is the shared atomic-write protocol behind SaveFile
+// and Snapshot: encode to <path>.tmp, fsync, rename over path, fsync the
+// directory so the rename itself is durable. It reports the commit
+// sequence the snapshot captured.
+func (s *Store) writeSnapshotFile(path string) (uint64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := s.Save(f); err != nil {
-		f.Close()
+	seq, err := s.writeSnapshot(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	if err := f.Close(); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp, path)
+	return seq, syncDir(filepath.Dir(path))
 }
 
 // LoadFile loads a snapshot from the named file into the empty store.

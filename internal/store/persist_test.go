@@ -93,6 +93,71 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+// TestSnapshotWALRoundTrip extends the classic Save/Load round trip to
+// the durable composition: typed values must survive snapshot + WAL
+// replay, the commit sequence must carry across, and unique indexes must
+// be rebuildable over the recovered rows.
+func TestSnapshotWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DurabilityOptions{Sync: SyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("sample"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("sample", "name", true); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2010, 1, 2, 3, 4, 5, 0, time.UTC)
+	// First half of the history lands in the snapshot...
+	mustInsert(t, s, "sample", Record{
+		"name": "in-snapshot", "count": int64(7), "ratio": 1.5,
+		"active": true, "created": when,
+		"extracts": []int64{9}, "tags": []string{"a", "b"},
+	})
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// ...the second half only in the WAL.
+	mustInsert(t, s, "sample", Record{
+		"name": "in-wal", "count": int64(8), "ratio": 2.5,
+		"active": false, "created": when.AddDate(0, 1, 0),
+		"extracts": []int64{1, 2}, "tags": []string{"c"},
+	})
+	seqAtClose := s.CommitSeq()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, DurabilityOptions{Sync: SyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.CommitSeq(); got != seqAtClose {
+		t.Errorf("CommitSeq after recovery = %d, want %d", got, seqAtClose)
+	}
+	for id, want := range map[int64]string{1: "in-snapshot", 2: "in-wal"} {
+		r, err := s2.Get("sample", id)
+		if err != nil {
+			t.Fatalf("row %d: %v", id, err)
+		}
+		if r.String("name") != want || r.Int("count") == 0 || r.Float("ratio") == 0 ||
+			r.Time("created").IsZero() || len(r.IDs("extracts")) == 0 || len(r.Strings("tags")) == 0 {
+			t.Errorf("typed fields lost on row %d: %v", id, r)
+		}
+	}
+	// Snapshot carried the index; WAL replay maintained it.
+	err = s2.Update(func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"name": "in-wal"})
+		return err
+	})
+	if !errors.Is(err, ErrUnique) {
+		t.Errorf("unique index after snapshot+WAL recovery: %v", err)
+	}
+}
+
 func TestSaveEmptyStore(t *testing.T) {
 	s := New()
 	var buf bytes.Buffer

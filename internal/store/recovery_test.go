@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestKillNineRecovery proves the acceptance property end to end: a real
+// child process commits through the durable write path under SyncAlways,
+// acknowledging each commit on stdout only after Update returns (i.e.
+// after the group-commit fsync). The parent SIGKILLs it mid-stream, then
+// recovers the directory and checks that every acknowledged transaction
+// survived and that the recovered state is a contiguous committed prefix.
+//
+// The child re-executes this test binary with BFABRIC_WAL_CHILD set; see
+// killNineChild below.
+func TestKillNineRecovery(t *testing.T) {
+	if os.Getenv("BFABRIC_WAL_CHILD") == "1" {
+		killNineChild()
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestKillNineRecovery")
+	cmd.Env = append(os.Environ(), "BFABRIC_WAL_CHILD=1", "BFABRIC_WAL_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	lastAcked := 0
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "committed ") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "committed "))
+		if err != nil {
+			t.Fatalf("bad ack line %q: %v", line, err)
+		}
+		lastAcked = n
+		if lastAcked >= 30 {
+			break
+		}
+	}
+	if lastAcked == 0 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("child acknowledged nothing")
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	s, err := Open(dir, DurabilityOptions{Sync: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery after kill -9: %v", err)
+	}
+	defer s.Close()
+	n := s.Count("sample")
+	if n < lastAcked {
+		t.Fatalf("recovered %d commits, child had %d acknowledged durable", n, lastAcked)
+	}
+	// Committed-prefix: ids 1..n all present, nothing beyond.
+	for id := 1; id <= n; id++ {
+		r, err := s.Get("sample", int64(id))
+		if err != nil {
+			t.Fatalf("hole in committed prefix at id %d: %v", id, err)
+		}
+		if r.Int("n") != int64(id) {
+			t.Fatalf("row %d carries n=%d", id, r.Int("n"))
+		}
+	}
+}
+
+// killNineChild is the victim process: it opens the durable store named by
+// BFABRIC_WAL_DIR and commits forever, acknowledging each durable commit
+// on stdout, until the parent kills it.
+func killNineChild() {
+	dir := os.Getenv("BFABRIC_WAL_DIR")
+	s, err := Open(dir, DurabilityOptions{Sync: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		fmt.Println("child open error:", err)
+		os.Exit(1)
+	}
+	if err := s.CreateTable("sample"); err != nil {
+		fmt.Println("child table error:", err)
+		os.Exit(1)
+	}
+	for i := 1; i <= 100000; i++ {
+		err := s.Update(func(tx *Tx) error {
+			_, err := tx.Insert("sample", Record{"n": int64(i)})
+			return err
+		})
+		if err != nil {
+			fmt.Println("child commit error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("committed %d\n", i) // os.Stdout is unbuffered
+	}
+	os.Exit(0)
+}

@@ -5,6 +5,20 @@
 // serial identifiers, secondary and unique indexes, snapshot transactions
 // with commit/rollback, ordered scans, and whole-store persistence.
 //
+// # Durability
+//
+// A store built with New lives purely in memory. A store built with Open
+// is durable: every committed transaction is appended to a write-ahead
+// log in the data directory before Update returns, a group-commit batcher
+// coalesces concurrent commits into shared fsyncs (policy-controlled via
+// SyncAlways, SyncInterval and SyncOff), and background snapshotting
+// truncates the log once it outgrows a threshold. Reopening the directory
+// replays the log over the latest snapshot and restores exactly the
+// committed prefix, even after a hard kill mid-append. Only data is
+// logged: tables and secondary indexes are re-registered by the caller
+// after Open (idempotently, as internal/core does). See DESIGN.md
+// ("Durability") for the record format and the recovery sequence.
+//
 // Records are flat maps from field name to a value of one of the supported
 // types (string, int64, float64, bool, time.Time, []int64, []string). The
 // store deep-copies records on the way in, and committed records are never
@@ -19,6 +33,7 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -176,14 +191,30 @@ func removeSorted(ids []int64, id int64) []int64 {
 }
 
 // Store is an embedded transactional record store. The zero value is not
-// usable; construct with New.
+// usable; construct with New (in-memory) or Open (durable).
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	closed bool
 
-	// commitSeq increments on every successful commit; used by observers.
+	// commitSeq increments on every successful state-changing commit
+	// (no-op transactions do not advance it); used by observers and as
+	// the WAL sequence number, which replay requires to be contiguous.
+	// Restored from the snapshot on Load.
 	commitSeq uint64
+
+	// Durable write path; all nil/zero on in-memory stores.
+	dir           string
+	dirLock       *os.File // flock on <dir>/LOCK; nil on non-unix
+	wal           *wal
+	walEncBuf     []byte // commit-path encode scratch; guarded by mu
+	snapshotEvery int64
+	onError       func(error) // background-failure hook; may be nil
+	snapMu        sync.Mutex  // serializes Snapshot; also guards snapErr
+	snapErr       error
+	snapTrigger   chan struct{}
+	snapStop      chan struct{}
+	snapDone      chan struct{}
 }
 
 // New returns an empty store.
@@ -272,11 +303,39 @@ func (s *Store) CommitSeq() uint64 {
 	return s.commitSeq
 }
 
-// Close marks the store closed. Subsequent transactions fail with ErrClosed.
-func (s *Store) Close() {
+// Close marks the store closed and, on durable stores, stops the
+// background snapshotter, performs a final WAL fsync and closes the log.
+// A cleanly closed durable store is fully durable regardless of sync
+// policy. Subsequent transactions fail with ErrClosed. Close is
+// idempotent; it returns the first background snapshot or WAL failure, if
+// any.
+func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	already := s.closed
 	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+	}
+	if s.dirLock != nil {
+		if cerr := s.dirLock.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.snapMu.Lock()
+	if err == nil {
+		err = s.snapErr
+	}
+	s.snapMu.Unlock()
+	return err
 }
 
 // Get returns a copy of the record with the given id, outside any
@@ -320,6 +379,11 @@ func (s *Store) View(fn func(tx *Tx) error) error {
 // Update runs fn inside a read-write transaction. If fn returns nil the
 // transaction is committed; otherwise it is rolled back and the error
 // returned.
+//
+// On a durable store the commit is appended to the WAL before it becomes
+// visible; under SyncAlways, Update additionally waits — after releasing
+// the store lock, so other commits proceed and share the fsync — until the
+// record is on stable storage.
 func (s *Store) Update(fn func(tx *Tx) error) error {
 	tx, err := s.begin(false)
 	if err != nil {
@@ -329,5 +393,17 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 	if err := fn(tx); err != nil {
 		return err
 	}
-	return tx.commit()
+	if err := tx.commit(); err != nil {
+		return err
+	}
+	tx.release()
+	if tx.walSeq != 0 {
+		if s.wal.policy == SyncAlways {
+			if err := s.wal.waitSynced(tx.walSeq); err != nil {
+				return err
+			}
+		}
+		s.maybeTriggerSnapshot()
+	}
+	return nil
 }

@@ -16,6 +16,11 @@ type Tx struct {
 
 	// Pending per-table overlays, lazily allocated.
 	pending map[string]*txTable
+
+	// walSeq is the commit sequence this transaction appended to the WAL,
+	// or 0 if nothing was logged. Update waits on it per the sync policy
+	// after the lock is released, so waiting never blocks other commits.
+	walSeq uint64
 }
 
 // txTable is the pending overlay for one table within a transaction.
@@ -495,12 +500,44 @@ func (tx *Tx) FirstRef(tableName, field string, value any) (Record, error) {
 
 // commit applies the transaction's pending writes to the committed state.
 // The exclusive lock is already held.
+//
+// On durable stores the record-set is appended to the WAL before anything
+// is installed in memory: if the append fails, the store is unchanged and
+// the commit reports the failure. The append itself only reaches the OS;
+// fsync is deferred to the group-commit batcher, which Update consults
+// after releasing the lock.
 func (tx *Tx) commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	if tx.readonly {
 		return nil
+	}
+	// A transaction that changed nothing must not advance commitSeq: the
+	// WAL logs nothing for it, and replay requires the on-disk sequence
+	// numbers to be contiguous.
+	changed := false
+	for name, o := range tx.pending {
+		t := tx.s.tables[name]
+		if len(o.writes) != 0 || len(o.deletes) != 0 || (t != nil && o.nextID > t.nextID) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+	if tx.s.wal != nil {
+		payload, seq, err := tx.encodeWALPayload()
+		if err != nil {
+			return err
+		}
+		if seq != 0 {
+			if err := tx.s.wal.append(seq, payload); err != nil {
+				return err
+			}
+			tx.walSeq = seq
+		}
 	}
 	// Apply deletions then writes, maintaining indexes.
 	for name, o := range tx.pending {
@@ -522,19 +559,34 @@ func (tx *Tx) commit() error {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// Two-phase index maintenance: clear every rewritten row's old
+		// entries first, then insert the new ones. Interleaving the two
+		// would reject transactions that swap a unique value between rows
+		// — a shape checkUnique deliberately permits — on a transient
+		// collision, and (on durable stores) AFTER the record was already
+		// appended to the WAL.
 		for _, id := range ids {
-			rec := o.writes[id]
-			old, existed := t.rows[id]
-			if existed {
+			if old, existed := t.rows[id]; existed {
 				for _, ix := range t.indexes {
 					ix.remove(old, id)
 				}
 			}
+		}
+		for _, id := range ids {
+			rec := o.writes[id]
+			_, existed := t.rows[id]
 			for _, ix := range t.indexes {
 				if err := ix.insert(rec, id); err != nil {
-					// Unique violations were checked at write time; hitting one
-					// here indicates a bug, but keep the store consistent.
-					return fmt.Errorf("store: commit %s/%d: %w", name, id, err)
+					// Checked at write time; hitting one here indicates a
+					// bug. If the record was already appended to the WAL,
+					// poison the log: the next commit would reuse this
+					// seq and recovery would replay the half-applied
+					// transaction in its place.
+					err = fmt.Errorf("store: commit %s/%d: %w", name, id, err)
+					if tx.walSeq != 0 {
+						tx.s.wal.poison(err)
+					}
+					return err
 				}
 			}
 			// Committed records are immutable: the map under t.rows[id] is
@@ -551,4 +603,87 @@ func (tx *Tx) commit() error {
 	}
 	tx.s.commitSeq++
 	return nil
+}
+
+// encodeWALPayload serializes the transaction's pending overlay directly
+// into the store's reusable scratch buffer (commits are serialized by the
+// exclusive lock, and wal.append copies the bytes out synchronously, so
+// single ownership holds). It returns seq 0 when the transaction touched
+// nothing worth logging. The byte layout is walcodec.go's; equivalence
+// with the struct-based encoder is pinned by TestWALEncoderEquivalence.
+func (tx *Tx) encodeWALPayload() ([]byte, uint64, error) {
+	s := tx.s
+	seq := s.commitSeq + 1
+	buf := s.walEncBuf[:0]
+	buf = appendU64(buf, seq)
+	countOff := len(buf)
+	buf = appendU32(buf, 0) // table count, patched below
+	nTables := uint32(0)
+
+	names := make([]string, 0, len(tx.pending))
+	for name := range tx.pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := tx.pending[name]
+		t := s.tables[name]
+		var nextID int64
+		if t != nil && o.nextID > t.nextID {
+			nextID = o.nextID
+		}
+		if nextID == 0 && len(o.writes) == 0 && len(o.deletes) == 0 {
+			continue
+		}
+		nTables++
+		buf = appendStr(buf, name)
+		buf = appendI64(buf, nextID)
+
+		buf = appendU32(buf, uint32(len(o.deletes)))
+		if len(o.deletes) > 0 {
+			dels := make([]int64, 0, len(o.deletes))
+			for id := range o.deletes {
+				dels = append(dels, id)
+			}
+			sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+			for _, id := range dels {
+				buf = appendI64(buf, id)
+			}
+		}
+
+		buf = appendU32(buf, uint32(len(o.writes)))
+		if len(o.writes) > 0 {
+			ids := make([]int64, 0, len(o.writes))
+			for id := range o.writes {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			keys := make([]string, 0, 16)
+			for _, id := range ids {
+				r := o.writes[id]
+				buf = appendI64(buf, id)
+				keys = keys[:0]
+				for k := range r {
+					if k == IDField {
+						continue
+					}
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				buf = appendU32(buf, uint32(len(keys)))
+				var err error
+				for _, k := range keys {
+					if buf, err = appendValue(buf, k, r[k]); err != nil {
+						return nil, 0, err
+					}
+				}
+			}
+		}
+	}
+	binaryPutU32(buf[countOff:], nTables)
+	s.walEncBuf = buf // keep the grown capacity for the next commit
+	if nTables == 0 {
+		return nil, 0, nil
+	}
+	return buf, seq, nil
 }
