@@ -6,16 +6,25 @@ build:
 test:
 	go test ./...
 
-# The tier-1 gate: everything CI (and the next PR) must keep green.
+# The tier-1 gate: everything CI (and the next PR) must keep green. The
+# -race pass covers the store's MVCC contract (snapshot readers, conflict
+# detection, barrier) — the tests most likely to catch a concurrency
+# regression early.
 verify:
 	go build ./...
 	go vet ./...
 	go test ./...
+	go test -race ./internal/store
 
-# Race-checks the packages with dedicated concurrency tests (zero-copy read
-# path and search flush).
+# Race-checks every package with dedicated concurrency tests (MVCC
+# snapshot isolation, zero-copy read path, search flush).
 race:
-	go test -race ./internal/store/... ./internal/search/...
+	go test -race ./internal/store/... ./internal/search/... ./internal/entity/...
+
+# Re-runs the benchmark suite and diffs it against the committed
+# BENCH_baseline.json without overwriting it.
+bench-compare:
+	scripts/bench_compare.sh
 
 # Runs the full benchmark suite with -benchmem and refreshes
 # BENCH_baseline.json. Override the per-benchmark budget with

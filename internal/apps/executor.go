@@ -66,8 +66,8 @@ type Executor struct {
 
 	// lastOutputs carries the resource ids produced by the workflow
 	// post-function back to RunExperiment within a single call. Guarded by
-	// the store's exclusive write lock (the whole run happens inside one
-	// Update transaction).
+	// the store's writer mutex (the whole run happens inside one Update
+	// transaction, and Update transactions serialize).
 	lastOutputs []int64
 }
 

@@ -1,13 +1,3 @@
-// Package core assembles the complete B-Fabric system: the store, event
-// bus, entity registry with the domain schema, and every service —
-// vocabularies, tasks, workflows, storage, providers, import, application
-// integration, search, audit and auth — wired together exactly as the
-// examples, the portal and the benchmark harness consume them.
-//
-// Wiring is idempotent over restored state: tables are ensured, not
-// created, and secondary indexes are rebuilt from recovered rows. That is
-// what lets New(Options{DataDir: ...}) recover a durable store (snapshot +
-// WAL replay, see internal/store) and then re-register the schema on top.
 package core
 
 import (
@@ -159,12 +149,16 @@ func MustNew(opts Options) *System {
 	return sys
 }
 
-// Update runs fn in a read-write transaction on the system store.
+// Update runs fn in a read-write transaction on the system store. Update
+// transactions serialize with each other on the store's writer mutex but
+// never block readers, which continue on earlier versions.
 func (sys *System) Update(fn func(tx *store.Tx) error) error {
 	return sys.Store.Update(fn)
 }
 
-// View runs fn in a read-only transaction on the system store.
+// View runs fn in a read-only transaction pinned to the committed store
+// version current at the call. fn runs lock-free and sees one consistent
+// snapshot regardless of concurrent writers.
 func (sys *System) View(fn func(tx *store.Tx) error) error {
 	return sys.Store.View(fn)
 }

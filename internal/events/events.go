@@ -25,9 +25,11 @@ type Event struct {
 	Payload map[string]any
 	// Tx carries the open store transaction (*store.Tx) in which the event
 	// was raised, when one exists. Handlers that need to write must use it:
-	// events are published while the store's write lock is held, so opening
-	// a new transaction from a handler would deadlock. The field is typed
-	// any to keep this package free of store dependencies.
+	// events are published while the store's writer mutex is held, so
+	// starting another write transaction from a handler would deadlock —
+	// and a fresh read transaction would see only pre-commit state, since
+	// the surrounding transaction has not published its version yet. The
+	// field is typed any to keep this package free of store dependencies.
 	Tx any
 }
 

@@ -417,17 +417,38 @@ type Stats struct {
 	Workunits     int
 }
 
-// CollectStats counts the main entity populations.
+// CollectStats counts the main entity populations. All counts come from
+// one pinned store version: a commit landing mid-collection cannot skew
+// the table against itself (eight separate Store.Count calls used to read
+// the live head and could each see a different state).
 func (db *DB) CollectStats() Stats {
 	s := db.Store()
-	return Stats{
-		Users:         s.Count(KindUser),
-		Projects:      s.Count(KindProject),
-		Institutes:    s.Count(KindInstitute),
-		Organizations: s.Count(KindOrganization),
-		Samples:       s.Count(KindSample),
-		Extracts:      s.Count(KindExtract),
-		DataResources: s.Count(KindDataResource),
-		Workunits:     s.Count(KindWorkunit),
+	var st Stats
+	if err := s.View(func(tx *store.Tx) error {
+		st = Stats{
+			Users:         tx.Count(KindUser),
+			Projects:      tx.Count(KindProject),
+			Institutes:    tx.Count(KindInstitute),
+			Organizations: tx.Count(KindOrganization),
+			Samples:       tx.Count(KindSample),
+			Extracts:      tx.Count(KindExtract),
+			DataResources: tx.Count(KindDataResource),
+			Workunits:     tx.Count(KindWorkunit),
+		}
+		return nil
+	}); err != nil {
+		// A closed store refuses transactions but its final version is
+		// still readable; report the real populations rather than zeros.
+		st = Stats{
+			Users:         s.Count(KindUser),
+			Projects:      s.Count(KindProject),
+			Institutes:    s.Count(KindInstitute),
+			Organizations: s.Count(KindOrganization),
+			Samples:       s.Count(KindSample),
+			Extracts:      s.Count(KindExtract),
+			DataResources: s.Count(KindDataResource),
+			Workunits:     s.Count(KindWorkunit),
+		}
 	}
+	return st
 }

@@ -753,7 +753,13 @@ func recordProject(tx *store.Tx, kind string, rec store.Record) int64 {
 // GET /api/browse/{kind}?from=<id>&limit=<n>. It rides the store's ordered
 // ScanRange primitive and its zero-copy read path: records are collected by
 // reference (immutable committed snapshots) and serialized without cloning.
-// The response carries a "next" cursor to pass as the following page's from.
+// The response carries a "next" cursor to pass as the following page's from,
+// plus the commit sequence ("asOf") of the store version the page was read
+// from. Each page is internally consistent — the whole scan, including the
+// per-project access checks, runs against one pinned MVCC version and is
+// never blocked by concurrent imports — while successive pages may observe
+// newer versions; a client that sees "asOf" jump can restart from page one
+// if it needs a fully frozen listing.
 //
 // Project scoping matches the single-object endpoints: experts and admins
 // see everything, other users only records of their projects (access per
@@ -789,9 +795,11 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 	var out struct {
 		Items []store.Record `json:"items"`
 		Next  int64          `json:"next"` // 0: no further pages
+		AsOf  uint64         `json:"asOf"` // store version the page was read from
 	}
 	out.Items = []store.Record{}
 	err := s.sys.View(func(tx *store.Tx) error {
+		out.AsOf = tx.Snapshot()
 		u, err := s.sys.DB.UserByLogin(tx, login)
 		if err != nil {
 			return err

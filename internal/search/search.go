@@ -45,9 +45,10 @@ func parseDocKey(key string) (string, int64) {
 type Service struct {
 	rg *entity.Registry
 
-	// flushMu serializes Flush cycles end to end (drain, read, apply) so
-	// two concurrent flushes cannot apply reads of the same document out of
-	// order. It is never taken while mu or a store lock is held.
+	// flushMu serializes Flush cycles end to end (drain, barrier, read,
+	// apply) so two concurrent flushes cannot apply reads of the same
+	// document out of order. It is never taken while mu is held or inside
+	// a store transaction.
 	flushMu sync.Mutex
 
 	mu sync.Mutex
@@ -159,8 +160,9 @@ func (s *Service) ReindexAll() {
 //
 // The read side is zero-copy: dirty keys are grouped by kind and fetched
 // with GetRef in one read transaction per kind. Because committed records
-// are immutable, the references stay consistent snapshots while the postings
-// are rebuilt after the transaction ends, outside the store lock.
+// are immutable, the references stay consistent snapshots while the
+// postings are rebuilt after the transaction ends, without ever blocking
+// the store's writers.
 func (s *Service) Flush() {
 	// One flush cycle at a time: a document re-dirtied while this flush is
 	// reading is drained by the next flush, which necessarily reads newer
@@ -180,6 +182,16 @@ func (s *Service) Flush() {
 	s.dirty = make(map[string]bool)
 	s.mu.Unlock()
 	sort.Strings(pending) // deterministic order, grouped by kind
+
+	// Dirty marks arrive from entity events raised inside still-open write
+	// transactions. Under MVCC a read transaction no longer waits for
+	// in-flight writers, so without a handshake this flush could pin a
+	// version that predates the commit that produced a drained mark — and
+	// that document would stay stale with its mark already consumed.
+	// Barrier returns once every write transaction in flight at the drain
+	// has committed or rolled back; the reads below then pin a version
+	// that includes them all.
+	s.rg.Store().Barrier()
 
 	type dirtyDoc struct {
 		key  string

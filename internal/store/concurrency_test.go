@@ -75,7 +75,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 }
 
 // TestConcurrentSaveWhileWriting verifies snapshots can be taken while
-// writers are active (Save holds the read lock).
+// writers are active (Save serializes a pinned version, fully lock-free).
 func TestConcurrentSaveWhileWriting(t *testing.T) {
 	s := newTestStore(t, "t")
 	var wg sync.WaitGroup

@@ -1,0 +1,63 @@
+// Package store implements the embedded, transactional entity store that
+// underpins the B-Fabric reproduction. The original system sat on a
+// relational DBMS accessed through an ORM; this package provides the
+// equivalent substrate from scratch: named tables of flat records with
+// serial identifiers, secondary and unique indexes, multi-version snapshot
+// transactions with commit/rollback, ordered scans, and a durable write
+// path (write-ahead log, group commit, snapshots, crash recovery).
+//
+// # Concurrency model
+//
+// The store is multi-versioned. Every commit publishes a new immutable
+// version of the whole store — a copy-on-write derivation that shares all
+// untouched tables, record chunks and index postings with its predecessor
+// — through a single atomic pointer. The consequences define the API's
+// behavior under load:
+//
+//   - Readers never block and are never blocked. View and Begin(true) pin
+//     the version current at the call with one atomic load and then run
+//     lock-free to completion on that frozen state, no matter how many
+//     commits land meanwhile. A long paginated ScanRange observes exactly
+//     one version.
+//   - Update transactions serialize with each other on an internal writer
+//     mutex, exactly like the classic single-writer model, so their
+//     read-modify-write cycles need no conflict handling.
+//   - Begin(false) transactions are optimistic: they buffer writes against
+//     their snapshot without locking and validate first-committer-wins at
+//     Commit, failing with ErrConflict if a record they wrote was changed
+//     (or a serial id they claimed was taken) after their pin.
+//
+// Superseded versions are reclaimed by the garbage collector once the last
+// reader drops them. See docs/concurrency.md for the full isolation model,
+// its interaction with the WAL, and operator guidance.
+//
+// # Durability
+//
+// A store built with New lives purely in memory. A store built with Open
+// is durable: every committed transaction is appended to a write-ahead
+// log in the data directory before its version is published, a
+// group-commit batcher coalesces concurrent commits into shared fsyncs
+// (policy-controlled via SyncAlways, SyncInterval and SyncOff), and
+// background snapshotting — which serializes a pinned version without
+// pausing writers — truncates the log once it outgrows a threshold.
+// Reopening the directory replays the log over the latest snapshot and
+// restores exactly the committed prefix, even after a hard kill
+// mid-append. Only data is logged: tables and secondary indexes are
+// re-registered by the caller after Open (idempotently, as internal/core
+// does). See DESIGN.md ("Durability") for the record format and the
+// recovery sequence.
+//
+// # Records and aliasing
+//
+// Records are flat maps from field name to a value of one of the supported
+// types (string, int64, float64, bool, time.Time, []int64, []string). The
+// store deep-copies records on the way in, and committed records are never
+// mutated in place afterwards: every write replaces the whole record map
+// inside a fresh version. This immutability contract is what makes both
+// the zero-copy read path and the version machinery safe — Tx.GetRef,
+// Tx.ScanRef, Tx.FindRef and friends hand out shared references to
+// committed records that remain valid snapshots even after the
+// transaction ends, provided callers treat them as read-only. The classic
+// Get/Scan/Find API still returns deep copies for callers that mutate.
+// See DESIGN.md for the full aliasing contract.
+package store

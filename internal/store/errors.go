@@ -21,6 +21,13 @@ var (
 	ErrBadValue = errors.New("unsupported value type")
 	// ErrTxDone is returned when using a finished transaction.
 	ErrTxDone = errors.New("transaction already finished")
+	// ErrConflict is returned by Tx.Commit on an optimistic (Begin)
+	// transaction when another transaction committed a change to a record
+	// this one wrote or deleted — or claimed a serial id this one also
+	// claimed — after this transaction pinned its snapshot
+	// (first-committer-wins). Retry by re-running the transaction on a
+	// fresh snapshot, or use Update, which serializes and cannot conflict.
+	ErrConflict = errors.New("write conflict")
 	// ErrCorrupt is returned when recovery finds damage it cannot repair
 	// without losing committed transactions from the middle of the
 	// history (a torn tail on the newest WAL segment is repaired, not

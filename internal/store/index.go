@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -35,18 +36,110 @@ func keyFor(v any) (indexKey, bool) {
 	}
 }
 
-// index is a secondary index over one field of a table. Postings are kept as
-// sorted id slices, maintained incrementally on insert/remove, so lookups
-// return ordered results without re-sorting. Unique indexes additionally
-// enforce at most one row per key.
+// Index postings are spread over hash shards arranged as a two-level
+// radix: ixGroupCount groups of ixGroupSize shard maps each. Sharding
+// exists for the copy-on-write commit path: a commit privatizes only the
+// shards whose keys it touches, so the per-commit clone cost is
+// O(touched keys * keys-per-shard) instead of O(all distinct keys) — the
+// difference between constant and linear write amplification on tables
+// with high-cardinality indexes. The two levels keep the clone itself
+// tiny: copying an index head is ixGroupCount pointers, and privatizing
+// one shard copies a single ixGroupSize-entry group plus that shard map.
+const (
+	ixGroupBits     = 6
+	ixGroupCount    = 1 << ixGroupBits
+	ixShardBits     = 4
+	ixGroupSize     = 1 << ixShardBits
+	indexShardCount = ixGroupCount * ixGroupSize
+)
+
+// ixGroup is one run of shard maps; entries are nil until first used.
+type ixGroup [ixGroupSize]map[indexKey][]int64
+
+// shardOf hashes an index key to its shard (FNV-1a). The group is
+// shard >> ixShardBits, the slot within it shard & (ixGroupSize-1).
+func shardOf(key indexKey) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (indexShardCount - 1))
+}
+
+// index is a secondary index over one field of a table. Postings are kept
+// as sorted id slices inside hash-sharded maps, maintained incrementally
+// on insert/remove, so lookups return ordered results without re-sorting.
+// Unique indexes additionally enforce at most one row per key.
+//
+// Like every version-reachable structure, a published index is immutable:
+// the in-place methods below are only legal while the index is private
+// (recovery, Load, CreateIndex builds); commits go through cowIndex,
+// which privatizes groups, shards and postings before touching them.
 type index struct {
 	field  string
 	unique bool
-	byKey  map[indexKey][]int64
+	// groups holds the shard maps; nil groups (and nil shard maps inside
+	// a group) are all-empty.
+	groups []*ixGroup
 }
 
 func newIndex(field string, unique bool) *index {
-	return &index{field: field, unique: unique, byKey: make(map[indexKey][]int64)}
+	return &index{field: field, unique: unique, groups: make([]*ixGroup, ixGroupCount)}
+}
+
+// clone returns a copy of the index sharing every shard group (and thus
+// every postings slice) with the original. Used by the copy-on-write
+// commit path, which privatizes groups and shards before mutating them
+// (see cowIndex); the in-place methods must never run on a clone.
+func (ix *index) clone() *index {
+	return &index{
+		field:  ix.field,
+		unique: ix.unique,
+		groups: append(make([]*ixGroup, 0, ixGroupCount), ix.groups...),
+	}
+}
+
+// postings returns the sorted ids holding key, shared — callers must not
+// mutate.
+func (ix *index) postings(key indexKey) []int64 {
+	s := shardOf(key)
+	g := ix.groups[s>>ixShardBits]
+	if g == nil {
+		return nil
+	}
+	m := g[s&(ixGroupSize-1)]
+	if m == nil {
+		return nil
+	}
+	return m[key]
+}
+
+// setPostings installs (or, with nil ids, removes) a key's postings
+// IN PLACE. Only legal on a private index.
+func (ix *index) setPostings(key indexKey, ids []int64) {
+	s := shardOf(key)
+	g := ix.groups[s>>ixShardBits]
+	if g == nil {
+		if ids == nil {
+			return
+		}
+		g = new(ixGroup)
+		ix.groups[s>>ixShardBits] = g
+	}
+	m := g[s&(ixGroupSize-1)]
+	if m == nil {
+		if ids == nil {
+			return
+		}
+		m = make(map[indexKey][]int64)
+		g[s&(ixGroupSize-1)] = m
+	}
+	if ids == nil {
+		delete(m, key)
+		return
+	}
+	m[key] = ids
 }
 
 func (ix *index) insert(r Record, id int64) error {
@@ -58,12 +151,27 @@ func (ix *index) insert(r Record, id int64) error {
 	if !ok {
 		return nil
 	}
-	ids := ix.byKey[key]
+	return ix.insertKey(key, v, id)
+}
+
+// insertKey adds id under an already-computed key IN PLACE. Only legal on
+// a private index.
+func (ix *index) insertKey(key indexKey, v any, id int64) error {
+	ids := ix.postings(key)
+	if err := ix.checkUniqueKey(ids, v, id); err != nil {
+		return err
+	}
+	ix.setPostings(key, insertSorted(ids, id))
+	return nil
+}
+
+// checkUniqueKey enforces the at-most-one-row rule for unique indexes
+// given a key's current postings.
+func (ix *index) checkUniqueKey(ids []int64, v any, id int64) error {
 	n := len(ids)
 	if ix.unique && n > 0 && !(n == 1 && ids[0] == id) {
 		return fmt.Errorf("field %q value %v: %w", ix.field, v, ErrUnique)
 	}
-	ix.byKey[key] = insertSorted(ids, id)
 	return nil
 }
 
@@ -76,12 +184,18 @@ func (ix *index) remove(r Record, id int64) {
 	if !ok {
 		return
 	}
-	ids := removeSorted(ix.byKey[key], id)
+	ix.removeKey(key, id)
+}
+
+// removeKey drops id from an already-computed key's postings IN PLACE.
+// Only legal on a private index.
+func (ix *index) removeKey(key indexKey, id int64) {
+	ids := removeSorted(ix.postings(key), id)
 	if len(ids) == 0 {
-		delete(ix.byKey, key)
+		ix.setPostings(key, nil)
 		return
 	}
-	ix.byKey[key] = ids
+	ix.setPostings(key, ids)
 }
 
 // lookup returns the sorted IDs of rows whose indexed field equals v. The
@@ -91,7 +205,7 @@ func (ix *index) lookup(v any) []int64 {
 	if !ok {
 		return nil
 	}
-	ids := ix.byKey[key]
+	ids := ix.postings(key)
 	if len(ids) == 0 {
 		return nil
 	}
@@ -102,8 +216,8 @@ func (ix *index) lookup(v any) []int64 {
 
 // checkUnique verifies that writing record r under id would not violate the
 // unique constraint, given the committed index state plus the transaction's
-// pending overlay (pendingSet/pendingDel describe rows written/deleted in
-// the transaction, keyed by id).
+// pending overlay (pending/deleted describe rows written/deleted in the
+// transaction, keyed by id).
 func (ix *index) checkUnique(r Record, id int64, pending map[int64]Record, deleted map[int64]bool) error {
 	if !ix.unique {
 		return nil
@@ -117,7 +231,7 @@ func (ix *index) checkUnique(r Record, id int64, pending map[int64]Record, delet
 		return nil
 	}
 	// Committed holders of this key.
-	for _, holder := range ix.byKey[key] {
+	for _, holder := range ix.postings(key) {
 		if holder == id {
 			continue
 		}
@@ -143,4 +257,33 @@ func (ix *index) checkUnique(r Record, id int64, pending map[int64]Record, delet
 		}
 	}
 	return nil
+}
+
+// insertSorted adds id to the ascending slice, keeping it sorted and
+// duplicate-free. Serial IDs almost always append; the general case falls
+// back to a binary-search insertion.
+func insertSorted(ids []int64, id int64) []int64 {
+	n := len(ids)
+	if n == 0 || id > ids[n-1] {
+		return append(ids, id)
+	}
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	if i < n && ids[i] == id {
+		return ids // already present
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeSorted drops id from the ascending slice, if present.
+func removeSorted(ids []int64, id int64) []int64 {
+	n := len(ids)
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	if i == n || ids[i] != id {
+		return ids
+	}
+	copy(ids[i:], ids[i+1:])
+	return ids[:n-1]
 }

@@ -110,68 +110,33 @@ func (s *Store) Save(w io.Writer) error {
 	return err
 }
 
-// frozenTable is a lightweight consistent cut of one table: the sorted id
-// slice plus shared references to the committed record maps. Committed
-// records are immutable (writes replace whole maps — the same contract
-// that funds the zero-copy read path), so the frozen view stays a valid
-// snapshot after the store lock is released.
-type frozenTable struct {
-	name    string
-	nextID  int64
-	ids     []int64
-	rows    []Record // parallel to ids
-	indexes []indexSnapshot
+// freeze captures a consistent cut of the whole store: under MVCC that is
+// simply the current version, pinned with one atomic load. The version is
+// immutable, so the expensive gob encode runs entirely outside any lock
+// — commits proceed at full speed while a snapshot is being written.
+func (s *Store) freeze() *version {
+	return s.current.Load()
 }
 
-// freeze captures a consistent cut of the whole store under the read
-// lock. It copies O(rows) references, not the data, so the lock hold —
-// and therefore the commit stall during a background snapshot — is
-// milliseconds even at deployment scale; the expensive gob encode runs
-// lock-free afterwards.
-func (s *Store) freeze() (uint64, []frozenTable) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	tables := make([]frozenTable, 0, len(names))
-	for _, name := range names {
-		t := s.tables[name]
-		ft := frozenTable{
-			name:   name,
-			nextID: t.nextID,
-			// t.ids is spliced in place by later deletes; copy it.
-			ids:  append([]int64(nil), t.ids...),
-			rows: make([]Record, len(t.ids)),
-		}
-		for i, id := range t.ids {
-			ft.rows[i] = t.rows[id]
-		}
+// writeSnapshot serializes the committed state and reports the commit
+// sequence the snapshot captures. No lock is held at any point: the
+// pinned version is an immutable snapshot by construction.
+func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
+	v := s.freeze()
+	snap := snapshot{Version: 1, Seq: v.seq}
+	for _, name := range v.tableNames() {
+		t := v.tables[name]
+		ts := tableSnapshot{Name: name, NextID: t.nextID}
 		ixNames := make([]string, 0, len(t.indexes))
 		for f := range t.indexes {
 			ixNames = append(ixNames, f)
 		}
 		sort.Strings(ixNames)
 		for _, f := range ixNames {
-			ft.indexes = append(ft.indexes, indexSnapshot{Field: f, Unique: t.indexes[f].unique})
+			ts.Indexes = append(ts.Indexes, indexSnapshot{Field: f, Unique: t.indexes[f].unique})
 		}
-		tables = append(tables, ft)
-	}
-	return s.commitSeq, tables
-}
-
-// writeSnapshot serializes the committed state and reports the commit
-// sequence the snapshot captures. The read lock is held only while
-// freezing the record references, not for the encode.
-func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
-	seq, tables := s.freeze()
-	snap := snapshot{Version: 1, Seq: seq}
-	for _, ft := range tables {
-		ts := tableSnapshot{Name: ft.name, NextID: ft.nextID, Indexes: ft.indexes}
-		for i, id := range ft.ids {
-			r := ft.rows[i]
+		it := t.iter(0, 0)
+		for id, r := it.next(); id != 0; id, r = it.next() {
 			rs := rowSnapshot{ID: id}
 			keys := make([]string, 0, len(r))
 			for k := range r {
@@ -205,15 +170,17 @@ func (s *Store) Load(r io.Reader) error {
 	if snap.Version != 1 {
 		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if len(s.tables) != 0 {
+	if len(s.current.Load().tables) != 0 {
 		return fmt.Errorf("store: Load requires an empty store")
 	}
-	s.commitSeq = snap.Seq
+	// Build the version privately — no reader can reach it yet — then
+	// publish it with one atomic store.
+	nv := &version{seq: snap.Seq, tables: make(map[string]*table, len(snap.Tables))}
 	for _, ts := range snap.Tables {
 		t := newTable(ts.Name)
 		t.nextID = ts.NextID
@@ -231,11 +198,11 @@ func (s *Store) Load(r io.Reader) error {
 					return fmt.Errorf("store: loading %s/%d: %w", ts.Name, rs.ID, err)
 				}
 			}
-			t.rows[rs.ID] = rec
-			t.insertID(rs.ID)
+			t.put(rs.ID, rec, snap.Seq)
 		}
-		s.tables[ts.Name] = t
+		nv.tables[ts.Name] = t
 	}
+	s.current.Store(nv)
 	return nil
 }
 

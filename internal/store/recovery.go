@@ -93,7 +93,7 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 
 	s.onError = opts.OnError
 	w := newWAL(dir, opts.Sync, opts.SyncEvery, opts.OnError)
-	if err := w.armSegments(segs, s.commitSeq); err != nil {
+	if err := w.armSegments(segs, s.CommitSeq()); err != nil {
 		return fail(err)
 	}
 	s.wal = w
@@ -110,8 +110,10 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 }
 
 // replayWAL applies every WAL record beyond the snapshot's seq, in commit
-// order, and truncates a torn tail off the last segment. The store is not
-// yet shared, so no locking is needed.
+// order, and truncates a torn tail off the last segment. The store — and
+// therefore its current version — is not yet shared with any reader, so
+// replay mutates the version in place instead of deriving copy-on-write
+// successors per record.
 func (s *Store) replayWAL(segs []walSegment) error {
 	for i, seg := range segs {
 		last := i == len(segs)-1
@@ -187,12 +189,13 @@ func (s *Store) replaySegment(seg walSegment, last bool) error {
 			// same handling as a torn frame.
 			return torn(fr.off-int64(walFrameHeaderSize+len(payload)), err)
 		}
-		if rec.Seq <= s.commitSeq {
+		seq := s.current.Load().seq
+		if rec.Seq <= seq {
 			continue // already covered by the snapshot
 		}
-		if rec.Seq != s.commitSeq+1 {
+		if rec.Seq != seq+1 {
 			return fmt.Errorf("store: wal gap: have seq %d, next record is %d: %w",
-				s.commitSeq, rec.Seq, ErrCorrupt)
+				seq, rec.Seq, ErrCorrupt)
 		}
 		if err := s.applyWALRecord(rec); err != nil {
 			return err
@@ -200,31 +203,35 @@ func (s *Store) replaySegment(seg walSegment, last bool) error {
 	}
 }
 
-// applyWALRecord installs one replayed commit, mirroring Tx.commit's
-// install order (per table: deletions, then whole-record writes) and
-// maintaining whatever indexes the snapshot carried.
+// applyWALRecord installs one replayed commit, mirroring the commit-time
+// apply order (per table: deletions, then whole-record writes) and
+// maintaining whatever indexes the snapshot carried. Record slots are
+// stamped with the replayed commit's sequence so that conflict detection
+// resumes correctly across restarts. Only called during Open, while the
+// current version is still private to this goroutine and may be mutated
+// in place.
 func (s *Store) applyWALRecord(rec walRecord) error {
+	v := s.current.Load()
 	for _, tc := range rec.Tables {
-		t, ok := s.tables[tc.Name]
+		t, ok := v.tables[tc.Name]
 		if !ok {
 			t = newTable(tc.Name)
-			s.tables[tc.Name] = t
+			v.tables[tc.Name] = t
 		}
 		for _, id := range tc.Deletes {
-			if old, ok := t.rows[id]; ok {
+			if old := t.get(id); old != nil {
 				for _, ix := range t.indexes {
 					ix.remove(old, id)
 				}
-				delete(t.rows, id)
-				t.removeID(id)
+				t.del(id, rec.Seq)
 			}
 		}
-		// Two-phase index maintenance, mirroring Tx.commit: clear old
-		// entries of every rewritten row, then insert — a unique-value
-		// swap within one transaction must replay exactly as it
-		// committed.
+		// Two-phase index maintenance, mirroring the commit path: clear
+		// old entries of every rewritten row, then insert — a
+		// unique-value swap within one transaction must replay exactly
+		// as it committed.
 		for _, rs := range tc.Writes {
-			if old, existed := t.rows[rs.ID]; existed {
+			if old := t.get(rs.ID); old != nil {
 				for _, ix := range t.indexes {
 					ix.remove(old, rs.ID)
 				}
@@ -236,22 +243,18 @@ func (s *Store) applyWALRecord(rec walRecord) error {
 			for _, fs := range rs.Fields {
 				r[fs.Key] = fs.decode()
 			}
-			_, existed := t.rows[rs.ID]
 			for _, ix := range t.indexes {
 				if err := ix.insert(r, rs.ID); err != nil {
 					return fmt.Errorf("store: replaying %s/%d: %v: %w", tc.Name, rs.ID, err, ErrCorrupt)
 				}
 			}
-			t.rows[rs.ID] = r
-			if !existed {
-				t.insertID(rs.ID)
-			}
+			t.put(rs.ID, r, rec.Seq)
 		}
 		if tc.NextID > t.nextID {
 			t.nextID = tc.NextID
 		}
 	}
-	s.commitSeq = rec.Seq
+	v.seq = rec.Seq
 	return nil
 }
 

@@ -194,7 +194,7 @@ func TestRefSnapshotImmutability(t *testing.T) {
 
 // TestRefReadersNeverSeeTornRecords hammers zero-copy readers against a
 // committing writer; run with -race. Every record keeps the invariant
-// a == b, both while scanning under the shared lock and on references
+// a == b, both while scanning inside the reading transaction and on references
 // retained after the reading transaction has ended.
 func TestRefReadersNeverSeeTornRecords(t *testing.T) {
 	s := newTestStore(t, "t")

@@ -1,34 +1,3 @@
-// Package store implements the embedded, transactional entity store that
-// underpins the B-Fabric reproduction. The original system sat on a
-// relational DBMS accessed through an ORM; this package provides the
-// equivalent substrate from scratch: named tables of flat records with
-// serial identifiers, secondary and unique indexes, snapshot transactions
-// with commit/rollback, ordered scans, and whole-store persistence.
-//
-// # Durability
-//
-// A store built with New lives purely in memory. A store built with Open
-// is durable: every committed transaction is appended to a write-ahead
-// log in the data directory before Update returns, a group-commit batcher
-// coalesces concurrent commits into shared fsyncs (policy-controlled via
-// SyncAlways, SyncInterval and SyncOff), and background snapshotting
-// truncates the log once it outgrows a threshold. Reopening the directory
-// replays the log over the latest snapshot and restores exactly the
-// committed prefix, even after a hard kill mid-append. Only data is
-// logged: tables and secondary indexes are re-registered by the caller
-// after Open (idempotently, as internal/core does). See DESIGN.md
-// ("Durability") for the record format and the recovery sequence.
-//
-// Records are flat maps from field name to a value of one of the supported
-// types (string, int64, float64, bool, time.Time, []int64, []string). The
-// store deep-copies records on the way in, and committed records are never
-// mutated in place afterwards: every write replaces the whole record map.
-// This immutability contract is what makes the zero-copy read path safe —
-// Tx.GetRef, Tx.ScanRef, Tx.FindRef and friends hand out shared references
-// to committed records that remain valid snapshots even after the
-// transaction ends, provided callers treat them as read-only. The classic
-// Get/Scan/Find API still returns deep copies for callers that mutate.
-// See DESIGN.md for the full aliasing contract.
 package store
 
 import (
@@ -36,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -135,79 +105,31 @@ func validValue(v any) bool {
 	}
 }
 
-// table is the committed state of one record kind.
-type table struct {
-	name string
-	rows map[int64]Record
-	// ids holds the live record IDs in ascending order, maintained
-	// incrementally on commit so ordered scans never rebuild or re-sort.
-	ids     []int64
-	nextID  int64
-	indexes map[string]*index
-}
-
-func newTable(name string) *table {
-	return &table{
-		name:    name,
-		rows:    make(map[int64]Record),
-		nextID:  1,
-		indexes: make(map[string]*index),
-	}
-}
-
-// insertID adds id to the table's sorted id slice.
-func (t *table) insertID(id int64) { t.ids = insertSorted(t.ids, id) }
-
-// removeID drops id from the table's sorted id slice.
-func (t *table) removeID(id int64) { t.ids = removeSorted(t.ids, id) }
-
-// insertSorted adds id to the ascending slice, keeping it sorted and
-// duplicate-free. Serial IDs almost always append; the general case falls
-// back to a binary-search insertion.
-func insertSorted(ids []int64, id int64) []int64 {
-	n := len(ids)
-	if n == 0 || id > ids[n-1] {
-		return append(ids, id)
-	}
-	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
-	if i < n && ids[i] == id {
-		return ids // already present
-	}
-	ids = append(ids, 0)
-	copy(ids[i+1:], ids[i:])
-	ids[i] = id
-	return ids
-}
-
-// removeSorted drops id from the ascending slice, if present.
-func removeSorted(ids []int64, id int64) []int64 {
-	n := len(ids)
-	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
-	if i == n || ids[i] != id {
-		return ids
-	}
-	copy(ids[i:], ids[i+1:])
-	return ids[:n-1]
-}
-
-// Store is an embedded transactional record store. The zero value is not
-// usable; construct with New (in-memory) or Open (durable).
+// Store is an embedded transactional record store with multi-version
+// concurrency: the committed state is an immutable version reached through
+// one atomic pointer, readers pin a version without taking any lock, and
+// writers serialize on an internal mutex and publish a copy-on-write
+// successor version at commit. The zero value is not usable; construct
+// with New (in-memory) or Open (durable).
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*table
-	closed bool
+	// current is the latest committed version. Readers pin it with a
+	// single atomic load; commits and schema changes publish a successor
+	// under writeMu. Superseded versions stay alive exactly as long as
+	// some reader still holds them, then fall to the garbage collector.
+	current atomic.Pointer[version]
 
-	// commitSeq increments on every successful state-changing commit
-	// (no-op transactions do not advance it); used by observers and as
-	// the WAL sequence number, which replay requires to be contiguous.
-	// Restored from the snapshot on Load.
-	commitSeq uint64
+	// writeMu serializes every state-changing path: Update transactions
+	// (held for their whole lifetime — classic single-writer semantics),
+	// optimistic Begin-transaction commits (held only inside Commit),
+	// schema registration, Load and Close. Readers never touch it.
+	writeMu sync.Mutex
+	closed  atomic.Bool
 
 	// Durable write path; all nil/zero on in-memory stores.
 	dir           string
 	dirLock       *os.File // flock on <dir>/LOCK; nil on non-unix
 	wal           *wal
-	walEncBuf     []byte // commit-path encode scratch; guarded by mu
+	walEncBuf     []byte // commit-path encode scratch; guarded by writeMu
 	snapshotEvery int64
 	onError       func(error) // background-failure hook; may be nil
 	snapMu        sync.Mutex  // serializes Snapshot; also guards snapErr
@@ -219,7 +141,9 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{tables: make(map[string]*table)}
+	s := &Store{}
+	s.current.Store(&version{tables: make(map[string]*table)})
+	return s
 }
 
 // CreateTable creates a table with the given name. It is an error to create
@@ -228,41 +152,55 @@ func (s *Store) CreateTable(name string) error {
 	if name == "" {
 		return fmt.Errorf("store: empty table name")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if _, ok := s.tables[name]; ok {
+	v := s.current.Load()
+	if _, ok := v.tables[name]; ok {
 		return fmt.Errorf("store: table %q already exists: %w", name, ErrExists)
 	}
-	s.tables[name] = newTable(name)
+	nv := v.withTables()
+	nv.tables[name] = newTable(name)
+	s.current.Store(nv)
 	return nil
 }
 
-// EnsureTable creates the table if it does not already exist.
+// EnsureTable creates the table if it does not already exist. On a
+// closed store it is a no-op: the table could never be persisted or
+// transacted against anyway.
 func (s *Store) EnsureTable(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
-		s.tables[name] = newTable(name)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed.Load() {
+		return
 	}
+	v := s.current.Load()
+	if _, ok := v.tables[name]; ok {
+		return
+	}
+	nv := v.withTables()
+	nv.tables[name] = newTable(name)
+	s.current.Store(nv)
 }
 
 // HasTable reports whether the named table exists.
 func (s *Store) HasTable(name string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.tables[name]
+	_, ok := s.current.Load().tables[name]
 	return ok
 }
 
-// Tables returns the sorted names of all tables.
+// Tables returns the sorted names of all tables, as of one consistent
+// version. Inside a transaction, prefer Tx.Tables, which answers from the
+// transaction's pinned snapshot instead of the live head.
 func (s *Store) Tables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
+	return s.current.Load().tableNames()
+}
+
+func (v *version) tableNames() []string {
+	names := make([]string, 0, len(v.tables))
+	for n := range v.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -271,14 +209,17 @@ func (s *Store) Tables() []string {
 
 // CreateIndex registers a secondary index on the given field of the named
 // table. If unique is true the index enforces uniqueness of non-zero keys.
-// Existing rows are indexed immediately.
+// Existing rows are indexed immediately; the index appears atomically with
+// a new store version, so in-flight readers never observe a half-built
+// index.
 func (s *Store) CreateIndex(tableName, field string, unique bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	t, ok := s.tables[tableName]
+	v := s.current.Load()
+	t, ok := v.tables[tableName]
 	if !ok {
 		return fmt.Errorf("store: table %q: %w", tableName, ErrNoTable)
 	}
@@ -286,34 +227,38 @@ func (s *Store) CreateIndex(tableName, field string, unique bool) error {
 		return fmt.Errorf("store: index on %s.%s already exists: %w", tableName, field, ErrExists)
 	}
 	idx := newIndex(field, unique)
-	// Index existing rows in id order.
-	for _, id := range t.ids {
-		if err := idx.insert(t.rows[id], id); err != nil {
+	it := t.iter(0, 0)
+	for id, r := it.next(); id != 0; id, r = it.next() {
+		if err := idx.insert(r, id); err != nil {
 			return fmt.Errorf("store: building index %s.%s: %w", tableName, field, err)
 		}
 	}
-	t.indexes[field] = idx
+	nt := t.clone()
+	nt.indexes[field] = idx
+	nv := v.withTables()
+	nv.tables[tableName] = nt
+	s.current.Store(nv)
 	return nil
 }
 
 // CommitSeq returns the number of transactions committed so far.
 func (s *Store) CommitSeq() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.commitSeq
+	return s.current.Load().seq
 }
 
 // Close marks the store closed and, on durable stores, stops the
 // background snapshotter, performs a final WAL fsync and closes the log.
 // A cleanly closed durable store is fully durable regardless of sync
-// policy. Subsequent transactions fail with ErrClosed. Close is
-// idempotent; it returns the first background snapshot or WAL failure, if
-// any.
+// policy. Subsequent transactions fail with ErrClosed; readers already
+// holding a pinned version may finish, since reads touch only immutable
+// memory. Close is idempotent; it returns the first background snapshot
+// or WAL failure, if any.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	already := s.closed
-	s.closed = true
-	s.mu.Unlock()
+	// Taking writeMu drains the in-flight writer, if any, before the WAL
+	// shuts down beneath it.
+	s.writeMu.Lock()
+	already := s.closed.Swap(true)
+	s.writeMu.Unlock()
 	if already {
 		return nil
 	}
@@ -339,71 +284,122 @@ func (s *Store) Close() error {
 }
 
 // Get returns a copy of the record with the given id, outside any
-// transaction.
+// transaction, from the latest committed version.
 func (s *Store) Get(tableName string, id int64) (Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	v := s.current.Load()
+	t, ok := v.tables[tableName]
 	if !ok {
 		return nil, fmt.Errorf("store: table %q: %w", tableName, ErrNoTable)
 	}
-	r, ok := t.rows[id]
-	if !ok {
+	r := t.get(id)
+	if r == nil {
 		return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
 	}
 	return r.Clone(), nil
 }
 
-// Count returns the number of records in the named table.
+// Count returns the number of records in the named table in the latest
+// committed version. Inside a transaction, prefer Tx.Count, which answers
+// from the transaction's pinned snapshot (including its own writes)
+// instead of the live head.
 func (s *Store) Count(tableName string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
+	t, ok := s.current.Load().tables[tableName]
 	if !ok {
 		return 0
 	}
-	return len(t.rows)
+	return t.count
 }
 
-// View runs fn inside a read-only transaction. Any write attempted by fn
-// fails with ErrReadOnly.
+// Barrier returns once every Update transaction that was in flight when
+// Barrier was called has committed or rolled back. It is the
+// read-your-writes handshake for observers notified from inside a
+// transaction (e.g. the search index's dirty marks): mark, Barrier, then
+// read — the read is guaranteed to see the transaction that produced the
+// mark. Optimistic Begin transactions are not covered between Begin and
+// Commit, only their commit section is.
+func (s *Store) Barrier() {
+	s.writeMu.Lock()
+	// Deliberately empty critical section: acquiring the writer mutex
+	// proves every earlier writer has finished and published its version.
+	s.writeMu.Unlock() //nolint:staticcheck // SA2001: empty section is the point
+}
+
+// View runs fn inside a read-only transaction pinned to the committed
+// version current at the call. fn runs lock-free: it cannot block writers
+// and writers cannot block it; it simply never observes commits that land
+// after the pin. Any write attempted by fn fails with ErrReadOnly.
 func (s *Store) View(fn func(tx *Tx) error) error {
-	tx, err := s.begin(true)
+	tx, err := s.Begin(true)
 	if err != nil {
 		return err
 	}
-	defer tx.release()
+	defer tx.Rollback()
 	return fn(tx)
+}
+
+// Begin starts an explicit transaction and returns its handle; the caller
+// must finish it with Commit or Rollback. Read-only transactions pin the
+// current committed version and read it lock-free for as long as the
+// handle lives — a paginated scan across many calls sees one frozen
+// state, no matter how many commits land meanwhile.
+//
+// Read-write Begin transactions are optimistic: they buffer writes
+// against their pinned snapshot without holding any lock, and Commit
+// validates them first-committer-wins — if another transaction committed
+// a change to any record this one wrote or deleted (or claimed a serial
+// id this one also claimed) after the pin, Commit fails with ErrConflict
+// and the transaction's effects are discarded. Callers retry by running
+// the transaction again on a fresh snapshot. For unconditional writes,
+// Update — which serializes with other writers and cannot conflict — is
+// the simpler tool.
+func (s *Store) Begin(readonly bool) (*Tx, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return &Tx{s: s, ver: s.current.Load(), readonly: readonly}, nil
 }
 
 // Update runs fn inside a read-write transaction. If fn returns nil the
 // transaction is committed; otherwise it is rolled back and the error
-// returned.
+// returned. Update transactions hold the store's writer mutex for their
+// whole lifetime: they serialize with other writers (so fn never needs
+// conflict handling — read-modify-write is atomic), while readers
+// continue unblocked on earlier versions throughout.
 //
 // On a durable store the commit is appended to the WAL before it becomes
 // visible; under SyncAlways, Update additionally waits — after releasing
-// the store lock, so other commits proceed and share the fsync — until the
-// record is on stable storage.
+// the writer mutex, so other commits proceed and share the fsync — until
+// the record is on stable storage.
 func (s *Store) Update(fn func(tx *Tx) error) error {
-	tx, err := s.begin(false)
-	if err != nil {
-		return err
+	s.writeMu.Lock()
+	if s.closed.Load() {
+		s.writeMu.Unlock()
+		return ErrClosed
 	}
+	tx := &Tx{s: s, ver: s.current.Load(), exclusive: true}
 	defer tx.release()
 	if err := fn(tx); err != nil {
 		return err
 	}
-	if err := tx.commit(); err != nil {
+	if err := tx.commitLocked(); err != nil {
 		return err
 	}
 	tx.release()
-	if tx.walSeq != 0 {
-		if s.wal.policy == SyncAlways {
-			if err := s.wal.waitSynced(tx.walSeq); err != nil {
-				return err
-			}
-		}
-		s.maybeTriggerSnapshot()
+	return s.afterCommit(tx)
+}
+
+// afterCommit completes a committed transaction's durability obligations
+// outside the writer mutex: waiting for the group-commit fsync under
+// SyncAlways and nudging the background snapshotter.
+func (s *Store) afterCommit(tx *Tx) error {
+	if tx.walSeq == 0 {
+		return nil
 	}
+	if s.wal.policy == SyncAlways {
+		if err := s.wal.waitSynced(tx.walSeq); err != nil {
+			return err
+		}
+	}
+	s.maybeTriggerSnapshot()
 	return nil
 }

@@ -5,21 +5,35 @@ import (
 	"sort"
 )
 
-// Tx is a transaction over the store. Read-only transactions hold a shared
-// lock; read-write transactions hold the exclusive lock for their duration,
-// buffering writes so that rollback is trivial and commit is atomic.
+// Tx is a transaction over the store, pinned to the immutable version that
+// was current when it began. Reads answer from that snapshot (merged with
+// the transaction's own pending writes) without taking any lock, so even
+// long paginated scans observe exactly one consistent state.
+//
+// Three flavors share this type:
+//
+//   - read-only (View / Begin(true)): lock-free for their whole life;
+//   - exclusive (Update): hold the store's writer mutex from begin to
+//     commit, serializing with other writers, so they cannot conflict;
+//   - optimistic (Begin(false)): buffer writes lock-free and validate
+//     first-committer-wins at Commit, which fails with ErrConflict when
+//     another transaction got there first.
+//
 // Transactions are not safe for concurrent use by multiple goroutines.
 type Tx struct {
-	s        *Store
-	readonly bool
-	done     bool
+	s         *Store
+	ver       *version // pinned snapshot
+	readonly  bool
+	exclusive bool // Update-path: writer mutex held since begin
+	done      bool
 
 	// Pending per-table overlays, lazily allocated.
 	pending map[string]*txTable
 
 	// walSeq is the commit sequence this transaction appended to the WAL,
-	// or 0 if nothing was logged. Update waits on it per the sync policy
-	// after the lock is released, so waiting never blocks other commits.
+	// or 0 if nothing was logged. The commit path waits on it per the sync
+	// policy after the writer mutex is released, so waiting never blocks
+	// other commits.
 	walSeq uint64
 }
 
@@ -30,47 +44,92 @@ type txTable struct {
 	nextID  int64            // provisional next id (0 = untouched)
 }
 
-func (s *Store) begin(readonly bool) (*Tx, error) {
-	if readonly {
-		s.mu.RLock()
-	} else {
-		s.mu.Lock()
-	}
-	if s.closed {
-		if readonly {
-			s.mu.RUnlock()
-		} else {
-			s.mu.Unlock()
-		}
-		return nil, ErrClosed
-	}
-	return &Tx{s: s, readonly: readonly, pending: make(map[string]*txTable)}, nil
-}
+// Snapshot returns the commit sequence of the version this transaction is
+// pinned to: the transaction observes every commit with a sequence at or
+// below it and none above it.
+func (tx *Tx) Snapshot() uint64 { return tx.ver.seq }
 
-// release drops the transaction's lock. It is idempotent.
+// Rollback discards the transaction. For read-only transactions it simply
+// unpins the snapshot. It is idempotent, and safe to defer alongside an
+// explicit Commit.
+func (tx *Tx) Rollback() { tx.release() }
+
+// release finishes the transaction, dropping the writer mutex if this is
+// an exclusive (Update) transaction. It is idempotent.
 func (tx *Tx) release() {
 	if tx.done {
 		return
 	}
 	tx.done = true
-	if tx.readonly {
-		tx.s.mu.RUnlock()
-	} else {
-		tx.s.mu.Unlock()
+	if tx.exclusive {
+		tx.s.writeMu.Unlock()
 	}
 }
 
+// Commit atomically publishes the transaction's writes as a new store
+// version. On read-only transactions it is a no-op. On optimistic (Begin)
+// transactions it first validates first-committer-wins against the latest
+// committed version and fails with ErrConflict if the transaction lost a
+// race; on a durable store the commit is WAL-appended before it becomes
+// visible and, under SyncAlways, Commit waits for the group fsync.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.readonly {
+		tx.release()
+		return nil
+	}
+	if tx.exclusive {
+		// Update-path transactions already hold the writer mutex and are
+		// committed by Update itself when fn returns nil; re-locking here
+		// would self-deadlock.
+		return fmt.Errorf("store: transactions started by Update are committed by Update itself")
+	}
+	s := tx.s
+	s.writeMu.Lock()
+	if s.closed.Load() {
+		s.writeMu.Unlock()
+		tx.done = true
+		return ErrClosed
+	}
+	err := tx.validate()
+	if err == nil {
+		err = tx.commitLocked()
+	}
+	s.writeMu.Unlock()
+	tx.done = true
+	if err != nil {
+		return err
+	}
+	return s.afterCommit(tx)
+}
+
+// table resolves a table in the pinned snapshot.
 func (tx *Tx) table(name string) (*table, error) {
-	t, ok := tx.s.tables[name]
+	t, ok := tx.ver.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("store: table %q: %w", name, ErrNoTable)
 	}
 	return t, nil
 }
 
+// Tables returns the sorted names of all tables in the transaction's
+// pinned snapshot — not the live store head, which may have gained tables
+// since the transaction began.
+func (tx *Tx) Tables() []string {
+	if tx.done {
+		return nil
+	}
+	return tx.ver.tableNames()
+}
+
 func (tx *Tx) overlay(name string) *txTable {
 	o, ok := tx.pending[name]
 	if !ok {
+		if tx.pending == nil {
+			tx.pending = make(map[string]*txTable)
+		}
 		o = &txTable{writes: make(map[int64]Record), deletes: make(map[int64]bool)}
 		tx.pending[name] = o
 	}
@@ -186,8 +245,7 @@ func (tx *Tx) exists(t *table, tableName string, id int64) bool {
 			return true
 		}
 	}
-	_, ok := t.rows[id]
-	return ok
+	return t.get(id) != nil
 }
 
 // Get returns a copy of the record with the given id, observing the
@@ -205,9 +263,10 @@ func (tx *Tx) Get(tableName string, id int64) (Record, error) {
 //
 // Aliasing contract: the returned record (including its slice values) is
 // shared with the store and MUST NOT be mutated. Committed records are
-// immutable — writes replace whole record maps — so the reference stays a
-// valid, consistent snapshot even after the transaction ends. Callers that
-// need to modify the record must use Get (or Clone the reference).
+// immutable — writes replace whole record maps in a fresh store version —
+// so the reference stays a valid, consistent snapshot even after the
+// transaction ends. Callers that need to modify the record must use Get
+// (or Clone the reference).
 func (tx *Tx) GetRef(tableName string, id int64) (Record, error) {
 	if tx.done {
 		return nil, ErrTxDone
@@ -224,8 +283,8 @@ func (tx *Tx) GetRef(tableName string, id int64) (Record, error) {
 			return r, nil
 		}
 	}
-	r, ok := t.rows[id]
-	if !ok {
+	r := t.get(id)
+	if r == nil {
 		return nil, fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
 	}
 	return r, nil
@@ -244,7 +303,8 @@ func (tx *Tx) Exists(tableName string, id int64) bool {
 }
 
 // Count returns the number of live records in the table as seen by the
-// transaction.
+// transaction: the pinned snapshot's count adjusted for the transaction's
+// own inserts and deletes.
 func (tx *Tx) Count(tableName string) int {
 	if tx.done {
 		return 0
@@ -253,15 +313,15 @@ func (tx *Tx) Count(tableName string) int {
 	if err != nil {
 		return 0
 	}
-	n := len(t.rows)
+	n := t.count
 	if o, ok := tx.pending[tableName]; ok {
 		for id := range o.writes {
-			if _, committed := t.rows[id]; !committed {
+			if t.get(id) == nil {
 				n++
 			}
 		}
 		for id := range o.deletes {
-			if _, committed := t.rows[id]; committed {
+			if t.get(id) != nil {
 				n--
 			}
 		}
@@ -285,7 +345,9 @@ func (tx *Tx) ScanRef(tableName string, fn func(r Record) bool) error {
 // ScanRange visits the live records with fromID <= id <= toID in ascending
 // ID order, receiving copies. A fromID of 0 means "from the first record"; a
 // toID of 0 means "to the last". This is the primitive behind paginated
-// browsing: pass the last seen id + 1 as fromID to resume a scan.
+// browsing: pass the last seen id + 1 as fromID to resume a scan. Within
+// one transaction, every page reads the same pinned version, so paginated
+// results are mutually consistent even under concurrent write load.
 func (tx *Tx) ScanRange(tableName string, fromID, toID int64, fn func(r Record) bool) error {
 	return tx.scanRange(tableName, fromID, toID, true, fn)
 }
@@ -296,9 +358,10 @@ func (tx *Tx) ScanRangeRef(tableName string, fromID, toID int64, fn func(r Recor
 	return tx.scanRange(tableName, fromID, toID, false, fn)
 }
 
-// scanRange is the shared ordered-scan core. It walks the table's
-// incrementally-maintained sorted id slice — no per-call rebuild or sort —
-// merging in the transaction's pending overlay when one exists.
+// scanRange is the shared ordered-scan core. The pinned version's chunk
+// layout yields ascending id order structurally — no per-call rebuild or
+// sort — and the transaction's pending overlay, when one exists, is
+// merge-walked in.
 func (tx *Tx) scanRange(tableName string, fromID, toID int64, clone bool, fn func(r Record) bool) error {
 	if tx.done {
 		return ErrTxDone
@@ -313,26 +376,13 @@ func (tx *Tx) scanRange(tableName string, fromID, toID int64, clone bool, fn fun
 		}
 		return fn(r)
 	}
-	inRange := func(id int64) bool {
-		return id >= fromID && (toID == 0 || id <= toID)
-	}
 
-	// Restrict the committed id slice to [fromID, toID].
-	ids := t.ids
-	if fromID > 0 {
-		lo := sort.Search(len(ids), func(k int) bool { return ids[k] >= fromID })
-		ids = ids[lo:]
-	}
-	if toID > 0 {
-		hi := sort.Search(len(ids), func(k int) bool { return ids[k] > toID })
-		ids = ids[:hi]
-	}
-
+	it := t.iter(fromID, toID)
 	o := tx.pending[tableName]
 	if o == nil || (len(o.writes) == 0 && len(o.deletes) == 0) {
-		// Fast path: no overlay, walk the committed order directly.
-		for _, id := range ids {
-			if !emit(t.rows[id]) {
+		// Fast path: no overlay, walk the committed chunks directly.
+		for id, r := it.next(); id != 0; id, r = it.next() {
+			if !emit(r) {
 				return nil
 			}
 		}
@@ -342,30 +392,28 @@ func (tx *Tx) scanRange(tableName string, fromID, toID int64, clone bool, fn fun
 	// Overlay ids (new inserts and rewrites) in range, sorted.
 	oids := make([]int64, 0, len(o.writes))
 	for id := range o.writes {
-		if !o.deletes[id] && inRange(id) {
+		if !o.deletes[id] && id >= fromID && (toID == 0 || id <= toID) {
 			oids = append(oids, id)
 		}
 	}
 	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
 
-	// Merge-walk committed and overlay ids. Rewritten committed ids are
-	// emitted from the overlay side; deleted ids are skipped.
-	i, j := 0, 0
-	for i < len(ids) || j < len(oids) {
+	// Merge-walk committed and overlay records. Rewritten committed ids
+	// are emitted from the overlay side; deleted ids are skipped.
+	j := 0
+	id, r := it.next()
+	for id != 0 || j < len(oids) {
 		switch {
-		case j >= len(oids) || (i < len(ids) && ids[i] < oids[j]):
-			id := ids[i]
-			i++
-			if o.deletes[id] {
-				continue
+		case j >= len(oids) || (id != 0 && id < oids[j]):
+			if !o.deletes[id] {
+				if _, rewritten := o.writes[id]; !rewritten {
+					if !emit(r) {
+						return nil
+					}
+				}
 			}
-			if _, rewritten := o.writes[id]; rewritten {
-				continue // comes from the overlay side
-			}
-			if !emit(t.rows[id]) {
-				return nil
-			}
-		case i >= len(ids) || oids[j] < ids[i]:
+			id, r = it.next()
+		case id == 0 || oids[j] < id:
 			if !emit(o.writes[oids[j]]) {
 				return nil
 			}
@@ -374,8 +422,8 @@ func (tx *Tx) scanRange(tableName string, fromID, toID int64, clone bool, fn fun
 			if !emit(o.writes[oids[j]]) {
 				return nil
 			}
-			i++
 			j++
+			id, r = it.next()
 		}
 	}
 	return nil
@@ -414,7 +462,8 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 			ids = append(ids, id)
 		}
 	} else {
-		for id, r := range t.rows {
+		it := t.iter(0, 0)
+		for id, r := it.next(); id != 0; id, r = it.next() {
 			if o != nil {
 				if o.deletes[id] {
 					continue
@@ -498,27 +547,94 @@ func (tx *Tx) FirstRef(tableName, field string, value any) (Record, error) {
 	return tx.GetRef(tableName, ids[0])
 }
 
-// commit applies the transaction's pending writes to the committed state.
-// The exclusive lock is already held.
+// validate implements first-committer-wins conflict detection for
+// optimistic transactions, called with the writer mutex held. Exclusive
+// (Update) transactions pin the head version while already holding the
+// mutex, so nothing can have moved and validation short-circuits.
 //
-// On durable stores the record-set is appended to the WAL before anything
-// is installed in memory: if the append fails, the store is unchanged and
+// The rules, checked against the latest committed version:
+//
+//   - a record this transaction put or deleted must not carry a commit
+//     stamp newer than the transaction's snapshot (another transaction
+//     rewrote or deleted it first);
+//   - a serial id this transaction claimed for an insert must still be
+//     unclaimed (another transaction allocated the same id first);
+//   - unique constraints are re-checked against the latest indexes, since
+//     the write-time check only saw the snapshot.
+func (tx *Tx) validate() error {
+	base := tx.s.current.Load()
+	if base == tx.ver {
+		return nil
+	}
+	snap := tx.ver.seq
+	conflict := func(name string, id int64) error {
+		return fmt.Errorf("store: %s/%d changed since snapshot %d: %w", name, id, snap, ErrConflict)
+	}
+	for name, o := range tx.pending {
+		bt := base.tables[name]
+		if bt == nil {
+			return fmt.Errorf("store: table %q: %w", name, ErrNoTable)
+		}
+		pt := tx.ver.tables[name] // non-nil: the overlay proves it existed at pin
+		for id := range o.writes {
+			if id >= pt.nextID {
+				// Insert: the claimed id must still be free in the head.
+				if id < bt.nextID {
+					return conflict(name, id)
+				}
+			} else if bt.seqOf(id) > snap {
+				return conflict(name, id)
+			}
+		}
+		for id := range o.deletes {
+			if id >= pt.nextID {
+				// Insert-then-delete: the id was still claimed from the
+				// serial space and must not have been taken meanwhile.
+				if id < bt.nextID {
+					return conflict(name, id)
+				}
+			} else if bt.seqOf(id) > snap {
+				return conflict(name, id)
+			}
+		}
+		for _, ix := range bt.indexes {
+			if !ix.unique {
+				continue
+			}
+			for id, r := range o.writes {
+				if err := ix.checkUnique(r, id, o.writes, o.deletes); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// commitLocked publishes the transaction's pending writes as a new store
+// version. The writer mutex is already held (and, for optimistic
+// transactions, validate has passed), so the head cannot move underneath.
+//
+// On durable stores the record-set is appended to the WAL before the new
+// version is published: if the append fails, the store is unchanged and
 // the commit reports the failure. The append itself only reaches the OS;
-// fsync is deferred to the group-commit batcher, which Update consults
-// after releasing the lock.
-func (tx *Tx) commit() error {
+// fsync is deferred to the group-commit batcher, which the caller
+// consults after releasing the writer mutex.
+func (tx *Tx) commitLocked() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	if tx.readonly {
 		return nil
 	}
-	// A transaction that changed nothing must not advance commitSeq: the
-	// WAL logs nothing for it, and replay requires the on-disk sequence
-	// numbers to be contiguous.
+	s := tx.s
+	base := s.current.Load()
+	// A transaction that changed nothing must not advance the commit seq:
+	// the WAL logs nothing for it, and replay requires the on-disk
+	// sequence numbers to be contiguous.
 	changed := false
 	for name, o := range tx.pending {
-		t := tx.s.tables[name]
+		t := base.tables[name]
 		if len(o.writes) != 0 || len(o.deletes) != 0 || (t != nil && o.nextID > t.nextID) {
 			changed = true
 			break
@@ -527,93 +643,46 @@ func (tx *Tx) commit() error {
 	if !changed {
 		return nil
 	}
-	if tx.s.wal != nil {
-		payload, seq, err := tx.encodeWALPayload()
+	if s.wal != nil {
+		payload, seq, err := tx.encodeWALPayload(base)
 		if err != nil {
 			return err
 		}
 		if seq != 0 {
-			if err := tx.s.wal.append(seq, payload); err != nil {
+			if err := s.wal.append(seq, payload); err != nil {
 				return err
 			}
 			tx.walSeq = seq
 		}
 	}
-	// Apply deletions then writes, maintaining indexes.
-	for name, o := range tx.pending {
-		t := tx.s.tables[name]
-		if t == nil {
-			continue // table vanished? cannot happen: tables are never dropped mid-tx
+	nv, err := applyOverlay(base, tx.pending)
+	if err != nil {
+		// Unique violations are checked at write or validate time; hitting
+		// one during the copy-on-write install indicates a bug. If the
+		// record was already appended to the WAL, poison the log: the next
+		// commit would reuse this seq and recovery would replay the
+		// never-published transaction in its place.
+		err = fmt.Errorf("store: commit: %w", err)
+		if tx.walSeq != 0 {
+			s.wal.poison(err)
 		}
-		for id := range o.deletes {
-			if old, ok := t.rows[id]; ok {
-				for _, ix := range t.indexes {
-					ix.remove(old, id)
-				}
-				delete(t.rows, id)
-				t.removeID(id)
-			}
-		}
-		ids := make([]int64, 0, len(o.writes))
-		for id := range o.writes {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		// Two-phase index maintenance: clear every rewritten row's old
-		// entries first, then insert the new ones. Interleaving the two
-		// would reject transactions that swap a unique value between rows
-		// — a shape checkUnique deliberately permits — on a transient
-		// collision, and (on durable stores) AFTER the record was already
-		// appended to the WAL.
-		for _, id := range ids {
-			if old, existed := t.rows[id]; existed {
-				for _, ix := range t.indexes {
-					ix.remove(old, id)
-				}
-			}
-		}
-		for _, id := range ids {
-			rec := o.writes[id]
-			_, existed := t.rows[id]
-			for _, ix := range t.indexes {
-				if err := ix.insert(rec, id); err != nil {
-					// Checked at write time; hitting one here indicates a
-					// bug. If the record was already appended to the WAL,
-					// poison the log: the next commit would reuse this
-					// seq and recovery would replay the half-applied
-					// transaction in its place.
-					err = fmt.Errorf("store: commit %s/%d: %w", name, id, err)
-					if tx.walSeq != 0 {
-						tx.s.wal.poison(err)
-					}
-					return err
-				}
-			}
-			// Committed records are immutable: the map under t.rows[id] is
-			// replaced wholesale, never written through, so references handed
-			// out by GetRef/ScanRef stay valid snapshots.
-			t.rows[id] = rec
-			if !existed {
-				t.insertID(id)
-			}
-		}
-		if o.nextID > t.nextID {
-			t.nextID = o.nextID
-		}
+		return err
 	}
-	tx.s.commitSeq++
+	s.current.Store(nv)
 	return nil
 }
 
 // encodeWALPayload serializes the transaction's pending overlay directly
 // into the store's reusable scratch buffer (commits are serialized by the
-// exclusive lock, and wal.append copies the bytes out synchronously, so
-// single ownership holds). It returns seq 0 when the transaction touched
-// nothing worth logging. The byte layout is walcodec.go's; equivalence
-// with the struct-based encoder is pinned by TestWALEncoderEquivalence.
-func (tx *Tx) encodeWALPayload() ([]byte, uint64, error) {
+// writer mutex, and wal.append copies the bytes out synchronously, so
+// single ownership holds). The base version supplies the commit sequence
+// and the per-table serial high-water marks. It returns seq 0 when the
+// transaction touched nothing worth logging. The byte layout is
+// walcodec.go's; equivalence with the struct-based encoder is pinned by
+// TestWALEncoderEquivalence.
+func (tx *Tx) encodeWALPayload(base *version) ([]byte, uint64, error) {
 	s := tx.s
-	seq := s.commitSeq + 1
+	seq := base.seq + 1
 	buf := s.walEncBuf[:0]
 	buf = appendU64(buf, seq)
 	countOff := len(buf)
@@ -627,7 +696,7 @@ func (tx *Tx) encodeWALPayload() ([]byte, uint64, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		o := tx.pending[name]
-		t := s.tables[name]
+		t := base.tables[name]
 		var nextID int64
 		if t != nil && o.nextID > t.nextID {
 			nextID = o.nextID

@@ -1,0 +1,466 @@
+package store
+
+import "sort"
+
+// This file implements the multi-version core of the store: immutable
+// store versions, the chunked copy-on-write table representation, and the
+// commit-time builders that derive version N+1 from version N while
+// sharing every untouched structure.
+//
+// A version is never mutated once it has been published through
+// Store.current — with two deliberate exceptions, recovery and Load, which
+// build a version that is not yet shared with any reader. Everything a
+// reader can reach from a pinned version (tables, chunks, index postings,
+// record maps) is therefore a stable snapshot for as long as the reader
+// holds the pointer; abandoned versions are reclaimed by the garbage
+// collector once the last reader drops them.
+
+const (
+	// chunkBits sizes the per-table record chunks: 1<<chunkBits records
+	// per chunk. Chunks are the copy-on-write granule — a commit deep-
+	// copies only the chunks it touches (a few KiB each) and shares the
+	// rest with the previous version — so the value trades write
+	// amplification (larger chunks copy more) against pointer overhead
+	// and chunk-slice length (smaller chunks mean more of them).
+	chunkBits = 7
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// chunk holds one fixed-size run of a table's id space: slot i of the
+// chunk covering ids (base, base+chunkSize] carries the record with
+// id base+i+1, or nil if that id is free or deleted. seqs carries, per
+// slot, the commit sequence that last wrote it — including deletions,
+// where the slot keeps the deleting commit's seq as a tombstone stamp.
+// Those stamps are what first-committer-wins conflict detection compares
+// against a transaction's snapshot sequence.
+type chunk struct {
+	recs [chunkSize]Record
+	seqs [chunkSize]uint64
+}
+
+// version is one immutable, atomically-published state of the store:
+// the commit sequence it corresponds to plus every table at that point.
+type version struct {
+	seq    uint64
+	tables map[string]*table
+}
+
+// withTables returns a copy of the version with a private tables map
+// (table pointers still shared), for schema changes and commits that
+// replace table entries.
+func (v *version) withTables() *version {
+	nv := &version{seq: v.seq, tables: make(map[string]*table, len(v.tables))}
+	for n, t := range v.tables {
+		nv.tables[n] = t
+	}
+	return nv
+}
+
+// table is the state of one record kind within a version. Records live in
+// chunks indexed directly by id — ids are serial, so chunk lookup is two
+// shifts, no map — and iteration in chunk order IS ascending id order.
+// A nil entry in chunks means every id in that run is free.
+type table struct {
+	name    string
+	nextID  int64
+	count   int // live records
+	chunks  []*chunk
+	indexes map[string]*index
+}
+
+func newTable(name string) *table {
+	return &table{name: name, nextID: 1, indexes: make(map[string]*index)}
+}
+
+// chunkPos maps a record id to its chunk index and slot.
+func chunkPos(id int64) (int, int) {
+	return int((id - 1) >> chunkBits), int((id - 1) & chunkMask)
+}
+
+// get returns the live record with the given id, or nil.
+func (t *table) get(id int64) Record {
+	if id < 1 {
+		return nil
+	}
+	ci, si := chunkPos(id)
+	if ci >= len(t.chunks) {
+		return nil
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		return nil
+	}
+	return c.recs[si]
+}
+
+// seqOf returns the commit sequence that last wrote the id's slot —
+// whether that write installed a record or deleted one — or 0 if the slot
+// was never written in this version's history.
+func (t *table) seqOf(id int64) uint64 {
+	if id < 1 {
+		return 0
+	}
+	ci, si := chunkPos(id)
+	if ci >= len(t.chunks) {
+		return 0
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		return 0
+	}
+	return c.seqs[si]
+}
+
+// put installs a record IN PLACE, growing the chunk slice as needed.
+// Only legal on tables not yet reachable by readers (recovery, Load).
+func (t *table) put(id int64, rec Record, seq uint64) {
+	ci, si := chunkPos(id)
+	for ci >= len(t.chunks) {
+		t.chunks = append(t.chunks, nil)
+	}
+	c := t.chunks[ci]
+	if c == nil {
+		c = new(chunk)
+		t.chunks[ci] = c
+	}
+	if c.recs[si] == nil {
+		t.count++
+	}
+	c.recs[si] = rec
+	c.seqs[si] = seq
+}
+
+// del removes a record IN PLACE, leaving a tombstone seq stamp. Only
+// legal on tables not yet reachable by readers (recovery, Load).
+func (t *table) del(id int64, seq uint64) {
+	ci, si := chunkPos(id)
+	if ci >= len(t.chunks) || t.chunks[ci] == nil {
+		return
+	}
+	c := t.chunks[ci]
+	if c.recs[si] != nil {
+		c.recs[si] = nil
+		t.count--
+	}
+	c.seqs[si] = seq
+}
+
+// clone returns a shallow copy of the table for copy-on-write mutation:
+// the chunk slice and index map are private, but the chunk and index
+// structures themselves stay shared with the original until a cowTable /
+// cowIndex detaches the ones a commit touches.
+func (t *table) clone() *table {
+	nt := &table{name: t.name, nextID: t.nextID, count: t.count}
+	nt.chunks = append([]*chunk(nil), t.chunks...)
+	nt.indexes = make(map[string]*index, len(t.indexes))
+	for f, ix := range t.indexes {
+		nt.indexes[f] = ix
+	}
+	return nt
+}
+
+// tableIter walks a table's live records in ascending id order by walking
+// the chunk slice; nil chunks are skipped wholesale.
+type tableIter struct {
+	t    *table
+	id   int64 // next candidate id
+	toID int64 // inclusive upper bound
+}
+
+// iter returns an iterator over live ids in [fromID, toID]; a bound of 0
+// means unbounded on that side.
+func (t *table) iter(fromID, toID int64) tableIter {
+	if fromID < 1 {
+		fromID = 1
+	}
+	max := t.nextID - 1
+	if toID == 0 || toID > max {
+		toID = max
+	}
+	return tableIter{t: t, id: fromID, toID: toID}
+}
+
+// next returns the next live (id, record), or (0, nil) when exhausted.
+func (it *tableIter) next() (int64, Record) {
+	for it.id > 0 && it.id <= it.toID {
+		ci, si := chunkPos(it.id)
+		if ci >= len(it.t.chunks) {
+			return 0, nil
+		}
+		c := it.t.chunks[ci]
+		if c == nil {
+			it.id = (int64(ci)+1)*chunkSize + 1
+			continue
+		}
+		for si < chunkSize && it.id <= it.toID {
+			r := c.recs[si]
+			id := it.id
+			si++
+			it.id++
+			if r != nil {
+				return id, r
+			}
+		}
+	}
+	return 0, nil
+}
+
+// cowTable wraps a freshly cloned table during one commit, tracking which
+// chunks and indexes have already been detached from the base version so
+// each is copied at most once per commit.
+type cowTable struct {
+	t       *table
+	private map[int]bool // chunk indices deep-copied for this commit
+	ixes    map[string]*cowIndex
+}
+
+func newCowTable(base *table) *cowTable {
+	return &cowTable{t: base.clone(), private: make(map[int]bool), ixes: make(map[string]*cowIndex)}
+}
+
+// chunkFor returns a chunk private to this commit covering id, copying or
+// allocating it on first touch.
+func (ct *cowTable) chunkFor(id int64) (*chunk, int) {
+	ci, si := chunkPos(id)
+	for ci >= len(ct.t.chunks) {
+		ct.t.chunks = append(ct.t.chunks, nil)
+	}
+	if !ct.private[ci] {
+		if old := ct.t.chunks[ci]; old != nil {
+			cp := *old
+			ct.t.chunks[ci] = &cp
+		} else {
+			ct.t.chunks[ci] = new(chunk)
+		}
+		ct.private[ci] = true
+	}
+	return ct.t.chunks[ci], si
+}
+
+func (ct *cowTable) put(id int64, rec Record, seq uint64) {
+	c, si := ct.chunkFor(id)
+	if c.recs[si] == nil {
+		ct.t.count++
+	}
+	c.recs[si] = rec
+	c.seqs[si] = seq
+}
+
+func (ct *cowTable) del(id int64, seq uint64) {
+	c, si := ct.chunkFor(id)
+	if c.recs[si] != nil {
+		c.recs[si] = nil
+		ct.t.count--
+	}
+	c.seqs[si] = seq
+}
+
+// index returns the commit-private copy-on-write wrapper for the named
+// index, cloning the index head on first touch.
+func (ct *cowTable) index(field string) *cowIndex {
+	ci, ok := ct.ixes[field]
+	if !ok {
+		ix := ct.t.indexes[field].clone()
+		ct.t.indexes[field] = ix
+		ci = &cowIndex{ix: ix, privGroup: make(map[int]bool), privShard: make(map[int]bool), copied: make(map[indexKey]bool)}
+		ct.ixes[field] = ci
+	}
+	return ci
+}
+
+// cowIndex mutates a cloned index during one commit, privatizing each
+// shard group and shard map on first touch and each postings slice before
+// its first non-append mutation. Shard privatization is what keeps commit
+// cost proportional to the keys touched rather than the keys that exist.
+type cowIndex struct {
+	ix        *index
+	privGroup map[int]bool      // group indices privatized this commit
+	privShard map[int]bool      // shard indices privatized this commit
+	copied    map[indexKey]bool // postings slices privatized this commit
+}
+
+// shardFor returns a shard map private to this commit covering key,
+// copying the group head and the shard map on first touch.
+func (ci *cowIndex) shardFor(key indexKey) map[indexKey][]int64 {
+	s := shardOf(key)
+	gi, si := s>>ixShardBits, s&(ixGroupSize-1)
+	if !ci.privGroup[gi] {
+		g := new(ixGroup)
+		if old := ci.ix.groups[gi]; old != nil {
+			*g = *old
+		}
+		ci.ix.groups[gi] = g
+		ci.privGroup[gi] = true
+	}
+	g := ci.ix.groups[gi]
+	if !ci.privShard[s] {
+		old := g[si]
+		m := make(map[indexKey][]int64, len(old)+1)
+		for k, v := range old {
+			m[k] = v
+		}
+		g[si] = m
+		ci.privShard[s] = true
+	}
+	return g[si]
+}
+
+func (ci *cowIndex) insert(r Record, id int64) error {
+	v, ok := r[ci.ix.field]
+	if !ok {
+		return nil
+	}
+	key, ok := keyFor(v)
+	if !ok {
+		return nil
+	}
+	m := ci.shardFor(key)
+	ids := m[key]
+	if err := ci.ix.checkUniqueKey(ids, v, id); err != nil {
+		return err
+	}
+	if n := len(ids); n == 0 || id > ids[n-1] {
+		// Pure append — the overwhelmingly common case with serial ids —
+		// needs no private copy: appending either reallocates or writes
+		// one slot past every published slice's length, which no reader
+		// of an earlier version can observe, and commits extend a given
+		// backing array strictly sequentially under the writer mutex.
+		m[key] = append(ids, id)
+		return nil
+	}
+	if !ci.copied[key] {
+		ids = append(make([]int64, 0, len(ids)+1), ids...)
+		ci.copied[key] = true
+	}
+	m[key] = insertSorted(ids, id)
+	return nil
+}
+
+func (ci *cowIndex) remove(r Record, id int64) {
+	v, ok := r[ci.ix.field]
+	if !ok {
+		return
+	}
+	key, ok := keyFor(v)
+	if !ok {
+		return
+	}
+	m := ci.shardFor(key)
+	ids := m[key]
+	n := len(ids)
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	if i == n || ids[i] != id {
+		return
+	}
+	if n == 1 {
+		delete(m, key)
+		return
+	}
+	if !ci.copied[key] {
+		// Removal shifts elements within the published length, so it must
+		// never run on a slice shared with earlier versions.
+		ids = append(make([]int64, 0, n), ids...)
+		ci.copied[key] = true
+	}
+	m[key] = removeSorted(ids, id)
+}
+
+// sameIndexedKey reports whether records a and b index identically under
+// the given field: both unindexable (absent or non-indexable value) or
+// both mapping to the same key.
+func sameIndexedKey(a, b Record, field string) bool {
+	ka, oka := keyFor(a[field])
+	kb, okb := keyFor(b[field])
+	return oka == okb && ka == kb
+}
+
+// applyOverlay derives the successor of base by applying a transaction's
+// pending overlay copy-on-write: untouched tables, chunks and index
+// postings are shared with base; touched ones are copied once. Mirrors
+// the WAL record's apply order (tables in sorted name order; per table
+// deletions first, then writes in id order) so that replay reconstructs
+// the exact same state.
+func applyOverlay(base *version, pending map[string]*txTable) (*version, error) {
+	nv := base.withTables()
+	nv.seq = base.seq + 1
+	names := make([]string, 0, len(pending))
+	for name := range pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := pending[name]
+		bt := base.tables[name]
+		if bt == nil {
+			continue // tables are never dropped mid-tx; cannot happen
+		}
+		if len(o.writes) == 0 && len(o.deletes) == 0 {
+			if o.nextID > bt.nextID {
+				// Inserts that were all deleted again in the same tx:
+				// only the serial high-water mark moves.
+				nt := bt.clone()
+				nt.nextID = o.nextID
+				nv.tables[name] = nt
+			}
+			continue
+		}
+		ct := newCowTable(bt)
+		ids := make([]int64, 0, len(o.deletes))
+		for id := range o.deletes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if old := ct.t.get(id); old != nil {
+				for f := range ct.t.indexes {
+					ct.index(f).remove(old, id)
+				}
+				ct.del(id, nv.seq)
+			}
+		}
+		ids = ids[:0]
+		for id := range o.writes {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		olds := make([]Record, len(ids))
+		for i, id := range ids {
+			olds[i] = ct.t.get(id)
+		}
+		// Two-phase index maintenance: clear every rewritten row's old
+		// entries first, then insert the new ones, so a unique-value swap
+		// between rows inside one transaction never trips a transient
+		// collision. Rows whose indexed key is unchanged are skipped on
+		// both sides: the (row, key) pair stays put, so no swap can
+		// involve it — and skipping avoids detaching (copying) the key's
+		// postings for a rewrite that does not move the row.
+		for i, id := range ids {
+			if old := olds[i]; old != nil {
+				for f := range ct.t.indexes {
+					if sameIndexedKey(old, o.writes[id], f) {
+						continue
+					}
+					ct.index(f).remove(old, id)
+				}
+			}
+		}
+		for i, id := range ids {
+			rec := o.writes[id]
+			for f := range ct.t.indexes {
+				if olds[i] != nil && sameIndexedKey(olds[i], rec, f) {
+					continue
+				}
+				if err := ct.index(f).insert(rec, id); err != nil {
+					return nil, err
+				}
+			}
+			ct.put(id, rec, nv.seq)
+		}
+		if o.nextID > ct.t.nextID {
+			ct.t.nextID = o.nextID
+		}
+		nv.tables[name] = ct.t
+	}
+	return nv, nil
+}

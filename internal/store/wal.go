@@ -142,7 +142,7 @@ type wal struct {
 
 	// mu protects the current segment (file, writer, sizes) and the
 	// retired-segment list. Appends, rotation and fsync all run under it;
-	// commits already serialize on the store's exclusive lock, so this
+	// commits already serialize on the store's writer mutex, so this
 	// mutex is uncontended except against the syncer.
 	mu        sync.Mutex
 	f         *os.File
@@ -188,7 +188,7 @@ func (w *wal) start() { go w.syncLoop() }
 
 // append writes the frame for seq to the current segment. It does not
 // fsync; durability is the syncer's job. Called with the store's
-// exclusive lock held, so seqs arrive in strictly increasing order.
+// writer mutex held, so seqs arrive in strictly increasing order.
 //
 // Under SyncInterval and SyncOff the frame is flushed to the OS before
 // returning, so even an unsynced commit survives a process kill. Under

@@ -84,7 +84,7 @@ func BenchmarkDurableCommit(b *testing.B) {
 		b.ReportAllocs()
 		var seq atomic.Int64
 		// A server-like committer population; commits still serialize on
-		// the store lock, but their fsyncs coalesce.
+		// the writer mutex, but their fsyncs coalesce.
 		b.SetParallelism(64)
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {

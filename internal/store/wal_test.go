@@ -26,9 +26,9 @@ func openTestDir(t *testing.T, dir string, policy SyncPolicy) *Store {
 // append flushed to the OS survives, exactly as with a real kill -9.
 func crash(t *testing.T, s *Store) {
 	t.Helper()
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.writeMu.Lock()
+	s.closed.Store(true)
+	s.writeMu.Unlock()
 	if s.snapStop != nil {
 		close(s.snapStop)
 		<-s.snapDone

@@ -69,7 +69,7 @@ func TestWALEncoderEquivalence(t *testing.T) {
 			return err
 		}
 
-		direct, seq, err := tx.encodeWALPayload()
+		direct, seq, err := tx.encodeWALPayload(tx.ver)
 		if err != nil {
 			return err
 		}
@@ -207,7 +207,7 @@ func appendField(buf []byte, fs fieldSnapshot) ([]byte, error) {
 // The hot path uses encodeWALPayload instead; this structural form backs
 // the codec tests.
 func (tx *Tx) buildWALRecord() (walRecord, bool, error) {
-	rec := walRecord{Seq: tx.s.commitSeq + 1}
+	rec := walRecord{Seq: tx.ver.seq + 1}
 	names := make([]string, 0, len(tx.pending))
 	for name := range tx.pending {
 		names = append(names, name)
@@ -215,7 +215,7 @@ func (tx *Tx) buildWALRecord() (walRecord, bool, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		o := tx.pending[name]
-		t := tx.s.tables[name]
+		t := tx.ver.tables[name]
 		tc := walTableChange{Name: name}
 		if t != nil && o.nextID > t.nextID {
 			tc.NextID = o.nextID

@@ -236,7 +236,10 @@ func (sv *Service) Exists(tx *store.Tx, vocabulary, value string) bool {
 //
 // The scan is zero-copy (term records are read by reference and only their
 // string values extracted) and amortizes the query side of the similarity
-// computation across all comparisons via a Scorer.
+// computation across all comparisons via a Scorer. Run inside a View it is
+// also wait-free under write load: the whole comparison loop reads the
+// transaction's pinned MVCC version, so bulk term imports never stall a
+// similarity check and vice versa.
 func (sv *Service) Similar(tx *store.Tx, vocabulary, value string) ([]Candidate, error) {
 	rs, err := tx.FindRef(termsTable, "vocabulary", vocabulary)
 	if err != nil {
