@@ -8,11 +8,14 @@ test:
 
 # The tier-1 gate: everything CI (and the next PR) must keep green. The
 # -race pass covers the store's MVCC contract (snapshot readers, conflict
-# detection, barrier) — the tests most likely to catch a concurrency
-# regression early.
+# detection, barrier) and the query engine's iterators under writer load —
+# the tests most likely to catch a concurrency regression early. gofmt
+# keeps the tree formatting-clean.
 verify:
 	go build ./...
 	go vet ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	go test ./...
 	go test -race ./internal/store
 

@@ -6,9 +6,9 @@
 package audit
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
-	"sort"
 	"strings"
 	"time"
 
@@ -80,7 +80,7 @@ func (l *Log) onEvent(ev events.Event) error {
 	for k := range ev.Payload {
 		fields = append(fields, k)
 	}
-	sort.Strings(fields)
+	slices.Sort(fields)
 	l.seq++
 	_, err := tx.Insert(auditTable, store.Record{
 		"seq":    l.seq,
@@ -108,18 +108,47 @@ func entryFromRecord(r store.Record) Entry {
 }
 
 func sortEntries(es []Entry) {
-	sort.Slice(es, func(i, j int) bool { return es[i].Seq < es[j].Seq })
+	slices.SortFunc(es, func(a, b Entry) int { return cmp.Compare(a.Seq, b.Seq) })
+}
+
+// collect drains a planned audit query into entries. Entries insert in
+// sequence order, so the engine's id ordering already is seq ordering;
+// sortEntries stays as a cheap invariant guard on the (small) result.
+func collect(tx *store.Tx, q store.Query) ([]Entry, error) {
+	rows, err := tx.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, 16)
+	for rows.Next() {
+		out = append(out, entryFromRecord(rows.Record()))
+	}
+	return out, rows.Err()
 }
 
 // ByActor returns the actor's manipulations in sequence order.
 func (l *Log) ByActor(tx *store.Tx, actor string) ([]Entry, error) {
-	rs, err := tx.FindRef(auditTable, "actor", actor)
+	out, err := collect(tx, store.Query{
+		Table: auditTable,
+		Where: []store.Pred{store.Eq("actor", actor)},
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Entry, 0, len(rs))
-	for _, r := range rs {
-		out = append(out, entryFromRecord(r))
+	sortEntries(out)
+	return out, nil
+}
+
+// ByActorSince returns the actor's manipulations at or after the given
+// time, in sequence order. The actor index drives; the time bound is a
+// pushed-down residual.
+func (l *Log) ByActorSince(tx *store.Tx, actor string, since time.Time) ([]Entry, error) {
+	out, err := collect(tx, store.Query{
+		Table: auditTable,
+		Where: []store.Pred{store.Eq("actor", actor), store.Range("at", since, nil)},
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortEntries(out)
 	return out, nil
@@ -127,37 +156,54 @@ func (l *Log) ByActor(tx *store.Tx, actor string) ([]Entry, error) {
 
 // ByObject returns the manipulations of one object in sequence order.
 func (l *Log) ByObject(tx *store.Tx, kind string, ref int64) ([]Entry, error) {
-	rs, err := tx.FindRef(auditTable, "refkey", refKey(kind, ref))
+	out, err := collect(tx, store.Query{
+		Table: auditTable,
+		Where: []store.Pred{store.Eq("refkey", refKey(kind, ref))},
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Entry, 0, len(rs))
-	for _, r := range rs {
-		out = append(out, entryFromRecord(r))
+	sortEntries(out)
+	return out, nil
+}
+
+// ByTimeRange returns the manipulations inside [from, to] (zero time =
+// unbounded on that side) in sequence order — the monitoring window
+// query.
+func (l *Log) ByTimeRange(tx *store.Tx, from, to time.Time) ([]Entry, error) {
+	var lo, hi any
+	if !from.IsZero() {
+		lo = from
+	}
+	if !to.IsZero() {
+		hi = to
+	}
+	out, err := collect(tx, store.Query{
+		Table: auditTable,
+		Where: []store.Pred{store.Range("at", lo, hi)},
+	})
+	if err != nil {
+		return nil, err
 	}
 	sortEntries(out)
 	return out, nil
 }
 
 // Recent returns the most recent n entries, newest first — the system
-// monitoring view.
+// monitoring view. The engine streams the table in descending id order
+// and stops after n rows, so the cost is O(n), not O(table); the former
+// implementation scanned and sorted every entry ever logged.
 func (l *Log) Recent(tx *store.Tx, n int) ([]Entry, error) {
-	var out []Entry
-	err := tx.ScanRef(auditTable, func(r store.Record) bool {
-		out = append(out, entryFromRecord(r))
-		return true
-	})
+	if n <= 0 {
+		return nil, nil
+	}
+	out, err := collect(tx, store.Query{Table: auditTable, Desc: true, Limit: n})
 	if err != nil {
 		return nil, err
 	}
-	sortEntries(out)
-	if len(out) > n {
-		out = out[len(out)-n:]
-	}
-	// Newest first.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
-	}
+	// Entry ids and seqs advance together; guard the newest-first contract
+	// against any divergence within the page.
+	slices.SortFunc(out, func(a, b Entry) int { return cmp.Compare(b.Seq, a.Seq) })
 	return out, nil
 }
 

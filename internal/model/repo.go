@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/entity"
 	"repro/internal/store"
@@ -10,8 +11,25 @@ import (
 // DB is the typed repository over the entity registry. All methods take the
 // caller's transaction so that service-level operations (imports, merges,
 // experiment runs) stay atomic.
+//
+// Listing methods are expressed as declarative store queries: the store's
+// planner picks the access path (index postings, unique lookup, ordered
+// scan) and the typed conversion streams over the zero-copy iterator.
 type DB struct {
 	rg *entity.Registry
+}
+
+// listQuery streams a query's rows through a record converter.
+func listQuery[T any](tx *store.Tx, q store.Query, conv func(store.Record) T) ([]T, error) {
+	rows, err := tx.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, 8)
+	for rows.Next() {
+		out = append(out, conv(rows.Record()))
+	}
+	return out, rows.Err()
 }
 
 // NewDB wraps an entity registry whose schema has been registered with
@@ -90,15 +108,20 @@ func (db *DB) UserByLogin(tx *store.Tx, login string) (User, error) {
 
 // UsersByRole returns all users holding the given role, in id order.
 func (db *DB) UsersByRole(tx *store.Tx, role string) ([]User, error) {
-	rs, err := tx.FindRef(KindUser, "role", role)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]User, len(rs))
-	for i, r := range rs {
-		out[i] = userFromRecord(r)
-	}
-	return out, nil
+	return listQuery(tx, store.Query{
+		Table: KindUser,
+		Where: []store.Pred{store.Eq("role", role)},
+	}, userFromRecord)
+}
+
+// ActiveUsersByRole returns the active users holding the given role, in id
+// order — the population a task list fans out to. The role index drives;
+// the active flag is a pushed-down residual.
+func (db *DB) ActiveUsersByRole(tx *store.Tx, role string) ([]User, error) {
+	return listQuery(tx, store.Query{
+		Table: KindUser,
+		Where: []store.Pred{store.Eq("role", role), store.Eq("active", true)},
+	}, userFromRecord)
 }
 
 // --- projects ------------------------------------------------------------
@@ -128,19 +151,10 @@ func (db *DB) ProjectMembers(tx *store.Tx, id int64) ([]int64, error) {
 		return nil, err
 	}
 	out := append([]int64{}, p.Members...)
-	if p.Coach != 0 && !containsInt(out, p.Coach) {
+	if p.Coach != 0 && !slices.Contains(out, p.Coach) {
 		out = append(out, p.Coach)
 	}
 	return out, nil
-}
-
-func containsInt(xs []int64, x int64) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 // --- samples ---------------------------------------------------------------
@@ -197,15 +211,21 @@ func (db *DB) BatchCreateSamples(tx *store.Tx, actor string, template Sample, pr
 // SamplesOfProject returns every sample of the project in id order. This is
 // the query that scopes drop-down menus to the user's project.
 func (db *DB) SamplesOfProject(tx *store.Tx, project int64) ([]Sample, error) {
-	rs, err := tx.FindRef(KindSample, "project", project)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Sample, len(rs))
-	for i, r := range rs {
-		out[i] = sampleFromRecord(r)
-	}
-	return out, nil
+	return listQuery(tx, store.Query{
+		Table: KindSample,
+		Where: []store.Pred{store.Eq("project", project)},
+	}, sampleFromRecord)
+}
+
+// SamplesOfProjectBySpecies returns the project's samples annotated with
+// the given species, in id order — the project-scoped drop-down narrowed
+// by an annotation. The planner drives from whichever index (project or
+// species) is more selective and filters the other predicate per row.
+func (db *DB) SamplesOfProjectBySpecies(tx *store.Tx, project int64, species string) ([]Sample, error) {
+	return listQuery(tx, store.Query{
+		Table: KindSample,
+		Where: []store.Pred{store.Eq("project", project), store.Eq("species", species)},
+	}, sampleFromRecord)
 }
 
 // --- extracts ---------------------------------------------------------------
@@ -254,33 +274,37 @@ func (db *DB) BatchCreateExtracts(tx *store.Tx, actor string, template Extract, 
 
 // ExtractsOfSample returns the extracts derived from a sample.
 func (db *DB) ExtractsOfSample(tx *store.Tx, sample int64) ([]Extract, error) {
-	rs, err := tx.FindRef(KindExtract, "sample", sample)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Extract, len(rs))
-	for i, r := range rs {
-		out[i] = extractFromRecord(r)
-	}
-	return out, nil
+	return listQuery(tx, store.Query{
+		Table: KindExtract,
+		Where: []store.Pred{store.Eq("sample", sample)},
+	}, extractFromRecord)
 }
 
 // ExtractsOfProject returns every extract whose sample belongs to the
-// project — the scoped drop-down for the assign-extracts step.
+// project, in extract id order — the scoped drop-down for the
+// assign-extracts step. The two-step shape (project's sample ids, then
+// one In query over the extract sample index) replaces the former
+// per-sample query loop: one planned union instead of N point listings,
+// and the result comes back in a single global id order.
 func (db *DB) ExtractsOfProject(tx *store.Tx, project int64) ([]Extract, error) {
-	samples, err := db.SamplesOfProject(tx, project)
+	sampleRows, err := tx.Query(store.Query{
+		Table: KindSample,
+		Where: []store.Pred{store.Eq("project", project)},
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []Extract
-	for _, s := range samples {
-		es, err := db.ExtractsOfSample(tx, s.ID)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, es...)
+	var sampleIDs []int64
+	for sampleRows.Next() {
+		sampleIDs = append(sampleIDs, sampleRows.ID())
 	}
-	return out, nil
+	if err := sampleRows.Err(); err != nil {
+		return nil, err
+	}
+	return listQuery(tx, store.Query{
+		Table: KindExtract,
+		Where: []store.Pred{store.InIDs("sample", sampleIDs)},
+	}, extractFromRecord)
 }
 
 // --- workunits & data resources ---------------------------------------------
@@ -317,6 +341,18 @@ func (db *DB) SetWorkunitState(tx *store.Tx, actor string, id int64, state strin
 	return db.rg.Update(tx, KindWorkunit, id, actor, map[string]any{"state": state})
 }
 
+// WorkunitsOfProject returns the project's workunits in id order,
+// optionally narrowed to one lifecycle state ("" = all states). The
+// planner drives from the more selective of the project and state
+// indexes.
+func (db *DB) WorkunitsOfProject(tx *store.Tx, project int64, state string) ([]Workunit, error) {
+	where := []store.Pred{store.Eq("project", project)}
+	if state != "" {
+		where = append(where, store.Eq("state", state))
+	}
+	return listQuery(tx, store.Query{Table: KindWorkunit, Where: where}, workunitFromRecord)
+}
+
 // CreateDataResource registers a data resource inside a workunit.
 func (db *DB) CreateDataResource(tx *store.Tx, actor string, d DataResource) (int64, error) {
 	return db.rg.Create(tx, KindDataResource, actor, map[string]any{
@@ -344,15 +380,20 @@ func (db *DB) AssignExtract(tx *store.Tx, actor string, resource, extract int64)
 
 // ResourcesOfWorkunit returns the data resources contained in a workunit.
 func (db *DB) ResourcesOfWorkunit(tx *store.Tx, workunit int64) ([]DataResource, error) {
-	rs, err := tx.FindRef(KindDataResource, "workunit", workunit)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]DataResource, len(rs))
-	for i, r := range rs {
-		out[i] = dataResourceFromRecord(r)
-	}
-	return out, nil
+	return listQuery(tx, store.Query{
+		Table: KindDataResource,
+		Where: []store.Pred{store.Eq("workunit", workunit)},
+	}, dataResourceFromRecord)
+}
+
+// ResourcesOfWorkunitByFormat returns the workunit's data resources in
+// the given file format, in id order — the listing behind format-scoped
+// result downloads.
+func (db *DB) ResourcesOfWorkunitByFormat(tx *store.Tx, workunit int64, format string) ([]DataResource, error) {
+	return listQuery(tx, store.Query{
+		Table: KindDataResource,
+		Where: []store.Pred{store.Eq("workunit", workunit), store.Eq("format", format)},
+	}, dataResourceFromRecord)
 }
 
 // --- applications & experiments ----------------------------------------------

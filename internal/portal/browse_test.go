@@ -3,6 +3,8 @@ package portal
 import (
 	"fmt"
 	"net/http"
+	"net/url"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -91,12 +93,19 @@ func TestBrowseListPagination(t *testing.T) {
 		t.Fatalf("paginated over %d samples, want 7", len(seen))
 	}
 
-	// Unknown kinds 404; bad cursors 400.
+	// Unknown kinds 404; bad cursors 400 with a JSON error body.
 	if code := fx.call(t, "alice", "GET", "/api/browse/not-a-kind", nil, nil); code != http.StatusNotFound {
 		t.Errorf("unknown kind list: %d", code)
 	}
-	if code := fx.call(t, "alice", "GET", "/api/browse/sample?from=x", nil, nil); code != http.StatusBadRequest {
-		t.Errorf("bad cursor: %d", code)
+	for _, bad := range []string{"from=x", "from=-3", "limit=0", "limit=x"} {
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		if code := fx.call(t, "alice", "GET", "/api/browse/sample?"+bad, nil, &errBody); code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", bad, code)
+		} else if errBody.Error == "" {
+			t.Errorf("%s: 400 without JSON error body", bad)
+		}
 	}
 
 	// Project scoping: a scientist outside the project sees none of its
@@ -120,5 +129,140 @@ func TestBrowseListPagination(t *testing.T) {
 	}
 	if len(usersView.Items) == 0 {
 		t.Error("outsider sees no users; unscoped kinds should be visible")
+	}
+}
+
+// TestBrowseListFilters covers the declarative field filters on the
+// browse listing: typed ?field=value predicates, repeated params as In
+// sets, keyset cursors that survive filtering, ?explain=1 plan output,
+// and 400s for unknown fields and malformed values.
+func TestBrowseListFilters(t *testing.T) {
+	fx := newFixture(t)
+	// Two species populations in one project: 5 thaliana, 3 generic.
+	for i := 0; i < 8; i++ {
+		species := "Arabidopsis thaliana"
+		if i >= 5 {
+			species = ""
+		}
+		var created struct{ IDs []int64 }
+		fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+			"Sample": model.Sample{
+				Name: fmt.Sprintf("f%d", i), Project: fx.project, Species: species,
+			},
+		}, &created)
+		if len(created.IDs) != 1 {
+			t.Fatalf("sample %d not created", i)
+		}
+	}
+
+	type page struct {
+		Items []map[string]any `json:"items"`
+		Next  int64            `json:"next"`
+		Plan  string           `json:"plan"`
+	}
+
+	// A filtered listing returns exactly the matching records.
+	var filtered page
+	q := "/api/browse/sample?species=" + url.QueryEscape("Arabidopsis thaliana")
+	if code := fx.call(t, "alice", "GET", q, nil, &filtered); code != http.StatusOK {
+		t.Fatalf("filtered list: %d", code)
+	}
+	if len(filtered.Items) != 5 {
+		t.Fatalf("species filter matched %d items, want 5", len(filtered.Items))
+	}
+	for _, item := range filtered.Items {
+		if item["species"] != "Arabidopsis thaliana" {
+			t.Errorf("filter leaked item %v", item)
+		}
+	}
+
+	// Filter plus project ref filter (typed int parsing) composes; with
+	// explain=1 the response names the planned access path.
+	var explained page
+	q = fmt.Sprintf("/api/browse/sample?project=%d&species=%s&explain=1",
+		fx.project, url.QueryEscape("Arabidopsis thaliana"))
+	if code := fx.call(t, "alice", "GET", q, nil, &explained); code != http.StatusOK {
+		t.Fatalf("explain list: %d", code)
+	}
+	if len(explained.Items) != 5 {
+		t.Errorf("project+species filter matched %d, want 5", len(explained.Items))
+	}
+	if !strings.Contains(explained.Plan, "sample: index(") {
+		t.Errorf("plan %q does not report an index access path", explained.Plan)
+	}
+
+	// Keyset cursor pages through the filtered result without gaps or
+	// repeats — the cursor is an id watermark, so filtering between pages
+	// does not shift it.
+	seen := map[float64]bool{}
+	cursor := int64(0)
+	for {
+		var pg page
+		q := "/api/browse/sample?limit=2&species=" + url.QueryEscape("Arabidopsis thaliana")
+		if cursor > 0 {
+			q += fmt.Sprintf("&from=%d", cursor)
+		}
+		if code := fx.call(t, "alice", "GET", q, nil, &pg); code != http.StatusOK {
+			t.Fatalf("filtered page: %d", code)
+		}
+		for _, item := range pg.Items {
+			id := item["id"].(float64)
+			if seen[id] {
+				t.Fatalf("duplicate id %v across filtered pages", id)
+			}
+			seen[id] = true
+		}
+		if pg.Next == 0 {
+			break
+		}
+		cursor = pg.Next
+	}
+	if len(seen) != 5 {
+		t.Fatalf("filtered pagination covered %d items, want 5", len(seen))
+	}
+
+	// Repeated parameters form an In filter.
+	var multi page
+	q = "/api/browse/sample?name=f0&name=f3"
+	if code := fx.call(t, "alice", "GET", q, nil, &multi); code != http.StatusOK {
+		t.Fatalf("in filter: %d", code)
+	}
+	if len(multi.Items) != 2 {
+		t.Errorf("name in-filter matched %d items, want 2", len(multi.Items))
+	}
+
+	// Unknown fields, unfilterable list fields and malformed typed values
+	// are 400s with a JSON error, not silent empty pages.
+	for _, bad := range []string{
+		"/api/browse/sample?flavour=vanilla",
+		"/api/browse/sample?project=abc",
+		"/api/browse/user?active=maybe",
+		"/api/browse/project?members=1",
+	} {
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		if code := fx.call(t, "alice", "GET", bad, nil, &errBody); code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", bad, code)
+		} else if errBody.Error == "" {
+			t.Errorf("%s: 400 without JSON error body", bad)
+		}
+	}
+
+	// Filters compose with access scoping: the outsider sees nothing even
+	// when the filter matches, the expert sees everything.
+	var outsider, expert page
+	q = "/api/browse/sample?species=" + url.QueryEscape("Arabidopsis thaliana")
+	if code := fx.call(t, "outsider", "GET", q, nil, &outsider); code != http.StatusOK {
+		t.Fatalf("outsider filtered list: %d", code)
+	}
+	if len(outsider.Items) != 0 {
+		t.Errorf("outsider sees %d filtered samples", len(outsider.Items))
+	}
+	if code := fx.call(t, "eva", "GET", q, nil, &expert); code != http.StatusOK {
+		t.Fatalf("expert filtered list: %d", code)
+	}
+	if len(expert.Items) != 5 {
+		t.Errorf("expert sees %d filtered samples, want 5", len(expert.Items))
 	}
 }

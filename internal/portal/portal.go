@@ -12,12 +12,15 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/auth"
 	"repro/internal/core"
+	"repro/internal/entity"
 	"repro/internal/exchange"
 	"repro/internal/importer"
 	"repro/internal/model"
@@ -749,25 +752,110 @@ func recordProject(tx *store.Tx, kind string, rec store.Record) int64 {
 	}
 }
 
-// handleBrowseList serves an ordered, paginated listing of one entity kind:
-// GET /api/browse/{kind}?from=<id>&limit=<n>. It rides the store's ordered
-// ScanRange primitive and its zero-copy read path: records are collected by
-// reference (immutable committed snapshots) and serialized without cloning.
-// The response carries a "next" cursor to pass as the following page's from,
-// plus the commit sequence ("asOf") of the store version the page was read
-// from. Each page is internally consistent — the whole scan, including the
-// per-project access checks, runs against one pinned MVCC version and is
-// never blocked by concurrent imports — while successive pages may observe
-// newer versions; a client that sees "asOf" jump can restart from page one
-// if it needs a fully frozen listing.
+// browseFilters converts the request's free query parameters into typed
+// predicates against the kind's schema. Every parameter other than the
+// paging/diagnostic ones ("from", "limit", "explain") must name a schema
+// field; values are parsed according to the field's declared type, and a
+// parameter repeated n times becomes an In predicate over its n values.
+// Unknown fields, unfilterable field types (lists) and malformed values
+// are reported as errors — the handler turns them into 400s.
+func browseFilters(kind *entity.Kind, params url.Values) ([]store.Pred, error) {
+	var preds []store.Pred
+	for name, raws := range params {
+		switch name {
+		case "from", "limit", "explain":
+			continue
+		}
+		f := kind.Field(name)
+		if f == nil {
+			return nil, fmt.Errorf("portal: kind %q has no filterable field %q (fields: %s)",
+				kind.Name, name, strings.Join(kind.FieldNames(), ", "))
+		}
+		values := make([]any, 0, len(raws))
+		for _, raw := range raws {
+			v, err := filterValue(f, raw)
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+		}
+		if len(values) == 1 {
+			preds = append(preds, store.Eq(name, values[0]))
+		} else {
+			preds = append(preds, store.Pred{Field: name, Op: store.OpIn, Values: values})
+		}
+	}
+	return preds, nil
+}
+
+// filterValue parses one filter comparand per the schema field's type.
+func filterValue(f *entity.Field, raw string) (any, error) {
+	switch f.Type {
+	case entity.String, entity.Text:
+		return raw, nil
+	case entity.Int, entity.Ref:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("portal: field %q wants an integer, got %q", f.Name, raw)
+		}
+		return n, nil
+	case entity.Float:
+		x, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("portal: field %q wants a number, got %q", f.Name, raw)
+		}
+		return x, nil
+	case entity.Bool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, fmt.Errorf("portal: field %q wants a boolean, got %q", f.Name, raw)
+		}
+		return b, nil
+	case entity.Time:
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			return nil, fmt.Errorf("portal: field %q wants an RFC 3339 time, got %q", f.Name, raw)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("portal: field %q of type %s is not filterable", f.Name, f.Type)
+	}
+}
+
+// handleBrowseList serves an ordered, filtered, paginated listing of one
+// entity kind:
+//
+//	GET /api/browse/{kind}?from=<id>&limit=<n>&<field>=<value>...
+//
+// Field filters are compiled into a declarative store query; the store's
+// planner picks the access path (typically the most selective matching
+// index) and Explain output is surfaced via ?explain=1 as the "plan"
+// response field. Records are collected by reference (immutable committed
+// snapshots) and serialized without cloning.
+//
+// The response carries a "next" keyset cursor to pass as the following
+// page's from, plus the commit sequence ("asOf") of the store version the
+// page was read from. The cursor is a record id, not an offset, so it
+// survives filtering: however many rows a filter or the caller's access
+// scope hides, passing next resumes exactly after the last record
+// examined. Each page is internally consistent — the whole query,
+// including the per-project access checks, runs against one pinned MVCC
+// version and is never blocked by concurrent imports — while successive
+// pages may observe newer versions; a client that sees "asOf" jump can
+// restart from page one if it needs a fully frozen listing.
+//
+// Malformed requests — an invalid from/limit, an unknown or unfilterable
+// filter field, a value that does not parse as the field's type — fail
+// with a 400 JSON error rather than an empty page.
 //
 // Project scoping matches the single-object endpoints: experts and admins
 // see everything, other users only records of their projects (access per
 // project is resolved once and cached across the page).
 func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
-	kind := r.PathValue("kind")
-	if s.sys.Registry.Kind(kind) == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("portal: unknown kind %q", kind))
+	kindName := r.PathValue("kind")
+	kind := s.sys.Registry.Kind(kindName)
+	if kind == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("portal: unknown kind %q", kindName))
 		return
 	}
 	var from int64
@@ -791,37 +879,59 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = parsed
 	}
+	preds, err := browseFilters(kind, r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := store.Query{Table: kindName, Where: preds}
+	if from > 0 {
+		q.Cursor = from - 1 // from is the first id to include; Cursor is exclusive
+	}
 	login := loginOf(r)
 	var out struct {
 		Items []store.Record `json:"items"`
 		Next  int64          `json:"next"` // 0: no further pages
 		AsOf  uint64         `json:"asOf"` // store version the page was read from
+		Plan  string         `json:"plan,omitempty"`
 	}
 	out.Items = []store.Record{}
-	err := s.sys.View(func(tx *store.Tx) error {
+	explain := r.URL.Query().Get("explain") == "1"
+	err = s.sys.View(func(tx *store.Tx) error {
 		out.AsOf = tx.Snapshot()
 		u, err := s.sys.DB.UserByLogin(tx, login)
 		if err != nil {
 			return err
 		}
+		rows, err := tx.Query(q)
+		if err != nil {
+			return err
+		}
+		if explain {
+			out.Plan = rows.Plan().String()
+		}
 		seeAll := u.Role == model.RoleAdmin || u.Role == model.RoleExpert
 		allowed := map[int64]bool{}
-		// Cap the records examined per page so a heavily-filtered listing
-		// (a user who can see little of a large table) does bounded work
-		// per request; the cursor records where the scan stopped, so a
-		// short or empty page with next != 0 still makes progress.
+		// Cap the rows examined per page so a heavily-restricted listing
+		// (a user whose access scope hides most of what the filters match)
+		// does bounded work per request; the cursor records where the
+		// query stopped, so a short or empty page with next != 0 still
+		// makes progress. Rows the filters exclude never reach this loop
+		// on an indexed path — the budget buys out the access checks, not
+		// the predicates.
 		const scanBudget = 5000
 		scanned := 0
-		return tx.ScanRangeRef(kind, from, 0, func(rec store.Record) bool {
+		for rows.Next() {
+			rec := rows.Record()
 			if len(out.Items) == limit || scanned == scanBudget {
 				out.Next = rec.ID()
-				return false
+				return nil
 			}
 			scanned++
 			if !seeAll {
-				switch project := recordProject(tx, kind, rec); {
+				switch project := recordProject(tx, kindName, rec); {
 				case project < 0:
-					return true // unresolvable scope: hide
+					continue // unresolvable scope: hide
 				case project > 0:
 					ok, cached := allowed[project]
 					if !cached {
@@ -829,13 +939,13 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 						allowed[project] = ok
 					}
 					if !ok {
-						return true
+						continue
 					}
 				}
 			}
 			out.Items = append(out.Items, rec)
-			return true
-		})
+		}
+		return rows.Err()
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)

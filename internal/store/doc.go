@@ -3,8 +3,9 @@
 // relational DBMS accessed through an ORM; this package provides the
 // equivalent substrate from scratch: named tables of flat records with
 // serial identifiers, secondary and unique indexes, multi-version snapshot
-// transactions with commit/rollback, ordered scans, and a durable write
-// path (write-ahead log, group commit, snapshots, crash recovery).
+// transactions with commit/rollback, ordered scans, a declarative query
+// engine with a cost-based planner, and a durable write path (write-ahead
+// log, group commit, snapshots, crash recovery).
 //
 // # Concurrency model
 //
@@ -60,4 +61,16 @@
 // transaction ends, provided callers treat them as read-only. The classic
 // Get/Scan/Find API still returns deep copies for callers that mutate.
 // See DESIGN.md for the full aliasing contract.
+//
+// # Declarative queries
+//
+// Tx.Query compiles a Query value — one table, a conjunction of Eq/In/
+// Range predicates, an ordering, a limit and a keyset cursor — against
+// the transaction's pinned version and returns a streaming, zero-copy
+// Rows iterator. A planner picks the cheapest access path (unique-index
+// point lookup, most-selective secondary-index postings, or a bounded
+// ordered id scan) and pushes the remaining predicates into the iterator
+// as residual filters; Tx.Explain returns the exact Plan the executor
+// follows. See docs/query.md for the query model, planner rules and
+// cursor semantics.
 package store

@@ -28,6 +28,11 @@ var (
 	// (first-committer-wins). Retry by re-running the transaction on a
 	// fresh snapshot, or use Update, which serializes and cannot conflict.
 	ErrConflict = errors.New("write conflict")
+	// ErrBadQuery is returned by Tx.Query/Tx.Explain for a query that is
+	// malformed: an empty predicate field, an unindexable or incomparable
+	// comparand, a negative limit or cursor, or a keyset cursor combined
+	// with non-id ordering.
+	ErrBadQuery = errors.New("bad query")
 	// ErrCorrupt is returned when recovery finds damage it cannot repair
 	// without losing committed transactions from the middle of the
 	// history (a torn tail on the newest WAL segment is repaired, not

@@ -6,9 +6,10 @@
 package tasks
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 
 	"repro/internal/events"
@@ -166,49 +167,62 @@ func (e *Engine) close(tx *store.Tx, actor string, id int64, state string) error
 // ListOpen returns the open tasks visible to a user: those assigned to the
 // login directly plus those assigned to any of the user's roles, in id
 // order. This is the task list screen of Figure 8.
+//
+// Each leg is one planned store query; the planner drives from whichever
+// index — open-state or assignee — has the smaller postings list and
+// filters the other predicate per row, so a system with few open tasks
+// pays for the open set, not for the user's task history.
 func (e *Engine) ListOpen(tx *store.Tx, login string, roles ...string) ([]Task, error) {
 	seen := make(map[int64]bool)
 	var out []Task
-	add := func(rs []store.Record) {
-		for _, r := range rs {
-			t := taskFromRecord(r)
-			if t.State == StateOpen && !seen[t.ID] {
-				seen[t.ID] = true
-				out = append(out, t)
+	collect := func(assignee store.Pred) error {
+		rows, err := tx.Query(store.Query{
+			Table: tasksTable,
+			Where: []store.Pred{store.Eq("state", StateOpen), assignee},
+		})
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+			if id := rows.ID(); !seen[id] {
+				seen[id] = true
+				out = append(out, taskFromRecord(rows.Record()))
 			}
 		}
+		return rows.Err()
 	}
 	if login != "" {
-		rs, err := tx.FindRef(tasksTable, "assignee_login", login)
-		if err != nil {
+		if err := collect(store.Eq("assignee_login", login)); err != nil {
 			return nil, err
 		}
-		add(rs)
 	}
-	for _, role := range roles {
-		rs, err := tx.FindRef(tasksTable, "assignee_role", role)
-		if err != nil {
+	if len(roles) > 0 {
+		vals := make([]any, len(roles))
+		for i, role := range roles {
+			vals[i] = role
+		}
+		if err := collect(store.Pred{Field: "assignee_role", Op: store.OpIn, Values: vals}); err != nil {
 			return nil, err
 		}
-		add(rs)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b Task) int { return cmp.Compare(a.ID, b.ID) })
 	return out, nil
 }
 
 // OpenForObject returns the open tasks referring to the given object.
 func (e *Engine) OpenForObject(tx *store.Tx, kind string, ref int64) ([]Task, error) {
-	rs, err := tx.FindRef(tasksTable, "refkey", refKey(kind, ref))
+	rows, err := tx.Query(store.Query{
+		Table: tasksTable,
+		Where: []store.Pred{store.Eq("refkey", refKey(kind, ref)), store.Eq("state", StateOpen)},
+	})
 	if err != nil {
 		return nil, err
 	}
 	var out []Task
-	for _, r := range rs {
-		if t := taskFromRecord(r); t.State == StateOpen {
-			out = append(out, t)
-		}
+	for rows.Next() {
+		out = append(out, taskFromRecord(rows.Record()))
 	}
-	return out, nil
+	return out, rows.Err()
 }
 
 // CountOpen returns the number of open tasks in the system.

@@ -25,7 +25,7 @@ func Levenshtein(a, b string) int {
 			if ra[i-1] == rb[j-1] {
 				cost = 0
 			}
-			curr[j] = min3(
+			curr[j] = min(
 				prev[j]+1,      // deletion
 				curr[j-1]+1,    // insertion
 				prev[j-1]+cost, // substitution
@@ -34,16 +34,6 @@ func Levenshtein(a, b string) int {
 		prev, curr = curr, prev
 	}
 	return prev[len(rb)]
-}
-
-func min3(a, b, c int) int {
-	if b < a {
-		a = b
-	}
-	if c < a {
-		a = c
-	}
-	return a
 }
 
 // bigrams returns the multiset of character bigrams of s (lower-cased),
@@ -77,20 +67,13 @@ func DiceCoefficient(a, b string) float64 {
 	for g, ca := range ba {
 		total += ca
 		if cb, ok := bb[g]; ok {
-			common += minInt(ca, cb)
+			common += min(ca, cb)
 		}
 	}
 	for _, cb := range bb {
 		total += cb
 	}
 	return 2 * float64(common) / float64(total)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Similarity combines normalized edit distance and bigram overlap into a
@@ -187,7 +170,7 @@ func (sc *Scorer) levenshtein() int {
 			if a[i-1] == b[j-1] {
 				cost = 0
 			}
-			curr[j] = min3(
+			curr[j] = min(
 				prev[j]+1,      // deletion
 				curr[j-1]+1,    // insertion
 				prev[j-1]+cost, // substitution
@@ -213,7 +196,7 @@ func (sc *Scorer) dice() float64 {
 	common := 0
 	for g, cb := range sc.cgrams {
 		if ca := sc.grams[g]; ca > 0 {
-			common += minInt(ca, cb)
+			common += min(ca, cb)
 		}
 	}
 	return 2 * float64(common) / float64(sc.total+ctotal)
