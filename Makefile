@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify
+.PHONY: build test race bench verify bench-compare bench-ingest
 
 build:
 	go build ./...
@@ -28,6 +28,13 @@ race:
 # BENCH_baseline.json without overwriting it.
 bench-compare:
 	scripts/bench_compare.sh
+
+# Write-path benchmarks only (bulk ingest, registration, durable commit),
+# diffed against the committed baseline — the quick regression fence for
+# changes to the store's transaction/commit/fan-out path.
+bench-ingest:
+	BENCH='BenchmarkAblationTxBatchSize|BenchmarkAblationEventSubscribers|BenchmarkT1_DeploymentLoad|BenchmarkF2_RegisterSample|BenchmarkF3_RegisterExtractBatch|BenchmarkF4_ReleaseAnnotation|BenchmarkSAU_AuditLog|BenchmarkD1_DurableRegisterSample' \
+		scripts/bench_compare.sh
 
 # Runs the full benchmark suite with -benchmem and refreshes
 # BENCH_baseline.json. Override the per-benchmark budget with

@@ -116,29 +116,22 @@ func BenchmarkF3_RegisterExtractBatch(b *testing.B) {
 
 func BenchmarkF4_ReleaseAnnotation(b *testing.B) {
 	sys, _ := benchSystem(b, core.Options{DisableSearch: true, DisableAudit: true})
-	// Seed terms in bounded batches: the unique index checks scan a
-	// transaction's pending writes, so one giant setup transaction would
-	// degrade quadratically (see BenchmarkAblationTxBatchSize).
+	// One setup transaction regardless of b.N: unique checks probe the
+	// overlay's own index maps, so transaction cost is linear in its
+	// write-set size.
 	terms := make([]vocab.Term, b.N)
-	const setupBatch = 1000
-	for start := 0; start < b.N; start += setupBatch {
-		end := start + setupBatch
-		if end > b.N {
-			end = b.N
-		}
-		err := sys.Update(func(tx *store.Tx) error {
-			for i := start; i < end; i++ {
-				t, err := sys.Vocab.AddTerm(tx, "alice", model.VocabTissue, fmt.Sprintf("tissue-%d", i), false)
-				if err != nil {
-					return err
-				}
-				terms[i] = t
+	err := sys.Update(func(tx *store.Tx) error {
+		for i := 0; i < b.N; i++ {
+			t, err := sys.Vocab.AddTerm(tx, "alice", model.VocabTissue, fmt.Sprintf("tissue-%d", i), false)
+			if err != nil {
+				return err
 			}
-			return nil
-		})
-		if err != nil {
-			b.Fatal(err)
+			terms[i] = t
 		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -76,8 +76,24 @@ func (l *Log) onEvent(ev events.Event) error {
 	if !ok {
 		return fmt.Errorf("audit: event %s without transaction", ev.Topic)
 	}
+	at := nowFunc()
+	if ev.Items != nil {
+		// Coalesced batch: one entry per touched entity, all written in the
+		// publishing transaction and stamped with one wall-clock instant —
+		// the batch is one manipulation and lands (or rolls back) whole.
+		for _, it := range ev.Items {
+			if err := l.insert(tx, ev, it.ID, it.Payload, at); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return l.insert(tx, ev, ev.ID, ev.Payload, at)
+}
+
+func (l *Log) insert(tx *store.Tx, ev events.Event, ref int64, payload map[string]any, at time.Time) error {
 	var fields []string
-	for k := range ev.Payload {
+	for k := range payload {
 		fields = append(fields, k)
 	}
 	slices.Sort(fields)
@@ -86,10 +102,10 @@ func (l *Log) onEvent(ev events.Event) error {
 		"seq":    l.seq,
 		"topic":  ev.Topic,
 		"kind":   ev.Kind,
-		"ref":    ev.ID,
-		"refkey": refKey(ev.Kind, ev.ID),
+		"ref":    ref,
+		"refkey": refKey(ev.Kind, ref),
 		"actor":  ev.Actor,
-		"at":     nowFunc(),
+		"at":     at,
 		"fields": fields,
 	})
 	return err

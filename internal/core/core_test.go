@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/events"
 	"repro/internal/importer"
 	"repro/internal/model"
 	"repro/internal/provider"
@@ -480,5 +481,95 @@ func TestDurableSystemRecovery(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBatchCreateCoalescedFanout pins the coalesced event contract for
+// bulk registration: one batch publication reaches the bus per
+// BatchCreate call, audit still records one entry per created entity in
+// the same transaction, and the search index picks up every entity of
+// the batch.
+func TestBatchCreateCoalescedFanout(t *testing.T) {
+	sys := MustNew(Options{})
+
+	var publications, itemsSeen int
+	sys.Bus.Subscribe("sample.created", func(ev events.Event) error {
+		publications++
+		itemsSeen += len(ev.Items)
+		return nil
+	})
+
+	var project int64
+	var ids []int64
+	err := sys.Update(func(tx *store.Tx) error {
+		var err error
+		project, err = sys.DB.CreateProject(tx, "setup", model.Project{Name: "pbatch"})
+		if err != nil {
+			return err
+		}
+		ids, err = sys.DB.BatchCreateSamples(tx, "alice", model.Sample{
+			Project: project, Species: "Arabidopsis thaliana",
+		}, "bulk", 25)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 25 {
+		t.Fatalf("created %d samples, want 25", len(ids))
+	}
+	if publications != 1 {
+		t.Errorf("sample.created published %d times for one batch, want 1", publications)
+	}
+	if itemsSeen != 25 {
+		t.Errorf("batch event carried %d items, want 25", itemsSeen)
+	}
+
+	// Audit: one entry per entity, inserted inside the same transaction.
+	err = sys.View(func(tx *store.Tx) error {
+		es, err := sys.Audit.ByActor(tx, "alice")
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, e := range es {
+			if e.Kind == model.KindSample && e.Topic == "sample.created" {
+				n++
+			}
+		}
+		if n != 25 {
+			t.Errorf("audit logged %d sample.created entries, want 25", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Search: every batched document is indexed.
+	hits, err := sys.Search.Search("", "arabidopsis kind:sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 25 {
+		t.Errorf("search found %d batched samples, want 25", len(hits))
+	}
+
+	// A mid-batch failure aborts the whole batch with no event published.
+	publications, itemsSeen = 0, 0
+	err = sys.Update(func(tx *store.Tx) error {
+		_, err := sys.DB.BatchCreateSamples(tx, "alice", model.Sample{
+			Project: 99999, // dangling ref fails validation
+		}, "bad", 3)
+		if err == nil {
+			t.Error("batch with dangling project ref succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if publications != 0 {
+		t.Errorf("failed batch still published %d events", publications)
 	}
 }

@@ -23,6 +23,15 @@ type Event struct {
 	Actor string
 	// Payload carries event-specific data.
 	Payload map[string]any
+	// Items, when non-nil, marks a coalesced batch event: one publication
+	// describing every entity a bulk mutation touched in the same
+	// transaction, in mutation order. Topic, Kind, Actor and Tx apply to
+	// every item; the event's own ID and Payload are zero. Coalescing is
+	// what keeps event fan-out O(1) per commit instead of O(records):
+	// each subscriber is invoked once per batch and can take its own
+	// locks once. Handlers subscribed to topics that batch publishers use
+	// must consult Items before ID/Payload.
+	Items []BatchItem
 	// Tx carries the open store transaction (*store.Tx) in which the event
 	// was raised, when one exists. Handlers that need to write must use it:
 	// events are published while the store's writer mutex is held, so
@@ -31,6 +40,14 @@ type Event struct {
 	// the surrounding transaction has not published its version yet. The
 	// field is typed any to keep this package free of store dependencies.
 	Tx any
+}
+
+// BatchItem is one entity of a coalesced batch event: its identifier and
+// the event-specific payload that a per-entity publication would have
+// carried.
+type BatchItem struct {
+	ID      int64
+	Payload map[string]any
 }
 
 // Handler consumes events. Handlers must not panic; a handler error is

@@ -228,6 +228,7 @@ func (s *Service) Import(tx *store.Tx, req Request) (Result, error) {
 	}
 
 	res := Result{Workunit: wu}
+	resources := make([]model.DataResource, 0, len(selected))
 	for _, e := range selected {
 		data, err := p.Fetch(e.Path)
 		if err != nil {
@@ -243,7 +244,7 @@ func (s *Service) Import(tx *store.Tx, req Request) (Result, error) {
 				return Result{}, err
 			}
 		}
-		rid, err := s.db.CreateDataResource(tx, req.Actor, model.DataResource{
+		resources = append(resources, model.DataResource{
 			Name:      path.Base(e.Path),
 			Workunit:  wu,
 			URI:       uri,
@@ -253,10 +254,13 @@ func (s *Service) Import(tx *store.Tx, req Request) (Result, error) {
 			Linked:    linked,
 			Content:   readableContent(e.Format, data),
 		})
-		if err != nil {
-			return Result{}, err
-		}
-		res.Resources = append(res.Resources, rid)
+	}
+	// One batched registration for the whole file set: a single coalesced
+	// event reaches audit/search, and the store's indexed overlay keeps the
+	// big transaction linear in the number of files.
+	res.Resources, err = s.db.BatchCreateDataResources(tx, req.Actor, resources)
+	if err != nil {
+		return Result{}, err
 	}
 
 	res.WorkflowInstance, err = s.wf.Start(tx, WorkflowName, req.Actor, map[string]string{

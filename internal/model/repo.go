@@ -191,21 +191,19 @@ func (db *DB) CloneSample(tx *store.Tx, actor string, id int64, newName string) 
 
 // BatchCreateSamples registers n samples named "<prefix>_1".."<prefix>_n"
 // sharing the template's annotations — batch registration per the paper.
+// The whole batch is one entity-layer call: one coalesced sample.created
+// event instead of n, so audit and search fan in once per batch.
 func (db *DB) BatchCreateSamples(tx *store.Tx, actor string, template Sample, prefix string, n int) ([]int64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("model: batch size %d", n)
 	}
-	ids := make([]int64, 0, n)
+	values := make([]map[string]any, 0, n)
 	for i := 1; i <= n; i++ {
 		s := template
 		s.Name = fmt.Sprintf("%s_%d", prefix, i)
-		id, err := db.CreateSample(tx, actor, s)
-		if err != nil {
-			return nil, err
-		}
-		ids = append(ids, id)
+		values = append(values, s.values())
 	}
-	return ids, nil
+	return db.rg.CreateBatch(tx, KindSample, actor, values)
 }
 
 // SamplesOfProject returns every sample of the project in id order. This is
@@ -254,22 +252,19 @@ func (db *DB) CloneExtract(tx *store.Tx, actor string, id int64, newName string)
 	return db.CreateExtract(tx, actor, e)
 }
 
-// BatchCreateExtracts registers n extracts from a template.
+// BatchCreateExtracts registers n extracts from a template as one
+// entity-layer batch: one coalesced extract.created event instead of n.
 func (db *DB) BatchCreateExtracts(tx *store.Tx, actor string, template Extract, prefix string, n int) ([]int64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("model: batch size %d", n)
 	}
-	ids := make([]int64, 0, n)
+	values := make([]map[string]any, 0, n)
 	for i := 1; i <= n; i++ {
 		e := template
 		e.Name = fmt.Sprintf("%s_%d", prefix, i)
-		id, err := db.CreateExtract(tx, actor, e)
-		if err != nil {
-			return nil, err
-		}
-		ids = append(ids, id)
+		values = append(values, e.values())
 	}
-	return ids, nil
+	return db.rg.CreateBatch(tx, KindExtract, actor, values)
 }
 
 // ExtractsOfSample returns the extracts derived from a sample.
@@ -353,14 +348,30 @@ func (db *DB) WorkunitsOfProject(tx *store.Tx, project int64, state string) ([]W
 	return listQuery(tx, store.Query{Table: KindWorkunit, Where: where}, workunitFromRecord)
 }
 
-// CreateDataResource registers a data resource inside a workunit.
-func (db *DB) CreateDataResource(tx *store.Tx, actor string, d DataResource) (int64, error) {
-	return db.rg.Create(tx, KindDataResource, actor, map[string]any{
+func dataResourceValues(d DataResource) map[string]any {
+	return map[string]any{
 		"name": d.Name, "workunit": d.Workunit, "extract": d.Extract,
 		"uri": d.URI, "size_bytes": d.SizeBytes, "checksum": d.Checksum,
 		"format": d.Format, "is_input": d.IsInput, "linked": d.Linked,
 		"content": d.Content,
-	})
+	}
+}
+
+// CreateDataResource registers a data resource inside a workunit.
+func (db *DB) CreateDataResource(tx *store.Tx, actor string, d DataResource) (int64, error) {
+	return db.rg.Create(tx, KindDataResource, actor, dataResourceValues(d))
+}
+
+// BatchCreateDataResources registers the given data resources as one
+// entity-layer batch — the bulk-import shape: one coalesced
+// dataresource.created event however many files arrive, so audit and the
+// search indexer fan in once per import instead of once per file.
+func (db *DB) BatchCreateDataResources(tx *store.Tx, actor string, ds []DataResource) ([]int64, error) {
+	values := make([]map[string]any, len(ds))
+	for i, d := range ds {
+		values[i] = dataResourceValues(d)
+	}
+	return db.rg.CreateBatch(tx, KindDataResource, actor, values)
 }
 
 // GetDataResource fetches a data resource by id.

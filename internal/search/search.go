@@ -109,11 +109,13 @@ func New(rg *entity.Registry) *Service {
 	return s
 }
 
-// onEvent marks the touched document dirty. It deliberately does not read
-// the record: the event fires inside an uncommitted transaction, and the
-// flush re-reads committed state later.
+// onEvent marks the touched document(s) dirty. It deliberately does not
+// read the records: the event fires inside an uncommitted transaction, and
+// the flush re-reads committed state later. A coalesced batch event marks
+// all of its documents under one lock acquisition, so a bulk commit costs
+// the indexer one mutex round instead of one per entity.
 func (s *Service) onEvent(ev events.Event) error {
-	if ev.Kind == "" || ev.ID == 0 {
+	if ev.Kind == "" || (ev.ID == 0 && ev.Items == nil) {
 		return nil
 	}
 	switch {
@@ -123,7 +125,15 @@ func (s *Service) onEvent(ev events.Event) error {
 		strings.HasSuffix(ev.Topic, ".released"),
 		strings.HasSuffix(ev.Topic, ".merged"):
 		s.mu.Lock()
-		s.dirty[docKey(ev.Kind, ev.ID)] = true
+		if ev.Items != nil {
+			for _, it := range ev.Items {
+				if it.ID != 0 {
+					s.dirty[docKey(ev.Kind, it.ID)] = true
+				}
+			}
+		} else {
+			s.dirty[docKey(ev.Kind, ev.ID)] = true
+		}
 		s.mu.Unlock()
 	}
 	return nil

@@ -32,6 +32,18 @@
 // reader drops them. See docs/concurrency.md for the full isolation model,
 // its interaction with the WAL, and operator guidance.
 //
+// # Bulk writes
+//
+// Transactions are linear in their write-set size. The pending overlay
+// maintains its own per-index key maps, so unique-constraint checks and
+// overlay-aware lookups are O(1) map probes regardless of how many
+// writes are buffered, and commit applies index changes as per-key
+// deltas — each touched key's postings are merged exactly once, each
+// touched chunk and index shard is copied at most once, however large
+// the batch. Bulk loaders should therefore batch thousands of records
+// per transaction to amortize per-commit costs; see docs/ingest.md for
+// guidance.
+//
 // # Durability
 //
 // A store built with New lives purely in memory. A store built with Open

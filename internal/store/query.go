@@ -639,18 +639,30 @@ func (tx *Tx) lookupKeys(tableName string, t *table, field string, keys []indexK
 		}
 	}
 	if o != nil {
-		for id, pr := range o.writes {
-			if o.deletes[id] {
-				continue
-			}
-			k, ok := keyFor(pr[field])
-			if !ok {
-				continue
-			}
+		if o.ixw != nil {
+			// The overlay's per-index key maps hold the pending writers of
+			// each key directly — a probe per key, not a scan over every
+			// pending write (this path only runs for indexed fields, which
+			// the materialized maps track by construction).
 			for _, key := range keys {
-				if k == key {
-					ids = append(ids, id)
-					break
+				ids = append(ids, o.pendingIDs(field, key)...)
+			}
+		} else {
+			// Below the map-build threshold the pending set is small;
+			// scan it.
+			for id, pr := range o.writes {
+				if o.deletes[id] {
+					continue
+				}
+				k, ok := keyFor(pr[field])
+				if !ok {
+					continue
+				}
+				for _, key := range keys {
+					if k == key {
+						ids = append(ids, id)
+						break
+					}
 				}
 			}
 		}

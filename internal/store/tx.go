@@ -42,6 +42,155 @@ type txTable struct {
 	writes  map[int64]Record // id -> new record state (deep copies)
 	deletes map[int64]bool   // id -> deleted in this tx
 	nextID  int64            // provisional next id (0 = untouched)
+
+	// ixw indexes the overlay itself: for every indexed field of the
+	// pinned table, the sorted pending-write ids per index key. It is
+	// maintained incrementally by Insert/Put/Delete so unique checks and
+	// overlay-aware lookups are map probes instead of scans over every
+	// pending write — the difference between linear and quadratic bulk
+	// transactions.
+	//
+	// The maps materialize only once the overlay holds ixwBuildThreshold
+	// writes: below that, scanning the handful of pending writes is
+	// cheaper than maintaining maps, and single-record transactions (the
+	// interactive registration path) pay nothing for the bulk machinery.
+	// Invariant once non-nil: ixw holds exactly the keys of the records
+	// currently in writes (deleted pending writes are unregistered); a
+	// missing per-field map means no pending write carries that field.
+	ixw map[string]map[indexKey][]int64
+}
+
+// ixwBuildThreshold is the overlay size at which the per-index key maps
+// are built. Below it every overlay read scans the pending writes —
+// bounded by the threshold, so still O(1) — and writes skip map
+// maintenance entirely.
+const ixwBuildThreshold = 16
+
+// buildIxw materializes the overlay key maps from the current writes.
+func (o *txTable) buildIxw(t *table) {
+	o.ixw = make(map[string]map[indexKey][]int64, len(t.indexes))
+	for id, rec := range o.writes {
+		o.ixRegister(t, id, rec)
+	}
+}
+
+// ixAdd registers a pending write's indexed keys in the overlay maps,
+// building the maps when the overlay crosses the size threshold. Must be
+// called after the write is installed in o.writes.
+func (o *txTable) ixAdd(t *table, id int64, rec Record) {
+	if o.ixw == nil {
+		if len(o.writes) < ixwBuildThreshold || len(t.indexes) == 0 {
+			return
+		}
+		o.buildIxw(t) // registers every current write, including this one
+		return
+	}
+	o.ixRegister(t, id, rec)
+}
+
+// ixRegister adds one record's keys to already-materialized overlay maps.
+// Serial ids make the per-key slices naturally append-ordered; out-of-order
+// ids (rewrites of committed rows) fall back to a sorted insert.
+func (o *txTable) ixRegister(t *table, id int64, rec Record) {
+	for f := range t.indexes {
+		v, ok := rec[f]
+		if !ok {
+			continue
+		}
+		key, ok := keyFor(v)
+		if !ok {
+			continue
+		}
+		m := o.ixw[f]
+		if m == nil {
+			m = make(map[indexKey][]int64)
+			o.ixw[f] = m
+		}
+		m[key] = insertSorted(m[key], id)
+	}
+}
+
+// ixRemove drops a pending write's indexed keys from the overlay maps,
+// the inverse of ixRegister. A no-op below the build threshold.
+func (o *txTable) ixRemove(t *table, id int64, rec Record) {
+	if o.ixw == nil {
+		return
+	}
+	for f := range t.indexes {
+		m := o.ixw[f]
+		if m == nil {
+			continue
+		}
+		v, ok := rec[f]
+		if !ok {
+			continue
+		}
+		key, ok := keyFor(v)
+		if !ok {
+			continue
+		}
+		ids := removeSorted(m[key], id)
+		if len(ids) == 0 {
+			delete(m, key)
+		} else {
+			m[key] = ids
+		}
+	}
+}
+
+// pendingIDs returns the sorted pending-write ids whose indexed field
+// carries the given key. Callers must ensure o.ixw is non-nil (the maps
+// are materialized) and the field is indexed in the pinned table — the
+// invariants ixRegister maintains.
+func (o *txTable) pendingIDs(field string, key indexKey) []int64 {
+	return o.ixw[field][key]
+}
+
+// checkUnique verifies that writing rec under id violates no unique index
+// of table t, given the committed postings plus this overlay. With the
+// overlay maps materialized both sides are O(1) probes: the overlay map
+// holds at most the pending writers of the key, and a unique committed
+// key holds at most one row. Below the build threshold the (small)
+// pending set is scanned instead.
+func (o *txTable) checkUnique(t *table, rec Record, id int64) error {
+	if o.ixw == nil {
+		for _, ix := range t.indexes {
+			if err := ix.checkUnique(rec, id, o.writes, o.deletes); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		v, ok := rec[ix.field]
+		if !ok {
+			continue
+		}
+		key, ok := keyFor(v)
+		if !ok {
+			continue
+		}
+		for _, holder := range o.pendingIDs(ix.field, key) {
+			if holder != id {
+				return fmt.Errorf("field %q value %v pending on row %d: %w", ix.field, v, holder, ErrUnique)
+			}
+		}
+		for _, holder := range ix.postings(key) {
+			if holder == id || o.deletes[holder] {
+				continue
+			}
+			if _, rewritten := o.writes[holder]; rewritten {
+				// The holder's current key lives in the overlay maps and
+				// was probed above; its committed key no longer counts.
+				continue
+			}
+			return fmt.Errorf("field %q value %v held by row %d: %w", ix.field, v, holder, ErrUnique)
+		}
+	}
+	return nil
 }
 
 // Snapshot returns the commit sequence of the version this transaction is
@@ -172,14 +321,16 @@ func (tx *Tx) Insert(tableName string, r Record) (int64, error) {
 	o.nextID++
 	rec := r.Clone()
 	rec[IDField] = id
-	for _, ix := range t.indexes {
-		if err := ix.checkUnique(rec, id, o.writes, o.deletes); err != nil {
-			o.nextID-- // roll back the provisional id
-			return 0, err
-		}
+	// Check every unique index before registering anything, so a failed
+	// Insert leaves no partial overlay state behind: the provisional id is
+	// rolled back and no overlay-map entry was ever written.
+	if err := o.checkUnique(t, rec, id); err != nil {
+		o.nextID-- // roll back the provisional id
+		return 0, err
 	}
 	o.writes[id] = rec
 	delete(o.deletes, id)
+	o.ixAdd(t, id, rec)
 	return id, nil
 }
 
@@ -204,13 +355,15 @@ func (tx *Tx) Put(tableName string, id int64, r Record) error {
 	rec := r.Clone()
 	rec[IDField] = id
 	o := tx.overlay(tableName)
-	for _, ix := range t.indexes {
-		if err := ix.checkUnique(rec, id, o.writes, o.deletes); err != nil {
-			return err
-		}
+	if err := o.checkUnique(t, rec, id); err != nil {
+		return err
+	}
+	if old, ok := o.writes[id]; ok {
+		o.ixRemove(t, id, old)
 	}
 	o.writes[id] = rec
 	delete(o.deletes, id)
+	o.ixAdd(t, id, rec)
 	return nil
 }
 
@@ -231,7 +384,10 @@ func (tx *Tx) Delete(tableName string, id int64) error {
 		return fmt.Errorf("store: %s/%d: %w", tableName, id, ErrNotFound)
 	}
 	o := tx.overlay(tableName)
-	delete(o.writes, id)
+	if old, ok := o.writes[id]; ok {
+		o.ixRemove(t, id, old)
+		delete(o.writes, id)
+	}
 	o.deletes[id] = true
 	return nil
 }
@@ -452,34 +608,22 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 			// Fast path: the index result is already sorted and final.
 			return committed, nil
 		}
+		// Committed holders minus this transaction's deletes and rewrites,
+		// merged with the overlay's own sorted holders of the key — a map
+		// probe once the overlay maps are materialized, a scan of the
+		// (below-threshold, so small) pending set otherwise.
 		for _, id := range committed {
 			if o.deletes[id] {
 				continue
 			}
 			if _, rewritten := o.writes[id]; rewritten {
-				continue // re-checked against the pending state below
+				continue // represented on the overlay side, if it still matches
 			}
 			ids = append(ids, id)
 		}
-	} else {
-		it := t.iter(0, 0)
-		for id, r := it.next(); id != 0; id, r = it.next() {
-			if o != nil {
-				if o.deletes[id] {
-					continue
-				}
-				if _, rewritten := o.writes[id]; rewritten {
-					continue
-				}
-			}
-			if k, ok2 := keyFor(r[field]); ok2 && k == want {
-				ids = append(ids, id)
-			}
+		if o.ixw != nil {
+			return mergeSortedIDs(ids, o.pendingIDs(field, want)), nil
 		}
-	}
-	if o != nil {
-		// Rewritten and inserted rows were excluded above, so appending every
-		// matching pending write cannot produce duplicates.
 		for id, pr := range o.writes {
 			if o.deletes[id] {
 				continue
@@ -488,9 +632,64 @@ func (tx *Tx) Lookup(tableName, field string, value any) ([]int64, error) {
 				ids = append(ids, id)
 			}
 		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids, nil
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	it := t.iter(0, 0)
+	for id, r := it.next(); id != 0; id, r = it.next() {
+		if o != nil {
+			if o.deletes[id] {
+				continue
+			}
+			if _, rewritten := o.writes[id]; rewritten {
+				continue
+			}
+		}
+		if k, ok2 := keyFor(r[field]); ok2 && k == want {
+			ids = append(ids, id)
+		}
+	}
+	if o != nil {
+		// Unindexed field: the overlay has no key maps for it, so the
+		// pending writes themselves are scanned. Rewritten and inserted
+		// rows were excluded above, so appending every matching pending
+		// write cannot produce duplicates.
+		for id, pr := range o.writes {
+			if o.deletes[id] {
+				continue
+			}
+			if k, ok2 := keyFor(pr[field]); ok2 && k == want {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
 	return ids, nil
+}
+
+// mergeSortedIDs merges two ascending id slices into a fresh ascending
+// slice. The inputs are disjoint by construction (committed survivors vs
+// overlay writes), so no dedup pass is needed.
+func mergeSortedIDs(a, b []int64) []int64 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int64(nil), b...)
+	}
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Find returns copies of all records whose field equals value, in ID order.
@@ -601,9 +800,32 @@ func (tx *Tx) validate() error {
 			if !ix.unique {
 				continue
 			}
-			for id, r := range o.writes {
-				if err := ix.checkUnique(r, id, o.writes, o.deletes); err != nil {
-					return err
+			if _, pinned := pt.indexes[ix.field]; !pinned || o.ixw == nil {
+				// Either the index appeared after this transaction pinned
+				// its snapshot (so the overlay maps never tracked the
+				// field), or the overlay stayed below the map-build
+				// threshold; fall back to the per-row reference check over
+				// the (small) pending set.
+				for id, r := range o.writes {
+					if err := ix.checkUnique(r, id, o.writes, o.deletes); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			// One probe per distinct pending key against the latest
+			// committed postings — O(distinct keys), not O(writes²). The
+			// write-time check already guarantees overlay-internal
+			// uniqueness; only new committed holders can conflict here.
+			for key := range o.ixw[ix.field] {
+				for _, holder := range ix.postings(key) {
+					if o.deletes[holder] {
+						continue
+					}
+					if _, rewritten := o.writes[holder]; rewritten {
+						continue
+					}
+					return fmt.Errorf("field %q key %s held by row %d: %w", ix.field, key, holder, ErrUnique)
 				}
 			}
 		}

@@ -1,6 +1,10 @@
 package store
 
-import "sort"
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
 
 // This file implements the multi-version core of the store: immutable
 // store versions, the chunked copy-on-write table representation, and the
@@ -206,6 +210,17 @@ func (it *tableIter) next() (int64, Record) {
 	return 0, nil
 }
 
+// cowStats, when non-nil, counts copy-on-write privatizations during
+// commits. Commits are serialized by the writer mutex, which also guards
+// the counters; tests set the pointer to prove the per-commit copy bounds
+// (each touched chunk and index shard is copied at most once).
+var cowStats *struct {
+	chunks   int // chunk deep-copies (including fresh allocations)
+	groups   int // index shard-group head copies
+	shards   int // index shard map copies
+	postings int // postings slices privatized for non-append mutation
+}
+
 // cowTable wraps a freshly cloned table during one commit, tracking which
 // chunks and indexes have already been detached from the base version so
 // each is copied at most once per commit.
@@ -234,6 +249,9 @@ func (ct *cowTable) chunkFor(id int64) (*chunk, int) {
 			ct.t.chunks[ci] = new(chunk)
 		}
 		ct.private[ci] = true
+		if cowStats != nil {
+			cowStats.chunks++
+		}
 	}
 	return ct.t.chunks[ci], si
 }
@@ -263,21 +281,21 @@ func (ct *cowTable) index(field string) *cowIndex {
 	if !ok {
 		ix := ct.t.indexes[field].clone()
 		ct.t.indexes[field] = ix
-		ci = &cowIndex{ix: ix, privGroup: make(map[int]bool), privShard: make(map[int]bool), copied: make(map[indexKey]bool)}
+		ci = &cowIndex{ix: ix, privGroup: make(map[int]bool), privShard: make(map[int]bool)}
 		ct.ixes[field] = ci
 	}
 	return ci
 }
 
 // cowIndex mutates a cloned index during one commit, privatizing each
-// shard group and shard map on first touch and each postings slice before
-// its first non-append mutation. Shard privatization is what keeps commit
-// cost proportional to the keys touched rather than the keys that exist.
+// shard group and shard map on first touch. Postings themselves are
+// rebuilt at most once per key by applyDelta, so no per-slice copy
+// tracking is needed. Shard privatization is what keeps commit cost
+// proportional to the keys touched rather than the keys that exist.
 type cowIndex struct {
 	ix        *index
-	privGroup map[int]bool      // group indices privatized this commit
-	privShard map[int]bool      // shard indices privatized this commit
-	copied    map[indexKey]bool // postings slices privatized this commit
+	privGroup map[int]bool // group indices privatized this commit
+	privShard map[int]bool // shard indices privatized this commit
 }
 
 // shardFor returns a shard map private to this commit covering key,
@@ -292,6 +310,9 @@ func (ci *cowIndex) shardFor(key indexKey) map[indexKey][]int64 {
 		}
 		ci.ix.groups[gi] = g
 		ci.privGroup[gi] = true
+		if cowStats != nil {
+			cowStats.groups++
+		}
 	}
 	g := ci.ix.groups[gi]
 	if !ci.privShard[s] {
@@ -302,77 +323,84 @@ func (ci *cowIndex) shardFor(key indexKey) map[indexKey][]int64 {
 		}
 		g[si] = m
 		ci.privShard[s] = true
+		if cowStats != nil {
+			cowStats.shards++
+		}
 	}
 	return g[si]
 }
 
-func (ci *cowIndex) insert(r Record, id int64) error {
-	v, ok := r[ci.ix.field]
-	if !ok {
-		return nil
-	}
-	key, ok := keyFor(v)
-	if !ok {
-		return nil
-	}
+// applyDelta installs one key's net postings change for this commit:
+// removes and adds are disjoint ascending id runs, applied in a single
+// sorted-run merge so the key's postings are rebuilt (or appended to) at
+// most once per commit, however many records moved under it. val is a
+// representative field value for unique-violation messages.
+func (ci *cowIndex) applyDelta(key indexKey, removes, adds []int64, val any) error {
 	m := ci.shardFor(key)
 	ids := m[key]
-	if err := ci.ix.checkUniqueKey(ids, v, id); err != nil {
-		return err
+	if ci.ix.unique && len(ids)-len(removes)+len(adds) > 1 {
+		return fmt.Errorf("field %q value %v: %w", ci.ix.field, val, ErrUnique)
 	}
-	if n := len(ids); n == 0 || id > ids[n-1] {
-		// Pure append — the overwhelmingly common case with serial ids —
-		// needs no private copy: appending either reallocates or writes
-		// one slot past every published slice's length, which no reader
-		// of an earlier version can observe, and commits extend a given
-		// backing array strictly sequentially under the writer mutex.
-		m[key] = append(ids, id)
+	if len(removes) == 0 {
+		if len(adds) == 0 {
+			return nil
+		}
+		if n := len(ids); n == 0 || adds[0] > ids[n-1] {
+			// Pure batch append — the common bulk-insert case with serial
+			// ids. Appending either reallocates or writes past every
+			// published slice's length, which no reader of an earlier
+			// version can observe, so no private copy is needed; one
+			// append grows the slice once for the whole batch.
+			m[key] = append(ids, adds...)
+			return nil
+		}
+	}
+	// General case: three-way sorted merge into a fresh slice (the
+	// published one must never be mutated within its length).
+	if cowStats != nil {
+		cowStats.postings++
+	}
+	merged := make([]int64, 0, len(ids)+len(adds))
+	i, j, k := 0, 0, 0
+	for i < len(ids) || j < len(adds) {
+		var id int64
+		switch {
+		case j >= len(adds) || (i < len(ids) && ids[i] <= adds[j]):
+			id = ids[i]
+			i++
+			if i-1 < len(ids) && j < len(adds) && ids[i-1] == adds[j] {
+				j++ // defensive: id both present and re-added
+			}
+		default:
+			id = adds[j]
+			j++
+		}
+		for k < len(removes) && removes[k] < id {
+			k++
+		}
+		if k < len(removes) && removes[k] == id {
+			k++
+			continue
+		}
+		merged = append(merged, id)
+	}
+	if len(merged) == 0 {
+		delete(m, key)
 		return nil
 	}
-	if !ci.copied[key] {
-		ids = append(make([]int64, 0, len(ids)+1), ids...)
-		ci.copied[key] = true
+	if ci.ix.unique && len(merged) > 1 {
+		return fmt.Errorf("field %q value %v: %w", ci.ix.field, val, ErrUnique)
 	}
-	m[key] = insertSorted(ids, id)
+	m[key] = merged
 	return nil
 }
 
-func (ci *cowIndex) remove(r Record, id int64) {
-	v, ok := r[ci.ix.field]
-	if !ok {
-		return
-	}
-	key, ok := keyFor(v)
-	if !ok {
-		return
-	}
-	m := ci.shardFor(key)
-	ids := m[key]
-	n := len(ids)
-	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
-	if i == n || ids[i] != id {
-		return
-	}
-	if n == 1 {
-		delete(m, key)
-		return
-	}
-	if !ci.copied[key] {
-		// Removal shifts elements within the published length, so it must
-		// never run on a slice shared with earlier versions.
-		ids = append(make([]int64, 0, n), ids...)
-		ci.copied[key] = true
-	}
-	m[key] = removeSorted(ids, id)
-}
-
-// sameIndexedKey reports whether records a and b index identically under
-// the given field: both unindexable (absent or non-indexable value) or
-// both mapping to the same key.
-func sameIndexedKey(a, b Record, field string) bool {
-	ka, oka := keyFor(a[field])
-	kb, okb := keyFor(b[field])
-	return oka == okb && ka == kb
+// keyDelta accumulates one index key's net postings change for a commit:
+// the ascending ids leaving the key and the ascending ids arriving under
+// it. val is a representative record value for error messages.
+type keyDelta struct {
+	removes, adds []int64
+	val           any
 }
 
 // applyOverlay derives the successor of base by applying a transaction's
@@ -381,6 +409,16 @@ func sameIndexedKey(a, b Record, field string) bool {
 // the WAL record's apply order (tables in sorted name order; per table
 // deletions first, then writes in id order) so that replay reconstructs
 // the exact same state.
+//
+// Index maintenance is delta-merged: instead of touching the index once
+// per record, the commit groups every add and remove by (field, key) and
+// merges each key's postings exactly once in a single sorted-run pass —
+// a batch of N inserts sharing a key costs one append of N ids, not N
+// incremental inserts. Net-keyed deltas also subsume the old two-phase
+// remove-then-insert ordering: a unique-value swap between rows lands as
+// one remove and one add on each key, never a transient collision. Rows
+// whose indexed key is unchanged generate no delta at all, so a rewrite
+// that does not move a row never detaches (copies) the key's postings.
 func applyOverlay(base *version, pending map[string]*txTable) (*version, error) {
 	nv := base.withTables()
 	nv.seq = base.seq + 1
@@ -406,56 +444,97 @@ func applyOverlay(base *version, pending map[string]*txTable) (*version, error) 
 			continue
 		}
 		ct := newCowTable(bt)
-		ids := make([]int64, 0, len(o.deletes))
+
+		delIDs := make([]int64, 0, len(o.deletes))
 		for id := range o.deletes {
-			ids = append(ids, id)
+			delIDs = append(delIDs, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			if old := ct.t.get(id); old != nil {
-				for f := range ct.t.indexes {
-					ct.index(f).remove(old, id)
-				}
-				ct.del(id, nv.seq)
-			}
+		sort.Slice(delIDs, func(i, j int) bool { return delIDs[i] < delIDs[j] })
+		oldDels := make([]Record, len(delIDs))
+		for i, id := range delIDs {
+			oldDels[i] = ct.t.get(id)
 		}
-		ids = ids[:0]
+
+		writeIDs := make([]int64, 0, len(o.writes))
 		for id := range o.writes {
-			ids = append(ids, id)
+			writeIDs = append(writeIDs, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		olds := make([]Record, len(ids))
-		for i, id := range ids {
+		sort.Slice(writeIDs, func(i, j int) bool { return writeIDs[i] < writeIDs[j] })
+		olds := make([]Record, len(writeIDs))
+		for i, id := range writeIDs {
 			olds[i] = ct.t.get(id)
 		}
-		// Two-phase index maintenance: clear every rewritten row's old
-		// entries first, then insert the new ones, so a unique-value swap
-		// between rows inside one transaction never trips a transient
-		// collision. Rows whose indexed key is unchanged are skipped on
-		// both sides: the (row, key) pair stays put, so no swap can
-		// involve it — and skipping avoids detaching (copying) the key's
-		// postings for a rewrite that does not move the row.
-		for i, id := range ids {
-			if old := olds[i]; old != nil {
-				for f := range ct.t.indexes {
-					if sameIndexedKey(old, o.writes[id], f) {
-						continue
-					}
-					ct.index(f).remove(old, id)
+
+		// Per-field postings deltas, built before any chunk mutation so
+		// old records are still reachable. Ids arrive in ascending order,
+		// so each delta's runs are naturally sorted.
+		for f := range ct.t.indexes {
+			var deltas map[indexKey]*keyDelta
+			delta := func(key indexKey, val any) *keyDelta {
+				if deltas == nil {
+					deltas = make(map[indexKey]*keyDelta)
 				}
+				d := deltas[key]
+				if d == nil {
+					d = &keyDelta{val: val}
+					deltas[key] = d
+				}
+				return d
 			}
-		}
-		for i, id := range ids {
-			rec := o.writes[id]
-			for f := range ct.t.indexes {
-				if olds[i] != nil && sameIndexedKey(olds[i], rec, f) {
+			for i, id := range delIDs {
+				if oldDels[i] == nil {
 					continue
 				}
-				if err := ct.index(f).insert(rec, id); err != nil {
+				if key, ok := keyFor(oldDels[i][f]); ok {
+					d := delta(key, oldDels[i][f])
+					d.removes = append(d.removes, id)
+				}
+			}
+			for i, id := range writeIDs {
+				rec := o.writes[id]
+				var okey, nkey indexKey
+				var ook, nok bool
+				if olds[i] != nil {
+					okey, ook = keyFor(olds[i][f])
+				}
+				nkey, nok = keyFor(rec[f])
+				if ook == nok && okey == nkey {
+					continue // unchanged (or unindexable on both sides)
+				}
+				if ook {
+					d := delta(okey, olds[i][f])
+					d.removes = append(d.removes, id)
+				}
+				if nok {
+					d := delta(nkey, rec[f])
+					d.adds = append(d.adds, id)
+				}
+			}
+			if deltas == nil {
+				continue
+			}
+			ci := ct.index(f)
+			for key, d := range deltas {
+				// removes concatenates two ascending runs (deleted ids,
+				// then rewritten ids); restore global order for the merge.
+				if !slices.IsSorted(d.removes) {
+					slices.Sort(d.removes)
+				}
+				if err := ci.applyDelta(key, d.removes, d.adds, d.val); err != nil {
 					return nil, err
 				}
 			}
-			ct.put(id, rec, nv.seq)
+		}
+
+		// Chunk mutations, in the WAL replay order: deletions first, then
+		// writes in ascending id order.
+		for i, id := range delIDs {
+			if oldDels[i] != nil {
+				ct.del(id, nv.seq)
+			}
+		}
+		for _, id := range writeIDs {
+			ct.put(id, o.writes[id], nv.seq)
 		}
 		if o.nextID > ct.t.nextID {
 			ct.t.nextID = o.nextID
