@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify bench-compare bench-ingest
+.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults
 
 build:
 	go build ./...
@@ -18,6 +18,25 @@ verify:
 		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	go test ./...
 	go test -race ./internal/store
+
+# The full randomized crash-point campaign: injects a fault at EVERY
+# mutating filesystem operation of the reference workload (write, fsync,
+# rename, ENOSPC, torn write — across WAL append, rotation, snapshot and
+# truncation) and proves committed-prefix recovery after each, under the
+# race detector. The deterministic subset (every 5th fault point) already
+# runs inside `make test`/`make verify`; this target buys the exhaustive
+# sweep. Seed with BFABRIC_FAULT_SEED=n for a reproducible shuffle.
+test-faults:
+	BFABRIC_FAULTS=full go test -race -count=1 \
+		-run 'TestFaultCampaign|TestDegraded|TestPoison|TestPortalDegraded' \
+		./internal/store ./internal/portal
+
+# Fence that the storefs indirection keeps the hot paths within noise:
+# Q1 (filtered browse query), D3 (durable commit latency) and the bulk
+# ingest benchmarks, diffed against the committed baseline.
+bench-faults:
+	BENCH='BenchmarkQ1_|BenchmarkD3_|BenchmarkT1_DeploymentLoad|BenchmarkD1_DurableRegisterSample' \
+		scripts/bench_compare.sh
 
 # Race-checks every package with dedicated concurrency tests (MVCC
 # snapshot isolation, zero-copy read path, search flush).

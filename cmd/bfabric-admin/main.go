@@ -25,13 +25,19 @@
 //	bfabric-admin import-project -in deploy.gob -archive project.zip -out deploy.gob
 //	bfabric-admin snapshot -data-dir ./data
 //	bfabric-admin wal      -data-dir ./data
+//	bfabric-admin status   -addr http://localhost:8077
+//	bfabric-admin status   -data-dir ./data
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exchange"
@@ -71,6 +77,8 @@ func main() {
 		err = cmdSnapshot(args)
 	case "wal":
 		err = cmdWAL(args)
+	case "status":
+		err = cmdStatus(args)
 	default:
 		usage()
 	}
@@ -80,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project|snapshot|wal} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project|snapshot|wal|status} [flags]")
 	os.Exit(2)
 }
 
@@ -209,6 +217,69 @@ func cmdSnapshot(args []string) error {
 	}
 	fmt.Printf("snapshot written: seq %d, %d bytes\n", info.SnapshotSeq, info.SnapshotSize)
 	return nil
+}
+
+// cmdStatus reports health. With -addr it asks a running portal over HTTP
+// — /healthz for liveness, /readyz for writability — printing the same
+// health JSON the load balancer sees. With -data-dir it inspects the
+// directory from the outside: whether a live process holds the lock (and
+// which pid), and how far the on-disk state is recoverable.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "", "portal base URL of a running server (e.g. http://localhost:8077)")
+	dataDir := fs.String("data-dir", "", "durable data directory to inspect")
+	_ = fs.Parse(args)
+	switch {
+	case *addr != "" && *dataDir != "":
+		return fmt.Errorf("-addr and -data-dir are mutually exclusive")
+	case *addr != "":
+		return statusHTTP(*addr)
+	case *dataDir != "":
+		return statusDir(*dataDir)
+	default:
+		return fmt.Errorf("one of -addr or -data-dir is required")
+	}
+}
+
+func statusHTTP(base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	probe := func(path string) (int, string, error) {
+		resp, err := client.Get(strings.TrimRight(base, "/") + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode, strings.TrimSpace(string(body)), nil
+	}
+	code, body, err := probe("/healthz")
+	if err != nil {
+		return fmt.Errorf("portal unreachable: %w", err)
+	}
+	fmt.Printf("live:  %d %s\n", code, body)
+	code, body, err = probe("/readyz")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ready: %d %s\n", code, body)
+	if code != http.StatusOK {
+		fmt.Println("store is DEGRADED: writes are rejected, reads still served; see docs/faults.md for the recovery runbook")
+	}
+	return nil
+}
+
+func statusDir(dir string) error {
+	if pid, inUse := store.DirInUse(dir); inUse {
+		if pid > 0 {
+			fmt.Printf("locked: data directory %s is in use by process %d\n", dir, pid)
+		} else {
+			fmt.Printf("locked: data directory %s is in use by another process\n", dir)
+		}
+		fmt.Println("use `bfabric-admin status -addr ...` to ask the running server; offline inspection below is read-only and safe")
+	} else {
+		fmt.Printf("unlocked: no process holds %s\n", dir)
+	}
+	return cmdWAL([]string{"-data-dir", dir})
 }
 
 // cmdWAL prints the on-disk durability state of a data directory without

@@ -6,6 +6,9 @@
 //
 //	bfabric [-addr :8077] [-seed] [-data-dir DIR] [-fsync always|interval|off]
 //	        [-sync-every 25ms] [-snapshot-every BYTES]
+//	        [-http-header-timeout 5s] [-http-read-timeout 30s]
+//	        [-http-write-timeout 60s] [-http-idle-timeout 2m]
+//	        [-request-timeout 30s] [-max-in-flight 256]
 //
 // Without -data-dir the system is volatile: everything lives in memory
 // and dies with the process. With -data-dir every committed transaction
@@ -46,6 +49,12 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or off")
 	syncEvery := flag.Duration("sync-every", 25*time.Millisecond, "background fsync period for -fsync interval")
 	snapshotEvery := flag.Int64("snapshot-every", 0, "WAL bytes that trigger a background snapshot+truncate (0 = 64 MiB default, negative disables)")
+	headerTimeout := flag.Duration("http-header-timeout", 5*time.Second, "max time to read a request's headers")
+	readTimeout := flag.Duration("http-read-timeout", 30*time.Second, "max time to read a full request, body included")
+	writeTimeout := flag.Duration("http-write-timeout", 60*time.Second, "max time to write a response (covers large downloads)")
+	idleTimeout := flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
+	maxInFlight := flag.Int("max-in-flight", 256, "max concurrently served requests before 503 (0 disables the gate)")
 	flag.Parse()
 
 	opts := core.Options{}
@@ -88,7 +97,27 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: portal.New(sys)}
+	// Flag semantics: 0 disables. The portal config uses negative for
+	// "explicitly off" (its zero value means "default"), so translate.
+	cfg := portal.Config{RequestTimeout: *requestTimeout, MaxInFlight: *maxInFlight}
+	if *requestTimeout == 0 {
+		cfg.RequestTimeout = -1
+	}
+	if *maxInFlight == 0 {
+		cfg.MaxInFlight = -1
+	}
+	// The server-level timeouts defend the connection (slow-loris headers,
+	// dead peers, stalled downloads); the portal's per-request deadline
+	// defends the handlers. Both layers are needed: the former cannot
+	// cancel a handler, the latter cannot close a stuck TCP read.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           portal.NewWithConfig(sys, cfg),
+		ReadHeaderTimeout: *headerTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	// On SIGINT/SIGTERM: drain in-flight HTTP requests, then close the
 	// store (final WAL fsync). kill -9 is recovered on the next start.

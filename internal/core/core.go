@@ -45,6 +45,10 @@ type Options struct {
 	// failing snapshot while the WAL keeps growing) so the host process
 	// can log them as they happen instead of discovering them at Close.
 	OnStoreError func(error)
+	// FS substitutes the filesystem under the durable write path; nil
+	// means the real one. A test seam: fault-injection tests run a whole
+	// system over a store.FaultFS to prove degraded mode end to end.
+	FS store.FS
 }
 
 // System is a fully wired B-Fabric instance.
@@ -79,6 +83,7 @@ func New(opts Options) (*System, error) {
 		SyncEvery:     opts.SyncEvery,
 		SnapshotEvery: opts.SnapshotEvery,
 		OnError:       opts.OnStoreError,
+		FS:            opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +166,15 @@ func (sys *System) Update(fn func(tx *store.Tx) error) error {
 // snapshot regardless of concurrent writers.
 func (sys *System) View(fn func(tx *store.Tx) error) error {
 	return sys.Store.View(fn)
+}
+
+// Health reports the store's write-path health: OK while commits can be
+// made durable, degraded (with the root cause and onset time) once the
+// WAL or the disk under it has failed. Reads remain available either
+// way. Lock-free; serving this from a health endpoint at any rate is
+// free.
+func (sys *System) Health() store.Health {
+	return sys.Store.Health()
 }
 
 // Close shuts the system down. On durable systems this flushes and closes

@@ -6,6 +6,7 @@
 package entity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -489,6 +490,19 @@ func (rg *Registry) Update(tx *store.Tx, kind string, id int64, actor string, va
 	}
 	rg.publish(tx, kind+".updated", kind, id, actor, values)
 	return nil
+}
+
+// UpdateCtx runs Update in its own optimistic transaction, retrying
+// write conflicts with store.WithRetry. This is the right entry point
+// when the caller holds no transaction and the target record is
+// contended — concurrent annotators editing the same entity serialize by
+// first-committer-wins instead of on the global writer mutex. Event
+// subscribers fire once per attempt but write only through the attempt's
+// transaction, so a rolled-back attempt leaks nothing.
+func (rg *Registry) UpdateCtx(ctx context.Context, kind string, id int64, actor string, values map[string]any) error {
+	return store.WithRetry(ctx, rg.store, func(tx *store.Tx) error {
+		return rg.Update(tx, kind, id, actor, values)
+	})
 }
 
 // Delete removes an entity. Deletion fails with ErrReferenced while other

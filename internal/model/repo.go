@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -178,6 +179,16 @@ func (db *DB) UpdateSample(tx *store.Tx, actor string, id int64, changes map[str
 	return db.rg.Update(tx, KindSample, id, actor, changes)
 }
 
+// UpdateSampleCtx applies sample changes in an optimistic transaction of
+// its own, retrying conflicts with store.WithRetry — the portal's entry
+// point, where two annotators editing the same sample should race by
+// first-committer-wins, not queue on the writer mutex.
+func (db *DB) UpdateSampleCtx(ctx context.Context, actor string, id int64, changes map[string]any) error {
+	return store.WithRetry(ctx, db.Store(), func(tx *store.Tx) error {
+		return db.UpdateSample(tx, actor, id, changes)
+	})
+}
+
 // CloneSample registers a copy of the sample with a new name, preserving
 // all annotations — the cloning support of Figure 2's registration flow.
 func (db *DB) CloneSample(tx *store.Tx, actor string, id int64, newName string) (int64, error) {
@@ -334,6 +345,17 @@ func (db *DB) SetWorkunitState(tx *store.Tx, actor string, id int64, state strin
 		return fmt.Errorf("model: invalid workunit state %q", state)
 	}
 	return db.rg.Update(tx, KindWorkunit, id, actor, map[string]any{"state": state})
+}
+
+// SetWorkunitStateCtx transitions a workunit's state in an optimistic
+// transaction of its own, retrying conflicts with store.WithRetry. State
+// transitions are the most contended workunit write — the executor marks
+// ready while operators annotate — so they use first-committer-wins
+// rather than the serializing Update path.
+func (db *DB) SetWorkunitStateCtx(ctx context.Context, actor string, id int64, state string) error {
+	return store.WithRetry(ctx, db.Store(), func(tx *store.Tx) error {
+		return db.SetWorkunitState(tx, actor, id, state)
+	})
 }
 
 // WorkunitsOfProject returns the project's workunits in id order,

@@ -1,0 +1,132 @@
+package portal
+
+// End-to-end degraded-mode test: a durable system whose disk fails fsync
+// mid-operation must keep serving reads through the portal while writes
+// answer 503 with a Retry-After and the readiness probe flips to not-ready.
+// This is the full stack — FaultFS under the WAL, store degradation,
+// core.System health, portal status mapping — exercised through real HTTP.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+func itoa(id int64) string { return strconv.FormatInt(id, 10) }
+
+// postJSON performs an authenticated POST and returns the response plus
+// the decoded error envelope (zero-valued on success responses).
+func (fx *fixture) postJSON(t *testing.T, login, path string, body any) (*http.Response, errEnvelope) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", fx.srv.URL+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp, env
+}
+
+func TestPortalDegradedMode(t *testing.T) {
+	ffs := store.NewFaultFS(nil)
+	fx := newFixtureOpts(t, core.Options{
+		DataDir:       t.TempDir(),
+		Sync:          store.SyncAlways,
+		SnapshotEvery: -1,
+		FS:            ffs,
+	})
+
+	// A write that lands before the fault: must survive and stay readable.
+	var created struct{ IDs []int64 }
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "pre-fault", Project: fx.project},
+	}, &created)
+	if code != http.StatusCreated || len(created.IDs) != 1 {
+		t.Fatalf("pre-fault create: %d %v", code, created.IDs)
+	}
+	sampleID := created.IDs[0]
+
+	// The next fsync fails; the commit that hits it errors and the store
+	// degrades to read-only.
+	ffs.FailNext(store.OpSync, store.FaultErr)
+	code = fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "during-fault", Project: fx.project},
+	}, nil)
+	if code == http.StatusCreated {
+		t.Fatalf("write during fsync failure succeeded")
+	}
+	if _, fired := ffs.Failed(); !fired {
+		t.Fatal("fault never fired")
+	}
+
+	// Writes now fail fast with the degraded 503 envelope + Retry-After.
+	resp, env := fx.postJSON(t, "alice", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "post-fault", Project: fx.project},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded write: %d, want 503", resp.StatusCode)
+	}
+	if env.Code != "degraded" || env.Status != http.StatusServiceUnavailable {
+		t.Errorf("degraded envelope %+v", env)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 without Retry-After")
+	}
+
+	// Reads keep serving from the MVCC head: single object, browse, search.
+	var sample model.Sample
+	if code := fx.call(t, "alice", "GET", "/api/samples/"+itoa(sampleID), nil, &sample); code != http.StatusOK {
+		t.Errorf("degraded read: %d", code)
+	} else if sample.Name != "pre-fault" {
+		t.Errorf("degraded read returned %q", sample.Name)
+	}
+	if code := fx.call(t, "alice", "GET", "/api/browse/sample", nil, nil); code != http.StatusOK {
+		t.Errorf("degraded browse: %d", code)
+	}
+	if code := fx.call(t, "alice", "GET", "/api/search?q=pre-fault", nil, nil); code != http.StatusOK {
+		t.Errorf("degraded search: %d", code)
+	}
+
+	// Liveness stays green (do not restart a read-only replica); readiness
+	// flips to 503 and reports the reason.
+	resp2, err := http.Get(fx.srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz while degraded: %d", resp2.StatusCode)
+	}
+	resp3, err := http.Get(fx.srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while degraded: %d", resp3.StatusCode)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Error("readyz 503 without Retry-After")
+	}
+	var h store.Health
+	_ = json.NewDecoder(resp3.Body).Decode(&h)
+	if h.OK || h.Reason == "" || h.Since.IsZero() {
+		t.Errorf("readyz health body %+v", h)
+	}
+}

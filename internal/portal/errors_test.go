@@ -1,11 +1,17 @@
 package portal
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/store"
+	"repro/internal/tasks"
 )
 
 func TestMalformedJSONBodies(t *testing.T) {
@@ -164,5 +170,201 @@ func TestTasksForUnknownSessionUser(t *testing.T) {
 	code := fx.call(t, "outsider", "GET", "/api/tasks", nil, nil)
 	if code != http.StatusNotFound {
 		t.Errorf("deleted user tasks: %d", code)
+	}
+}
+
+// --- serving hardening -----------------------------------------------------------
+
+// callRaw performs an authenticated request and returns status, headers and
+// the decoded error envelope.
+func (fx *fixture) callRaw(t *testing.T, login, method, path string) (*http.Response, errEnvelope) {
+	t.Helper()
+	req, err := http.NewRequest(method, fx.srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login != "" {
+		req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp, env
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	fx := newFixture(t)
+	resp, env := fx.callRaw(t, "alice", "GET", "/api/samples/99999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if env.Code != "not_found" || env.Status != http.StatusNotFound || env.Error == "" {
+		t.Errorf("envelope %+v", env)
+	}
+	resp, env = fx.callRaw(t, "outsider", "GET", "/api/samples/99999")
+	if env.Code == "" || env.Status != resp.StatusCode {
+		t.Errorf("envelope status mismatch: %+v vs %d", env, resp.StatusCode)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	fx := newFixture(t)
+	// In-package tests may extend the mux; a handler that panics must come
+	// back as a 500 envelope, not a dropped connection.
+	fx.sys.Store.EnsureTable("noop")
+	srv := New(fx.sys)
+	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env errEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	if env.Code != "internal" || !strings.Contains(env.Error, "kaboom") {
+		t.Errorf("envelope %+v", env)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	fx := newFixture(t)
+	srv := NewWithConfig(fx.sys, Config{RequestTimeout: 20 * time.Millisecond})
+	srv.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		// A well-behaved slow handler: blocks until the per-request
+		// deadline installed by the middleware fires, then reports the
+		// context error like every store-backed handler does.
+		<-r.Context().Done()
+		writeErr(w, statusFor(r.Context().Err()), r.Context().Err())
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var env errEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	if env.Code != "timeout" {
+		t.Errorf("envelope %+v", env)
+	}
+}
+
+func TestAdmissionGate(t *testing.T) {
+	fx := newFixture(t)
+	srv := NewWithConfig(fx.sys, Config{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv.mux.HandleFunc("GET /hold", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/hold")
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered // the single slot is now held
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under load: %d (probes must bypass the gate)", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	var env errEnvelope
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	if env.Code != "overloaded" {
+		t.Errorf("envelope %+v", env)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthEndpointsHealthy(t *testing.T) {
+	fx := newFixture(t)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(fx.srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCompleteTaskEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	var taskID int64
+	err := fx.sys.Update(func(tx *store.Tx) error {
+		var err error
+		taskID, err = fx.sys.Tasks.Create(tx, tasks.Task{
+			Type: "manual", Title: "check instrument", AssigneeLogin: "alice",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := fmt.Sprintf("/api/tasks/%d/complete", taskID)
+	if code := fx.call(t, "outsider", "POST", path, nil, nil); code != http.StatusForbidden {
+		t.Errorf("outsider complete: %d", code)
+	}
+	if code := fx.call(t, "alice", "POST", path, nil, nil); code != http.StatusOK {
+		t.Errorf("assignee complete: %d", code)
+	}
+	// Completing a closed task is a conflict, not a success.
+	resp, env := fx.callRaw(t, "alice", "POST", path)
+	if resp.StatusCode != http.StatusConflict || env.Code != "conflict" {
+		t.Errorf("re-complete: %d %+v", resp.StatusCode, env)
+	}
+	// Admins may close anyone's task.
+	var secondID int64
+	_ = fx.sys.Update(func(tx *store.Tx) error {
+		var err error
+		secondID, err = fx.sys.Tasks.Create(tx, tasks.Task{
+			Type: "manual", Title: "another", AssigneeLogin: "alice",
+		})
+		return err
+	})
+	path = fmt.Sprintf("/api/tasks/%d/complete", secondID)
+	if code := fx.call(t, "root", "POST", path, nil, nil); code != http.StatusOK {
+		t.Errorf("admin complete: %d", code)
 	}
 }

@@ -6,6 +6,7 @@
 package portal
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,34 +26,108 @@ import (
 	"repro/internal/importer"
 	"repro/internal/model"
 	"repro/internal/store"
+	"repro/internal/tasks"
 	"repro/internal/vocab"
+)
+
+// Config tunes the portal's serving hardening. The zero value means
+// production defaults; negative values disable a mechanism explicitly.
+type Config struct {
+	// RequestTimeout bounds each request's handler via context.WithTimeout
+	// on the request context. 0 = 30s; negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// rejected immediately with 503 + Retry-After instead of queueing
+	// without bound. 0 = 256; negative disables the gate.
+	MaxInFlight int
+}
+
+const (
+	defaultRequestTimeout = 30 * time.Second
+	defaultMaxInFlight    = 256
 )
 
 // Server is the portal HTTP server.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys      *core.System
+	mux      *http.ServeMux
+	timeout  time.Duration
+	inflight chan struct{} // admission gate; nil when disabled
 }
 
-// New builds the portal over a wired system.
+// New builds the portal over a wired system with default hardening.
 func New(sys *core.System) *Server {
+	return NewWithConfig(sys, Config{})
+}
+
+// NewWithConfig builds the portal with explicit serving limits.
+func NewWithConfig(sys *core.System, cfg Config) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux()}
+	switch {
+	case cfg.RequestTimeout == 0:
+		s.timeout = defaultRequestTimeout
+	case cfg.RequestTimeout > 0:
+		s.timeout = cfg.RequestTimeout
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.routes()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler behind a hardening stack, outermost
+// first: panic recovery (a handler bug answers 500 instead of killing the
+// connection), max-in-flight admission (overload answers 503 immediately
+// instead of queueing into collapse), and a per-request deadline on the
+// context (a slow handler is abandoned at the deadline it can observe).
+// The health probes bypass the stack: an orchestrator must get a liveness
+// answer from a saturated server.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			// Best effort: if the handler already wrote a header, this
+			// only logs; the alternative (net/http's own recovery) drops
+			// the connection with no response at all.
+			writeErrCode(w, http.StatusInternalServerError, "internal",
+				fmt.Errorf("portal: internal error: %v", v))
+		}
+	}()
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			writeErrCode(w, http.StatusServiceUnavailable, "overloaded",
+				errors.New("portal: too many requests in flight, retry shortly"))
+			return
+		}
+	}
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /", s.handleDashboard)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /api/login", s.handleLogin)
 	s.mux.HandleFunc("POST /api/logout", s.auth(s.handleLogout))
 
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/tasks", s.auth(s.handleTasks))
+	s.mux.HandleFunc("POST /api/tasks/{id}/complete", s.auth(s.handleCompleteTask))
 
 	s.mux.HandleFunc("POST /api/samples", s.auth(s.handleCreateSample))
 	s.mux.HandleFunc("GET /api/samples/{id}", s.auth(s.handleGetSample))
@@ -118,18 +193,72 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errEnvelope is the uniform JSON error body. "error" stays a plain
+// human-readable string (clients and older tests parse exactly that key);
+// "code" is a stable machine-readable discriminator and "status" echoes
+// the HTTP status for clients that lose it in a proxy hop.
+type errEnvelope struct {
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Status int    `json:"status"`
+}
+
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeErrCode(w, status, codeFor(status, err), err)
+}
+
+func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
+	if status == http.StatusServiceUnavailable {
+		// Both overload and a degraded store are retryable conditions;
+		// tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "10")
+	}
+	writeJSON(w, status, errEnvelope{Error: err.Error(), Code: code, Status: status})
+}
+
+// codeFor names the error class for the envelope's machine-readable code.
+func codeFor(status int, err error) string {
+	switch {
+	case errors.Is(err, store.ErrDegraded):
+		return "degraded"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	case errors.Is(err, store.ErrConflict), errors.Is(err, tasks.ErrTaskClosed):
+		return "conflict"
+	case errors.Is(err, store.ErrNotFound):
+		return "not_found"
+	case errors.Is(err, auth.ErrForbidden):
+		return "forbidden"
+	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique):
+		return "duplicate"
+	}
+	switch status {
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "bad_request"
+	}
 }
 
 // statusFor maps service errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, store.ErrDegraded):
+		// Store can't accept writes; reads still work. Retryable once the
+		// operator clears the fault, hence 503 + Retry-After.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, auth.ErrForbidden):
 		return http.StatusForbidden
-	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique):
+	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique),
+		errors.Is(err, store.ErrConflict), errors.Is(err, tasks.ErrTaskClosed):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
@@ -195,6 +324,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.DB.CollectStats())
 }
 
+// --- health probes ---------------------------------------------------------------
+
+// handleHealthz is the liveness probe: the process is up and serving.
+// Deliberately independent of store health — a degraded (read-only) system
+// must not be restarted by an orchestrator, it still serves reads.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is the writability probe: 200 while the store accepts
+// writes, 503 with the degradation reason once it has failed into
+// read-only mode. Load balancers can use it to route writes elsewhere
+// while keeping read traffic here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.sys.Health()
+	if h.OK {
+		writeJSON(w, http.StatusOK, h)
+		return
+	}
+	w.Header().Set("Retry-After", "10")
+	writeJSON(w, http.StatusServiceUnavailable, h)
+}
+
 // --- tasks ---------------------------------------------------------------------
 
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
@@ -217,6 +369,42 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCompleteTask marks a task done on behalf of the caller. Completion
+// goes through Tasks.CompleteCtx — an optimistic transaction retried on
+// conflict — because clearing a shared role queue is exactly the contended
+// read-modify-write the retry helper exists for. Losing the final race
+// (someone else completed it between retries) surfaces as 409.
+func (s *Server) handleCompleteTask(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r, "id")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	login := loginOf(r)
+	err = s.sys.View(func(tx *store.Tx) error {
+		u, err := s.sys.DB.UserByLogin(tx, login)
+		if err != nil {
+			return err
+		}
+		t, err := s.sys.Tasks.Get(tx, id)
+		if err != nil {
+			return err
+		}
+		if u.Role != model.RoleAdmin && t.AssigneeLogin != login && t.AssigneeRole != u.Role {
+			return fmt.Errorf("portal: task %d is not assigned to %s: %w", id, login, auth.ErrForbidden)
+		}
+		return nil
+	})
+	if err == nil {
+		err = s.sys.Tasks.CompleteCtx(r.Context(), login, id)
+	}
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 // --- samples & extracts -----------------------------------------------------------
@@ -922,6 +1110,14 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 		const scanBudget = 5000
 		scanned := 0
 		for rows.Next() {
+			// Honor the request deadline mid-scan: a page over a large,
+			// heavily-hidden listing is the one portal loop that can
+			// outlive its request.
+			if scanned%64 == 0 {
+				if err := r.Context().Err(); err != nil {
+					return err
+				}
+			}
 			rec := rows.Record()
 			if len(out.Items) == limit || scanned == scanBudget {
 				out.Next = rec.ID()

@@ -23,8 +23,18 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T) *fixture {
+	return newFixtureOpts(t, core.Options{})
+}
+
+// newFixtureOpts builds the standard fixture over a system with explicit
+// options — the degraded-mode tests run it durable over a fault-injecting
+// filesystem.
+func newFixtureOpts(t *testing.T, opts core.Options) *fixture {
 	t.Helper()
-	sys := core.MustNew(core.Options{})
+	sys := core.MustNew(opts)
+	if opts.DataDir != "" {
+		t.Cleanup(func() { _ = sys.Close() })
+	}
 	gp, gpStore := provider.NewAffymetrixGeneChip("genechip",
 		[]string{"AT-1-control", "AT-1-treated"})
 	sys.Storage.Mount(gpStore)

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPoisonPropagation pins the full life cycle of a poisoned WAL: the
+// failing commit returns the root cause, the store degrades, Close still
+// flushes what it can and reports the root cause, and a second Open on
+// the same directory recovers exactly the committed prefix.
+func TestPoisonPropagation(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	s, err := Open(dir, DurabilityOptions{Sync: SyncAlways, SnapshotEvery: -1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnsureTable("sample")
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			_, err := tx.Insert("sample", Record{"n": i})
+			return err
+		}); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	// The next WAL write tears mid-frame: the log poisons.
+	ffs.FailNext(OpWrite, FaultTorn)
+	err = s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"n": int64(4)})
+		return err
+	})
+	if err == nil {
+		t.Fatal("commit over a torn WAL write was acknowledged")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("poisoning commit returned %v, want the injected root cause", err)
+	}
+	if err := s.Update(func(tx *Tx) error { return nil }); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("write after poison returned %v, want ErrDegraded", err)
+	}
+
+	// Close must not mask the failure: it reports the root cause.
+	cerr := s.Close()
+	if cerr == nil {
+		t.Fatal("Close on a poisoned store returned nil")
+	}
+	if !errors.Is(cerr, ErrInjected) {
+		t.Fatalf("Close returned %v, want the injected root cause", cerr)
+	}
+
+	// Recovery on a healthy filesystem: the torn tail is cut, the three
+	// acknowledged commits survive, and the store is writable again.
+	s2, err := Open(dir, DurabilityOptions{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen after poison: %v", err)
+	}
+	defer s2.Close()
+	if n := s2.Count("sample"); n != 3 {
+		t.Fatalf("recovered %d records, want the 3 acknowledged", n)
+	}
+	if h := s2.Health(); !h.OK {
+		t.Fatalf("reopened store degraded: %q", h.Reason)
+	}
+	if err := s2.Update(func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"n": int64(4)})
+		return err
+	}); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestDegradedOptimisticCommit verifies the optimistic path fails fast
+// too: Begin succeeds (it may be used read-only), Commit refuses.
+func TestDegradedOptimisticCommit(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	s, err := Open(dir, DurabilityOptions{Sync: SyncAlways, SnapshotEvery: -1, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.EnsureTable("sample")
+
+	ffs.FailNext(OpSync, FaultENOSPC)
+	_ = s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"n": int64(1)})
+		return err
+	})
+
+	tx, err := s.Begin(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("sample", Record{"n": int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("optimistic Commit on degraded store returned %v, want ErrDegraded", err)
+	}
+
+	// WithRetry must not spin on a degraded store.
+	err = WithRetry(context.Background(), s, func(tx *Tx) error {
+		_, err := tx.Insert("sample", Record{"n": int64(3)})
+		return err
+	})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("WithRetry on degraded store returned %v, want ErrDegraded", err)
+	}
+
+	// ENOSPC is preserved through the degraded wrapper for callers that
+	// alert on disk-full specifically.
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("degraded error lost its type: %v", err)
+	}
+	if de.Since.After(time.Now()) {
+		t.Fatalf("degraded since is in the future: %v", de.Since)
+	}
+}

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the root cause of every failure a FaultFS injects (other
+// than FaultENOSPC, which injects syscall.ENOSPC so callers exercise
+// their real disk-full handling). Match with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// OpKind classifies the mutating filesystem operations a FaultFS counts
+// and can fail. Read-side operations always pass through: the recovery
+// contract is about what survives a dying disk, and reads of immutable
+// pages keep working while a process lives.
+type OpKind int
+
+const (
+	OpWrite OpKind = iota
+	OpSync
+	OpCreate // OpenFile with O_CREATE, and MkdirAll
+	OpRename
+	OpRemove
+	OpTruncate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// FaultMode selects how an armed fault fails.
+type FaultMode int
+
+const (
+	// FaultErr fails the operation outright with ErrInjected.
+	FaultErr FaultMode = iota
+	// FaultENOSPC fails the operation with syscall.ENOSPC.
+	FaultENOSPC
+	// FaultTorn writes roughly half the buffer before failing — the
+	// shape of a crash mid-write. On non-write operations it behaves
+	// like FaultErr.
+	FaultTorn
+)
+
+// FaultFS wraps an FS and injects deterministic failures, modelling a
+// disk that dies at a chosen moment: every mutating operation is counted,
+// a fault can be armed at an absolute operation index (FailAt) or at the
+// next operation of a kind (FailNext), and once any fault fires the disk
+// stays dead — all subsequent mutating operations fail with the same
+// error — until Clear simulates a repair. This is the engine of the
+// crash-point campaign test: re-run the same workload failing at every
+// index in turn, then reopen on a healthy FS and check the committed
+// prefix survived.
+type FaultFS struct {
+	base FS
+
+	mu     sync.Mutex
+	ops    int               // mutating operations observed so far
+	failAt map[int]FaultMode // armed by absolute op index
+	next   map[OpKind]FaultMode
+	dead   error // set when a fault fires; fails everything after
+}
+
+// NewFaultFS wraps base (nil means the real filesystem).
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = osFS{}
+	}
+	return &FaultFS{
+		base:   base,
+		failAt: make(map[int]FaultMode),
+		next:   make(map[OpKind]FaultMode),
+	}
+}
+
+// FailAt arms a fault at the op-th mutating operation (0-based, counted
+// from construction or the last Clear).
+func (f *FaultFS) FailAt(op int, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt[op] = mode
+}
+
+// FailNext arms a one-shot fault on the next operation of the given kind.
+func (f *FaultFS) FailNext(kind OpKind, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next[kind] = mode
+}
+
+// Ops returns the number of mutating operations observed so far.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Failed reports whether a fault has fired, and the error it injected.
+func (f *FaultFS) Failed() (error, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead, f.dead != nil
+}
+
+// Clear disarms pending faults and revives a dead disk. The op counter
+// keeps running.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = make(map[int]FaultMode)
+	f.next = make(map[OpKind]FaultMode)
+	f.dead = nil
+}
+
+// check counts one mutating operation and decides its fate: nil error for
+// a healthy passthrough, torn=true for a half-write-then-fail, or the
+// injected error. Firing any fault kills the disk.
+func (f *FaultFS) check(kind OpKind) (err error, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead != nil {
+		return f.dead, false
+	}
+	idx := f.ops
+	f.ops++
+	mode, armed := f.failAt[idx]
+	if !armed {
+		mode, armed = f.next[kind]
+		if armed {
+			delete(f.next, kind)
+		}
+	}
+	if !armed {
+		return nil, false
+	}
+	var cause error
+	switch mode {
+	case FaultENOSPC:
+		cause = syscall.ENOSPC
+	default:
+		cause = ErrInjected
+	}
+	f.dead = fmt.Errorf("faultfs: %s op %d: %w", kind, idx, cause)
+	return f.dead, mode == FaultTorn && kind == OpWrite
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		if err, _ := f.check(OpCreate); err != nil {
+			return nil, err
+		}
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err, _ := f.check(OpRemove); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err, _ := f.check(OpTruncate); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *FaultFS) Stat(name string) (iofs.FileInfo, error) { return f.base.Stat(name) }
+
+func (f *FaultFS) ReadDir(name string) ([]iofs.DirEntry, error) { return f.base.ReadDir(name) }
+
+func (f *FaultFS) MkdirAll(name string, perm iofs.FileMode) error {
+	if err, _ := f.check(OpCreate); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(name, perm)
+}
+
+// faultFile routes a handle's writes and fsyncs through the fault plan.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, torn := ff.fs.check(OpWrite)
+	if err == nil {
+		return ff.f.Write(p)
+	}
+	if torn && len(p) > 1 {
+		// A crash mid-write: a prefix of the buffer reaches the file.
+		n, werr := ff.f.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.fs.check(OpSync); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the durable write path runs on: the
+// WAL appender, the snapshot writer and recovery touch disk only through
+// it. Production stores use the passthrough osFS; tests substitute a
+// FaultFS to inject crash points (failed writes, failed fsyncs, torn
+// frames, ENOSPC, failed renames) without a real dying disk.
+//
+// The interface is deliberately operation-shaped, not path-shaped: each
+// method corresponds to one fault point the crash-recovery contract must
+// survive.
+type FS interface {
+	// OpenFile is os.OpenFile. Directories may be opened read-only so
+	// they can be fsynced (see SyncDir users).
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// Rename is os.Rename — the atomic-replace step of snapshot writes.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove — WAL truncation and temp-file cleanup.
+	Remove(name string) error
+	// Truncate is os.Truncate — cutting a torn WAL tail during recovery.
+	Truncate(name string, size int64) error
+	// Stat is os.Stat.
+	Stat(name string) (iofs.FileInfo, error)
+	// ReadDir is os.ReadDir — segment discovery during recovery.
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(name string, perm iofs.FileMode) error
+}
+
+// File is the per-handle surface of FS: sequential reads and writes plus
+// the fsync that makes them durable.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the handle to stable storage (os.File.Sync).
+	Sync() error
+}
+
+// osFS is the production FS: a zero-cost passthrough to the os package.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (iofs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm iofs.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+
+// fileSystem resolves the store's FS, defaulting to the os passthrough so
+// in-memory stores constructed with New can still SaveFile/LoadFile.
+func (s *Store) fileSystem() FS {
+	if s.fs == nil {
+		return osFS{}
+	}
+	return s.fs
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+)
+
+// ErrDegraded is the sentinel matched (errors.Is) by every error a
+// degraded store returns from its write paths. A store degrades — once,
+// permanently for the life of the process — when the durable write path
+// fails: a WAL append or fsync error, a poisoned log, or ENOSPC while
+// snapshotting. Reads are unaffected: the MVCC read path touches only
+// immutable memory and keeps serving the last committed version. The only
+// way out is to fix the disk and restart; recovery then restores the
+// committed prefix.
+var ErrDegraded = errors.New("store degraded: writes disabled")
+
+// DegradedError reports that the store has entered degraded read-only
+// mode, wrapping the root cause. errors.Is(err, ErrDegraded) matches it.
+type DegradedError struct {
+	Cause error     // the failure that degraded the store
+	Since time.Time // when the store degraded
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("store degraded to read-only since %s: %v",
+		e.Since.Format(time.RFC3339), e.Cause)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrDegraded) match without string comparison.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// degradedState is the immutable record of the first durable-path failure.
+type degradedState struct {
+	cause error
+	since time.Time
+}
+
+// Health is a point-in-time report of the store's ability to accept
+// writes. Reads are always available while the process lives, so there is
+// no read-side health to report.
+type Health struct {
+	OK     bool      `json:"ok"`
+	Reason string    `json:"reason,omitempty"` // root cause; empty when OK
+	Since  time.Time `json:"since,omitzero"`   // when the store degraded
+}
+
+// Health reports whether the store is accepting writes, and if not, why
+// and since when. Lock-free; safe to call from health endpoints at any
+// rate.
+func (s *Store) Health() Health {
+	if d := s.degraded.Load(); d != nil {
+		return Health{OK: false, Reason: d.cause.Error(), Since: d.since}
+	}
+	return Health{OK: true}
+}
+
+// writeGate is checked at the top of every write path: a degraded store
+// fails writes fast, before any lock is taken, so a saturated write load
+// against a dead disk cannot pile up on the writer mutex.
+func (s *Store) writeGate() error {
+	if d := s.degraded.Load(); d != nil {
+		return &DegradedError{Cause: d.cause, Since: d.since}
+	}
+	return nil
+}
+
+// degrade transitions the store to degraded read-only mode. Only the
+// first cause wins; later failures (usually cascades of the first) are
+// dropped. Safe to call from any goroutine, including the WAL syncer and
+// the snapshot loop.
+func (s *Store) degrade(cause error) {
+	if cause == nil || errors.Is(cause, ErrClosed) {
+		return
+	}
+	st := &degradedState{cause: cause, since: time.Now()}
+	s.degraded.CompareAndSwap(nil, st)
+}
+
+// walFailure is the WAL's onError hook: the log has poisoned or an fsync
+// failed, so acknowledged in-memory state can no longer be made durable.
+// Degrade first, then tell the host process.
+func (s *Store) walFailure(err error) {
+	s.degrade(err)
+	if s.onError != nil {
+		s.onError(err)
+	}
+}
+
+// degradeIfNoSpace degrades the store when a snapshot failure is ENOSPC:
+// with no room for a snapshot the WAL can never be truncated, and the
+// disk that is full is the same disk the WAL is appending to — failing
+// fast beats filling the remaining space with log frames.
+func (s *Store) degradeIfNoSpace(err error) {
+	if err != nil && errors.Is(err, syscall.ENOSPC) {
+		s.degrade(err)
+	}
+}

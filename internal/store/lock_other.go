@@ -7,3 +7,6 @@ import "os"
 // lockDataDir is a no-op on platforms without flock semantics; the
 // single-writer discipline is the operator's to uphold there.
 func lockDataDir(dir string) (*os.File, error) { return nil, nil }
+
+// DirInUse cannot be answered without flock; report not-in-use.
+func DirInUse(dir string) (pid int, inUse bool) { return 0, false }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 )
 
@@ -15,14 +17,61 @@ import (
 // pass could truncate records the first already acknowledged). The lock
 // dies with the process — kill -9 included — so a crash never leaves a
 // stale lock to clean up. Fails fast instead of blocking.
+//
+// The holder's pid is written into the file (informational only — the
+// flock, not the content, is the lock) so that a second opener can say
+// who is in the way instead of surfacing a bare EWOULDBLOCK.
 func lockDataDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: creating lock file: %w", err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
+		if pid, ok := lockHolderPID(path); ok {
+			return nil, fmt.Errorf("store: data directory %s is locked by process %d (flock: %w)", dir, pid, err)
+		}
 		return nil, fmt.Errorf("store: data directory %s is in use by another process (flock: %w)", dir, err)
 	}
+	// Best effort: a failure to record the pid only costs diagnostics.
+	if err := f.Truncate(0); err == nil {
+		f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+		f.Sync()
+	}
 	return f, nil
+}
+
+// lockHolderPID reads the pid the current holder recorded in the lock
+// file. ok is false when the file is unreadable or holds no pid (e.g. a
+// holder from before pids were recorded).
+func lockHolderPID(path string) (int, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// DirInUse reports whether another live process holds the data
+// directory's lock, and that process's pid when it recorded one (pid 0
+// means a holder that left no pid). It never blocks and never steals the
+// lock: the probe lock is released immediately.
+func DirInUse(dir string) (pid int, inUse bool) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, false // no lock file: nothing can be holding it
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		pid, _ := lockHolderPID(path)
+		return pid, true
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return 0, false
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -359,7 +360,9 @@ func TestCommitTimeUniqueRecheck(t *testing.T) {
 
 // TestOptimisticRetryLoopLosesNoUpdates proves first-committer-wins plus
 // retry is a lost-update-free increment: concurrent optimistic
-// transactions hammer one counter and every increment lands.
+// transactions hammer one counter and every increment lands. The retry
+// loop itself is WithRetry — the shared helper every production call
+// site uses instead of hand-rolling this pattern.
 func TestOptimisticRetryLoopLosesNoUpdates(t *testing.T) {
 	s := newTestStore(t, "t")
 	var id int64
@@ -377,29 +380,16 @@ func TestOptimisticRetryLoopLosesNoUpdates(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				for {
-					tx, err := s.Begin(false)
-					if err != nil {
-						t.Errorf("begin: %v", err)
-						return
-					}
+				err := WithRetry(context.Background(), s, func(tx *Tx) error {
 					r, err := tx.GetRef("t", id)
 					if err != nil {
-						t.Errorf("get: %v", err)
-						return
+						return err
 					}
-					err = tx.Put("t", id, Record{"n": r.Int("n") + 1})
-					if err == nil {
-						err = tx.Commit()
-					}
-					if err == nil {
-						break
-					}
-					if !errors.Is(err, ErrConflict) {
-						t.Errorf("increment: %v", err)
-						return
-					}
-					// Lost the race; retry on a fresh snapshot.
+					return tx.Put("t", id, Record{"n": r.Int("n") + 1})
+				})
+				if err != nil {
+					t.Errorf("increment: %v", err)
+					return
 				}
 			}
 		}()

@@ -218,8 +218,9 @@ func (s *Store) SaveFile(path string) error {
 // directory so the rename itself is durable. It reports the commit
 // sequence the snapshot captured.
 func (s *Store) writeSnapshotFile(path string) (uint64, error) {
+	fsys := s.fileSystem()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -231,19 +232,19 @@ func (s *Store) writeSnapshotFile(path string) (uint64, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return 0, err
 	}
-	return seq, syncDir(filepath.Dir(path))
+	return seq, syncDir(fsys, filepath.Dir(path))
 }
 
 // LoadFile loads a snapshot from the named file into the empty store.
 func (s *Store) LoadFile(path string) error {
-	f, err := os.Open(path)
+	f, err := s.fileSystem().OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,11 @@ type DurabilityOptions struct {
 	// (snapshotting) that would otherwise surface only at Close — while
 	// the WAL keeps growing. Called from the snapshot goroutine.
 	OnError func(error)
+	// FS substitutes the filesystem under the durable write path. nil
+	// means the real filesystem; tests inject a FaultFS to exercise
+	// crash points. The data-directory lock always uses the real
+	// filesystem (its semantics are tied to OS file descriptors).
+	FS FS
 }
 
 const (
@@ -57,7 +62,11 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 	if opts.SnapshotEvery == 0 {
 		opts.SnapshotEvery = defaultSnapshotEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
 	lock, err := lockDataDir(dir)
@@ -72,10 +81,11 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 	}
 	s := New()
 	s.dir = dir
+	s.fs = fsys
 	s.dirLock = lock
 
 	snapPath := filepath.Join(dir, snapshotFile)
-	if _, err := os.Stat(snapPath); err == nil {
+	if _, err := fsys.Stat(snapPath); err == nil {
 		if err := s.LoadFile(snapPath); err != nil {
 			return fail(fmt.Errorf("store: loading snapshot: %w", err))
 		}
@@ -83,7 +93,7 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 		return fail(err)
 	}
 
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(fsys, dir)
 	if err != nil {
 		return fail(err)
 	}
@@ -92,7 +102,7 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 	}
 
 	s.onError = opts.OnError
-	w := newWAL(dir, opts.Sync, opts.SyncEvery, opts.OnError)
+	w := newWAL(dir, fsys, opts.Sync, opts.SyncEvery, s.walFailure)
 	if err := w.armSegments(segs, s.CommitSeq()); err != nil {
 		return fail(err)
 	}
@@ -125,7 +135,8 @@ func (s *Store) replayWAL(segs []walSegment) error {
 }
 
 func (s *Store) replaySegment(seg walSegment, last bool) error {
-	f, err := os.Open(seg.path)
+	fsys := s.fileSystem()
+	f, err := fsys.OpenFile(seg.path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -138,7 +149,7 @@ func (s *Store) replaySegment(seg walSegment, last bool) error {
 			// middle of the history.
 			return fmt.Errorf("store: wal segment %s: %v: %w", seg.path, cause, ErrCorrupt)
 		}
-		if err := os.Truncate(seg.path, off); err != nil {
+		if err := fsys.Truncate(seg.path, off); err != nil {
 			return fmt.Errorf("store: truncating torn wal tail: %w", err)
 		}
 		return nil
@@ -156,10 +167,10 @@ func (s *Store) replaySegment(seg walSegment, last bool) error {
 			if !last || seg.size >= int64(len(walMagic)) {
 				return fmt.Errorf("store: wal segment %s: %v: %w", seg.path, err, ErrCorrupt)
 			}
-			if err := os.Truncate(seg.path, 0); err != nil {
+			if err := fsys.Truncate(seg.path, 0); err != nil {
 				return err
 			}
-			nf, err := os.OpenFile(seg.path, os.O_WRONLY, 0o644)
+			nf, err := fsys.OpenFile(seg.path, os.O_WRONLY, 0o644)
 			if err != nil {
 				return err
 			}
@@ -265,7 +276,7 @@ func (w *wal) armSegments(segs []walSegment, lastSeq uint64) error {
 	w.lastSeq = lastSeq
 	w.synced = lastSeq // whatever replay saw is already on disk
 	if len(segs) == 0 {
-		f, size, err := createWALSegment(w.dir, lastSeq+1)
+		f, size, err := createWALSegment(w.fs, w.dir, lastSeq+1)
 		if err != nil {
 			return err
 		}
@@ -278,12 +289,12 @@ func (w *wal) armSegments(segs []walSegment, lastSeq uint64) error {
 	cur := segs[len(segs)-1]
 	// Replay may have truncated a torn tail; trust the file, not the
 	// directory listing taken before replay.
-	info, err := os.Stat(cur.path)
+	info, err := w.fs.Stat(cur.path)
 	if err != nil {
 		return err
 	}
 	cur.size = info.Size()
-	f, err := os.OpenFile(cur.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenFile(cur.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: reopening wal segment: %w", err)
 	}
@@ -314,6 +325,7 @@ func (s *Store) Snapshot() error {
 
 	seq, err := s.writeSnapshotFile(filepath.Join(s.dir, snapshotFile))
 	if err != nil {
+		s.degradeIfNoSpace(err)
 		return err
 	}
 	return s.wal.truncateTo(seq)
@@ -360,8 +372,8 @@ func (s *Store) maybeTriggerSnapshot() {
 
 // syncDir fsyncs a directory so that a just-renamed file inside it is
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -467,7 +479,7 @@ func InspectDir(dir string) (*DirInfo, error) {
 		return nil, err
 	}
 
-	segs, err := listWALSegments(dir) // already in ascending base order
+	segs, err := listWALSegments(osFS{}, dir) // already in ascending base order
 	if err != nil {
 		return nil, err
 	}

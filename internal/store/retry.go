@@ -1,0 +1,72 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Retry backoff shape: full jitter over an exponentially growing window.
+// The first retry is nearly immediate — most conflicts are a single lost
+// race and resolve on the next snapshot — while a genuinely hot record
+// spreads its contenders out instead of letting them re-collide in
+// lockstep.
+const (
+	retryBaseDelay = 100 * time.Microsecond
+	retryMaxDelay  = 10 * time.Millisecond
+)
+
+// WithRetry runs fn inside optimistic (Begin) transactions until one
+// commits, retrying ErrConflict with jittered exponential backoff. Every
+// other error — including fn's own errors, ErrDegraded and ErrClosed —
+// returns immediately with the transaction rolled back. The context
+// bounds the whole loop: when it is done, WithRetry returns the context's
+// error wrapped with the conflict count, so a saturated hot spot
+// surfaces as a timeout, not an unbounded spin.
+//
+// fn must be safe to re-run from scratch: it is called once per attempt
+// on a fresh snapshot and must not leak effects from a rolled-back
+// attempt (writing only through tx and deriving state only from tx reads
+// gives this for free).
+//
+// This is the canonical read-modify-write shape for contended records;
+// Update remains the simpler tool when serializing all writers is
+// acceptable.
+func WithRetry(ctx context.Context, s *Store, fn func(tx *Tx) error) error {
+	delay := retryBaseDelay
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx, err := s.Begin(false)
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Rollback()
+		}
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Full jitter: uniform in [0, delay). Collided writers that back
+		// off by the same deterministic amount would just collide again.
+		timer := time.NewTimer(time.Duration(rand.Int63n(int64(delay))))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("store: giving up after %d conflicted attempts: %w", attempt, ctx.Err())
+		case <-timer.C:
+		}
+		if delay < retryMaxDelay {
+			delay *= 2
+			if delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+		}
+	}
+}

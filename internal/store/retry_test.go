@@ -1,0 +1,126 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWithRetryContendedCounter is the canonical hot-record workload:
+// many writers increment one counter through optimistic transactions.
+// WithRetry must lose no update and must not retry unboundedly.
+func TestWithRetryContendedCounter(t *testing.T) {
+	s := New()
+	if err := s.CreateTable("counters"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("counters", Record{"n": int64(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 8, 25
+	var attempts atomic.Int64
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := WithRetry(ctx, s, func(tx *Tx) error {
+					attempts.Add(1)
+					r, err := tx.Get("counters", 1)
+					if err != nil {
+						return err
+					}
+					return tx.Put("counters", 1, Record{"n": r.Int("n") + 1})
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("contended increment failed: %v", err)
+	}
+
+	r, err := s.Get("counters", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = workers * perWorker
+	if got := r.Int("n"); got != want {
+		t.Fatalf("lost updates: counter is %d, want %d", got, want)
+	}
+	// Bounded retries: with backoff, total attempts stay within a small
+	// multiple of the committed increments. The bound is loose (20x) —
+	// it exists to catch livelock, not to benchmark.
+	if a := attempts.Load(); a > want*20 {
+		t.Fatalf("unbounded retrying: %d attempts for %d commits", a, want)
+	}
+}
+
+// TestWithRetryContextBounds proves the loop is context-aware: a
+// transaction that always conflicts gives up with the context's error,
+// wrapped with the attempt count.
+func TestWithRetryContextBounds(t *testing.T) {
+	s := New()
+	if err := s.CreateTable("counters"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("counters", Record{"n": int64(0)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := WithRetry(ctx, s, func(tx *Tx) error {
+		r, err := tx.Get("counters", 1)
+		if err != nil {
+			return err
+		}
+		// Sabotage: a competing Update commits between this read and our
+		// Commit, so validation always sees a newer version.
+		if err := s.Update(func(utx *Tx) error {
+			return utx.Put("counters", 1, Record{"n": r.Int("n") + 1})
+		}); err != nil {
+			return err
+		}
+		return tx.Put("counters", 1, Record{"n": r.Int("n") + 1})
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestWithRetryPassesThroughErrors: fn's own failures are not retried.
+func TestWithRetryPassesThroughErrors(t *testing.T) {
+	s := New()
+	boom := errors.New("boom")
+	calls := 0
+	err := WithRetry(context.Background(), s, func(tx *Tx) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want fn's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+}

@@ -126,9 +126,15 @@ type Store struct {
 	closed  atomic.Bool
 
 	// Durable write path; all nil/zero on in-memory stores.
-	dir           string
-	dirLock       *os.File // flock on <dir>/LOCK; nil on non-unix
-	wal           *wal
+	dir     string
+	fs      FS       // filesystem seam; nil means the real one
+	dirLock *os.File // flock on <dir>/LOCK; nil on non-unix
+	wal     *wal
+	// degraded flips (once, monotonically) when the durable write path
+	// fails — WAL poison, fsync failure, ENOSPC — and makes every
+	// subsequent write fail fast with ErrDegraded while the lock-free
+	// MVCC read path keeps serving. See health.go.
+	degraded      atomic.Pointer[degradedState]
 	walEncBuf     []byte // commit-path encode scratch; guarded by writeMu
 	snapshotEvery int64
 	onError       func(error) // background-failure hook; may be nil
@@ -371,6 +377,9 @@ func (s *Store) Begin(readonly bool) (*Tx, error) {
 // the writer mutex, so other commits proceed and share the fsync — until
 // the record is on stable storage.
 func (s *Store) Update(fn func(tx *Tx) error) error {
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 	s.writeMu.Lock()
 	if s.closed.Load() {
 		s.writeMu.Unlock()

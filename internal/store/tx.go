@@ -236,6 +236,10 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("store: transactions started by Update are committed by Update itself")
 	}
 	s := tx.s
+	if err := s.writeGate(); err != nil {
+		tx.done = true
+		return err
+	}
 	s.writeMu.Lock()
 	if s.closed.Load() {
 		s.writeMu.Unlock()
@@ -872,6 +876,10 @@ func (tx *Tx) commitLocked() error {
 		}
 		if seq != 0 {
 			if err := s.wal.append(seq, payload); err != nil {
+				// The log is poisoned (sticky): no future commit can be
+				// made durable, so the store degrades to read-only now.
+				// The failing commit itself reports the root cause.
+				s.degrade(err)
 				return err
 			}
 			tx.walSeq = seq

@@ -17,6 +17,10 @@ import (
 	"time"
 )
 
+// Compile-time check that the passthrough satisfies the seam the WAL,
+// snapshot writer and recovery run on.
+var _ FS = osFS{}
+
 // SyncPolicy controls when WAL appends are forced to stable storage.
 type SyncPolicy int
 
@@ -136,6 +140,7 @@ func parseWALSegmentName(name string) (uint64, bool) {
 // syncer has covered their sequence number.
 type wal struct {
 	dir     string
+	fs      FS // filesystem seam; osFS in production
 	policy  SyncPolicy
 	every   time.Duration // fsync period under SyncInterval
 	onError func(error)   // invoked once when the log fails; may be nil
@@ -145,7 +150,7 @@ type wal struct {
 	// commits already serialize on the store's writer mutex, so this
 	// mutex is uncontended except against the syncer.
 	mu        sync.Mutex
-	f         *os.File
+	f         File
 	bw        *bufio.Writer
 	cur       walSegment
 	retired   []walSegment // ascending base order
@@ -168,9 +173,13 @@ type wal struct {
 	done chan struct{}
 }
 
-func newWAL(dir string, policy SyncPolicy, every time.Duration, onError func(error)) *wal {
+func newWAL(dir string, fsys FS, policy SyncPolicy, every time.Duration, onError func(error)) *wal {
+	if fsys == nil {
+		fsys = osFS{}
+	}
 	w := &wal{
 		dir:     dir,
+		fs:      fsys,
 		policy:  policy,
 		every:   every,
 		onError: onError,
@@ -388,7 +397,7 @@ func (w *wal) rotateLocked() error {
 	}
 	w.retired = append(w.retired, w.cur)
 	base := w.lastSeq + 1
-	f, size, err := createWALSegment(w.dir, base)
+	f, size, err := createWALSegment(w.fs, w.dir, base)
 	if err != nil {
 		// No segment to append to: poison the log so subsequent commits
 		// fail cleanly instead of dereferencing a nil writer.
@@ -439,7 +448,7 @@ func (w *wal) truncateTo(upTo uint64) error {
 			next = w.retired[i+1].base
 		}
 		if firstErr == nil && next <= upTo+1 {
-			if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			if err := w.fs.Remove(seg.path); err != nil && !os.IsNotExist(err) {
 				firstErr = fmt.Errorf("store: truncating wal: %w", err)
 				keep = append(keep, seg)
 				continue
@@ -495,20 +504,20 @@ func (w *wal) totalBytes() int64 { return w.bytes.Load() }
 // already flushed and its directory entry fsynced — without the dirent
 // write-back, a power loss could drop the whole segment (and every
 // fsynced commit inside) with no trace for replay to miss.
-func createWALSegment(dir string, base uint64) (*os.File, int64, error) {
+func createWALSegment(fsys FS, dir string, base uint64) (File, int64, error) {
 	path := walSegmentPath(dir, base)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: creating wal segment: %w", err)
 	}
 	if _, err := f.Write([]byte(walMagic)); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, 0, fmt.Errorf("store: writing wal header: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, 0, fmt.Errorf("store: syncing wal dir: %w", err)
 	}
 	return f, int64(len(walMagic)), nil
@@ -531,8 +540,8 @@ func (w *wal) poison(err error) {
 
 // listWALSegments returns the data directory's WAL segments in ascending
 // base order.
-func listWALSegments(dir string) ([]walSegment, error) {
-	entries, err := os.ReadDir(dir)
+func listWALSegments(fsys FS, dir string) ([]walSegment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -574,7 +583,7 @@ func (e *tornFrameError) Error() string {
 	return fmt.Sprintf("torn or corrupt wal frame at offset %d: %s", e.off, e.reason)
 }
 
-func newWALFrameReader(f *os.File, headerAlreadyRead bool) (*walFrameReader, error) {
+func newWALFrameReader(f io.Reader, headerAlreadyRead bool) (*walFrameReader, error) {
 	r := bufio.NewReaderSize(f, 1<<20)
 	fr := &walFrameReader{r: r}
 	if !headerAlreadyRead {

@@ -68,7 +68,7 @@ func commitN(t *testing.T, s *Store, table string, n int) {
 // lastSegment returns the path of the highest-base WAL segment.
 func lastSegment(t *testing.T, dir string) string {
 	t.Helper()
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(osFS{}, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("listWALSegments: %v (%d segments)", err, len(segs))
 	}
@@ -257,7 +257,7 @@ func TestCorruptMiddleSegmentRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +527,7 @@ func TestInspectDirDetectsGap(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listWALSegments(dir)
+	segs, err := listWALSegments(osFS{}, dir)
 	if err != nil || len(segs) < 2 {
 		t.Fatalf("want >=2 segments, got %d (%v)", len(segs), err)
 	}

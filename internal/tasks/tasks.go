@@ -7,6 +7,7 @@ package tasks
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -149,6 +150,26 @@ func (e *Engine) Complete(tx *store.Tx, actor string, id int64) error {
 // Cancel marks an open task cancelled.
 func (e *Engine) Cancel(tx *store.Tx, actor string, id int64) error {
 	return e.close(tx, actor, id, StateCancelled)
+}
+
+// CompleteCtx marks an open task done in its own optimistic transaction,
+// retrying write conflicts with store.WithRetry. Task completion is a
+// classic contended read-modify-write — two users clearing the same
+// shared role queue race on the same records — and the first committer
+// wins; the loser retries on a fresh snapshot and then observes the task
+// already closed (ErrTaskClosed), which callers should treat as "someone
+// beat you to it", not a failure of the system.
+func (e *Engine) CompleteCtx(ctx context.Context, actor string, id int64) error {
+	return store.WithRetry(ctx, e.store, func(tx *store.Tx) error {
+		return e.close(tx, actor, id, StateDone)
+	})
+}
+
+// CancelCtx is CompleteCtx's counterpart for cancellation.
+func (e *Engine) CancelCtx(ctx context.Context, actor string, id int64) error {
+	return store.WithRetry(ctx, e.store, func(tx *store.Tx) error {
+		return e.close(tx, actor, id, StateCancelled)
+	})
 }
 
 func (e *Engine) close(tx *store.Tx, actor string, id int64, state string) error {
