@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults
+.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults bench-http bench-http-smoke
 
 build:
 	go build ./...
@@ -17,7 +17,8 @@ verify:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	go test ./...
-	go test -race ./internal/store
+	go test -race ./internal/store ./internal/portal
+	$(MAKE) bench-http-smoke
 
 # The full randomized crash-point campaign: injects a fault at EVERY
 # mutating filesystem operation of the reference workload (write, fsync,
@@ -41,7 +42,23 @@ bench-faults:
 # Race-checks every package with dedicated concurrency tests (MVCC
 # snapshot isolation, zero-copy read path, search flush).
 race:
-	go test -race ./internal/store/... ./internal/search/... ./internal/entity/...
+	go test -race ./internal/store/... ./internal/search/... ./internal/entity/... ./internal/portal/...
+
+# The ISUCON-style socket-level benchmark: boots the portal on a real TCP
+# listener, logs in a pool of bench users, and drives a validated mixed
+# read/write workload for DURATION (default 12s), merging req/s and
+# p50/p95/p99 per operation class into BENCH_baseline.json as
+# BenchmarkHTTPSocket entries. See docs/http-bench.md.
+DURATION ?= 12s
+bench-http:
+	go run ./cmd/bfabric-loadbench -duration $(DURATION) \
+		-merge-baseline BENCH_baseline.json
+
+# Short correctness-only pass over the load harness: boots the full
+# server, runs the mixed workload briefly, and fails on any validation
+# error. Part of `make verify`.
+bench-http-smoke:
+	go test ./internal/loadgen -run TestHarnessSmoke -short -count=1
 
 # Re-runs the benchmark suite and diffs it against the committed
 # BENCH_baseline.json without overwriting it.

@@ -1,0 +1,142 @@
+// Command bfabric-loadbench runs the ISUCON-style HTTP load harness: it
+// boots the portal on a real localhost TCP socket, generates the FGCZ
+// population, logs a pool of bench users in, and drives a validated mixed
+// read/write workload for the requested duration, reporting req/s and
+// latency percentiles per operation class.
+//
+// With -merge-baseline the run's results are merged into
+// BENCH_baseline.json as one-line BenchmarkHTTPSocket entries, the same
+// dialect scripts/bench_compare.sh diffs for the in-process benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/portal"
+)
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 10*time.Second, "measured run duration")
+		clients    = flag.Int("clients", 16, "concurrent reader clients")
+		writers    = flag.Int("writers", 4, "concurrent writer clients (0 = read-only run)")
+		scale      = flag.Float64("scale", 0.1, "genload population scale (1.0 = paper's FGCZ deployment)")
+		seed       = flag.Int64("seed", 1, "deterministic population/workload seed")
+		smoke      = flag.Bool("smoke", false, "short correctness-only run (2s, small scale)")
+		jsonOut    = flag.Bool("json", false, "emit the full report as JSON on stdout")
+		mergeBase  = flag.String("merge-baseline", "", "merge results into this BENCH_baseline.json file")
+		reqTimeout = flag.Duration("request-timeout", 0, "portal per-request timeout (0 = portal default)")
+		inflight   = flag.Int("max-in-flight", 0, "portal admission limit (0 = portal default)")
+	)
+	flag.Parse()
+
+	nWriters := *writers
+	if nWriters == 0 {
+		nWriters = -1 // flag 0 = read-only; Config 0 would mean "default"
+	}
+	cfg := loadgen.Config{
+		Scale:    *scale,
+		Clients:  *clients,
+		Writers:  nWriters,
+		Duration: *duration,
+		Seed:     *seed,
+		Portal:   portal.Config{RequestTimeout: *reqTimeout, MaxInFlight: *inflight},
+		Log:      os.Stderr,
+	}
+	if *smoke {
+		cfg.Scale = 0.02
+		cfg.Clients = 6
+		cfg.Writers = 2
+		cfg.Duration = 2 * time.Second
+	}
+
+	report, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "loadbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(report.String())
+	}
+
+	if *mergeBase != "" {
+		if err := mergeBaseline(*mergeBase, report); err != nil {
+			fmt.Fprintln(os.Stderr, "loadbench: merge baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merged BenchmarkHTTPSocket entries into %s\n", *mergeBase)
+	}
+
+	if report.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadbench: %d validation failures\n", report.Errors)
+		os.Exit(1)
+	}
+}
+
+// mergeBaseline splices the run's BenchmarkHTTPSocket entries into the
+// one-object-per-line benchmarks array of a BENCH_baseline.json file,
+// replacing any previous HTTP entries. The merge is line-based on purpose:
+// scripts/bench_compare.sh parses the file with line-oriented awk, so the
+// formatting of untouched entries must survive byte-for-byte.
+func mergeBaseline(path string, report *loadgen.Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+
+	// Drop prior HTTP entries.
+	kept := lines[:0]
+	for _, ln := range lines {
+		if strings.Contains(ln, `"name": "BenchmarkHTTPSocket/`) {
+			continue
+		}
+		kept = append(kept, ln)
+	}
+
+	// Find the end of the benchmarks array and insert before it.
+	closeIdx := -1
+	for i, ln := range kept {
+		if strings.TrimSpace(ln) == "]" || strings.HasPrefix(strings.TrimSpace(ln), "],") {
+			closeIdx = i
+			break
+		}
+	}
+	if closeIdx <= 0 {
+		return fmt.Errorf("%s: benchmarks array close not found", path)
+	}
+	// The entry preceding the insertion point needs a trailing comma.
+	for i := closeIdx - 1; i >= 0; i-- {
+		t := strings.TrimSpace(kept[i])
+		if t == "" {
+			continue
+		}
+		if strings.HasSuffix(t, "}") {
+			kept[i] += ","
+		}
+		break
+	}
+	entries := report.BaselineEntries()
+	for i := range entries[:len(entries)-1] {
+		entries[i] += ","
+	}
+	out := make([]string, 0, len(kept)+len(entries))
+	out = append(out, kept[:closeIdx]...)
+	out = append(out, entries...)
+	out = append(out, kept[closeIdx:]...)
+	return os.WriteFile(path, []byte(strings.Join(out, "\n")), 0o644)
+}

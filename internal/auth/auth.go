@@ -45,6 +45,18 @@ type Service struct {
 type session struct {
 	login   string
 	expires time.Time
+
+	// Cached user resolution, the portal's per-request fast path. The
+	// cache is valid for a reading transaction iff the user table's
+	// commit stamp at that transaction's pinned version is <= userSeq:
+	// any later commit touching the user table (role change,
+	// deactivation, ...) forces revalidation from the reader's own
+	// snapshot. Validity is decided against the pinned version, never
+	// against "now", so the cache can neither serve a user state newer
+	// than the snapshot nor outlive an invalidating commit.
+	user    model.User
+	userSeq uint64
+	userOK  bool
 }
 
 // New creates the auth service.
@@ -119,6 +131,7 @@ func (sv *Service) verify(tx *store.Tx, login, password string) error {
 // are rejected even with correct credentials.
 func (sv *Service) Login(login, password string) (string, error) {
 	var user model.User
+	var userSeq uint64
 	err := sv.db.Store().View(func(tx *store.Tx) error {
 		if err := sv.verify(tx, login, password); err != nil {
 			return err
@@ -131,6 +144,7 @@ func (sv *Service) Login(login, password string) (string, error) {
 			return err
 		}
 		user = u
+		userSeq = tx.TableSeq(model.KindUser)
 		return nil
 	})
 	if err != nil {
@@ -144,7 +158,13 @@ func (sv *Service) Login(login, password string) (string, error) {
 		return "", err
 	}
 	sv.mu.Lock()
-	sv.sessions[token] = session{login: login, expires: nowFunc().Add(SessionTTL)}
+	sv.sessions[token] = session{
+		login:   login,
+		expires: nowFunc().Add(SessionTTL),
+		user:    user,
+		userSeq: userSeq,
+		userOK:  true,
+	}
 	sv.mu.Unlock()
 	return token, nil
 }
@@ -171,6 +191,53 @@ func (sv *Service) SessionLogin(token string) (string, error) {
 	return s.login, nil
 }
 
+// SessionUser resolves a session token to its full user record as of the
+// transaction's pinned snapshot. Repeated calls on a hot session are a
+// map lookup plus a table-stamp comparison — the UserByLogin index walk
+// only runs when a commit has touched the user table since the cached
+// resolution. Inactive users are rejected (and never cached), so a
+// deactivation is enforced by every request whose snapshot includes it.
+func (sv *Service) SessionUser(tx *store.Tx, token string) (model.User, error) {
+	sv.mu.Lock()
+	s, ok := sv.sessions[token]
+	if !ok {
+		sv.mu.Unlock()
+		return model.User{}, ErrNoSession
+	}
+	if nowFunc().After(s.expires) {
+		delete(sv.sessions, token)
+		sv.mu.Unlock()
+		return model.User{}, ErrNoSession
+	}
+	seq := tx.TableSeq(model.KindUser)
+	if s.userOK && seq <= s.userSeq {
+		u := s.user
+		sv.mu.Unlock()
+		return u, nil
+	}
+	sv.mu.Unlock()
+
+	u, err := sv.db.UserByLogin(tx, s.login)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return model.User{}, fmt.Errorf("auth: %s: %w", s.login, ErrNoSession)
+		}
+		return model.User{}, err
+	}
+	if !u.Active {
+		return model.User{}, fmt.Errorf("auth: %s: %w", s.login, ErrInactive)
+	}
+	sv.mu.Lock()
+	// Re-check under the lock and only move the cache forward: a reader
+	// pinned on an older snapshot must not clobber a newer resolution.
+	if s2, ok := sv.sessions[token]; ok && (!s2.userOK || seq >= s2.userSeq) {
+		s2.user, s2.userSeq, s2.userOK = u, seq, true
+		sv.sessions[token] = s2
+	}
+	sv.mu.Unlock()
+	return u, nil
+}
+
 // ActiveSessions returns the number of live sessions (expired ones are
 // swept lazily).
 func (sv *Service) ActiveSessions() int {
@@ -195,6 +262,12 @@ func (sv *Service) HasRole(tx *store.Tx, login, role string) bool {
 	if err != nil {
 		return false
 	}
+	return HasRoleUser(u, role)
+}
+
+// HasRoleUser reports whether an already-resolved user holds the given
+// role. Admins hold every role.
+func HasRoleUser(u model.User, role string) bool {
 	return u.Role == role || u.Role == model.RoleAdmin
 }
 
@@ -206,6 +279,15 @@ func (sv *Service) RequireRole(tx *store.Tx, login, role string) error {
 	return nil
 }
 
+// RequireRoleUser returns ErrForbidden unless the already-resolved user
+// holds the role.
+func RequireRoleUser(u model.User, role string) error {
+	if !HasRoleUser(u, role) {
+		return fmt.Errorf("auth: %s lacks role %s: %w", u.Login, role, ErrForbidden)
+	}
+	return nil
+}
+
 // CanAccessProject reports whether the login may see a project's data:
 // project members and the coach may, experts and admins may see everything.
 func (sv *Service) CanAccessProject(tx *store.Tx, login string, project int64) bool {
@@ -213,6 +295,12 @@ func (sv *Service) CanAccessProject(tx *store.Tx, login string, project int64) b
 	if err != nil {
 		return false
 	}
+	return sv.CanAccessProjectUser(tx, u, project)
+}
+
+// CanAccessProjectUser is CanAccessProject for an already-resolved user,
+// sparing the per-call login index walk on hot paths.
+func (sv *Service) CanAccessProjectUser(tx *store.Tx, u model.User, project int64) bool {
 	if u.Role == model.RoleAdmin || u.Role == model.RoleExpert {
 		return true
 	}
@@ -233,6 +321,14 @@ func (sv *Service) CanAccessProject(tx *store.Tx, login string, project int64) b
 func (sv *Service) RequireProject(tx *store.Tx, login string, project int64) error {
 	if !sv.CanAccessProject(tx, login, project) {
 		return fmt.Errorf("auth: %s cannot access project %d: %w", login, project, ErrForbidden)
+	}
+	return nil
+}
+
+// RequireProjectUser is RequireProject for an already-resolved user.
+func (sv *Service) RequireProjectUser(tx *store.Tx, u model.User, project int64) error {
+	if !sv.CanAccessProjectUser(tx, u, project) {
+		return fmt.Errorf("auth: %s cannot access project %d: %w", u.Login, project, ErrForbidden)
 	}
 	return nil
 }

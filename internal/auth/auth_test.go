@@ -228,3 +228,102 @@ func TestDistinctSaltsPerUser(t *testing.T) {
 		return nil
 	})
 }
+
+func TestSessionUserResolvesAndCaches(t *testing.T) {
+	fx := newFixture(t)
+	token, err := fx.sv.Login("alice", "alice-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		u, err := fx.sv.SessionUser(tx, token)
+		if err != nil || u.Login != "alice" || u.Role != model.RoleScientist {
+			t.Fatalf("SessionUser = %+v, %v", u, err)
+		}
+		return nil
+	})
+
+	// A committed role change invalidates the cached user: the next
+	// resolution on a fresh snapshot sees the new role.
+	var aliceID int64
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		u, _ := fx.db.UserByLogin(tx, "alice")
+		aliceID = u.ID
+		return fx.db.Registry().Update(tx, model.KindUser, u.ID, "test",
+			map[string]any{"role": string(model.RoleExpert)})
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		u, err := fx.sv.SessionUser(tx, token)
+		if err != nil || u.Role != model.RoleExpert {
+			t.Fatalf("after role change: %+v, %v", u, err)
+		}
+		return nil
+	})
+
+	// Deactivation is terminal for the session: ErrInactive on any later
+	// snapshot, and never re-cached.
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		return fx.db.Registry().Update(tx, model.KindUser, aliceID, "test",
+			map[string]any{"active": false})
+	})
+	_ = fx.s.View(func(tx *store.Tx) error {
+		if _, err := fx.sv.SessionUser(tx, token); !errors.Is(err, ErrInactive) {
+			t.Fatalf("deactivated user: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestSessionUserPinnedSnapshot(t *testing.T) {
+	// A read transaction pinned before a deactivating commit must keep
+	// resolving the user as it stood at the pin — the cache's seq check
+	// runs against the transaction's version, never "now".
+	fx := newFixture(t)
+	token, err := fx.sv.Login("alice", "alice-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := fx.s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Rollback()
+
+	_ = fx.s.Update(func(tx *store.Tx) error {
+		u, _ := fx.db.UserByLogin(tx, "alice")
+		return fx.db.Registry().Update(tx, model.KindUser, u.ID, "test",
+			map[string]any{"active": false})
+	})
+
+	if u, err := fx.sv.SessionUser(pinned, token); err != nil || u.Login != "alice" || !u.Active {
+		t.Errorf("pinned snapshot: %+v, %v", u, err)
+	}
+	_ = fx.s.View(func(tx *store.Tx) error {
+		if _, err := fx.sv.SessionUser(tx, token); !errors.Is(err, ErrInactive) {
+			t.Errorf("fresh snapshot: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestSessionUserExpiredToken(t *testing.T) {
+	fx := newFixture(t)
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	old := nowFunc
+	nowFunc = func() time.Time { return base }
+	defer func() { nowFunc = old }()
+	token, err := fx.sv.Login("alice", "alice-secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowFunc = func() time.Time { return base.Add(SessionTTL + time.Minute) }
+	_ = fx.s.View(func(tx *store.Tx) error {
+		if _, err := fx.sv.SessionUser(tx, token); !errors.Is(err, ErrNoSession) {
+			t.Errorf("expired token: %v", err)
+		}
+		if _, err := fx.sv.SessionUser(tx, "no-such-token"); !errors.Is(err, ErrNoSession) {
+			t.Errorf("unknown token: %v", err)
+		}
+		return nil
+	})
+}

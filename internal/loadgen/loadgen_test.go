@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHarnessSmoke runs the full socket-level harness briefly at small
+// scale: boot, login pool, mixed workload with writers, zero validation
+// failures. This is the correctness gate `make bench-http-smoke` wires
+// into `make verify`; the measured run is `make bench-http`.
+func TestHarnessSmoke(t *testing.T) {
+	cfg := Config{
+		Scale:    0.02,
+		Clients:  6,
+		Writers:  2,
+		Duration: 1500 * time.Millisecond,
+		Seed:     42,
+	}
+	if testing.Short() {
+		cfg.Duration = 800 * time.Millisecond
+	}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if report.Total.Requests == 0 {
+		t.Fatal("harness made no requests")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("harness recorded %d validation failures:\n%v", report.Errors, report.Failures)
+	}
+	// The mixed workload must actually exercise reads and writes.
+	for _, op := range []string{opBrowse, opWrite} {
+		if report.Ops[op].Requests == 0 {
+			t.Errorf("op %q saw no requests", op)
+		}
+	}
+	if len(report.BaselineEntries()) == 0 {
+		t.Error("no baseline entries produced")
+	}
+}

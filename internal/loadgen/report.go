@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// recorder accumulates one worker's latency samples. Workers never share a
+// recorder, so no locking is needed on the hot path; drive merges them
+// after the run.
+type recorder struct {
+	samples  map[string][]time.Duration
+	notMod   map[string]int64
+	failures map[string]int64
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		samples:  make(map[string][]time.Duration),
+		notMod:   make(map[string]int64),
+		failures: make(map[string]int64),
+	}
+}
+
+func (r *recorder) observe(op string, d time.Duration, notModified bool) {
+	r.samples[op] = append(r.samples[op], d)
+	if notModified {
+		r.notMod[op]++
+	}
+}
+
+func (r *recorder) fail(op string) { r.failures[op]++ }
+
+// OpStats is the measured outcome of one operation class.
+type OpStats struct {
+	Requests    int64   `json:"requests"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50         float64 `json:"p50_ms"`
+	P95         float64 `json:"p95_ms"`
+	P99         float64 `json:"p99_ms"`
+	NotModified int64   `json:"not_modified,omitempty"`
+	Errors      int64   `json:"errors,omitempty"`
+}
+
+// Report is the result of one harness run.
+type Report struct {
+	Scale    float64            `json:"scale"`
+	Clients  int                `json:"clients"`
+	Writers  int                `json:"writers"`
+	Duration float64            `json:"duration_s"`
+	Total    OpStats            `json:"total"`
+	Ops      map[string]OpStats `json:"ops"`
+	Errors   int64              `json:"errors"`
+	Failures []string           `json:"failures,omitempty"`
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func buildReport(cfg Config, elapsed time.Duration, recs []*recorder, fails *failures) *Report {
+	merged := make(map[string][]time.Duration)
+	notMod := make(map[string]int64)
+	opFails := make(map[string]int64)
+	for _, r := range recs {
+		for op, s := range r.samples {
+			merged[op] = append(merged[op], s...)
+		}
+		for op, n := range r.notMod {
+			notMod[op] += n
+		}
+		for op, n := range r.failures {
+			opFails[op] += n
+		}
+	}
+	rep := &Report{
+		Scale:    cfg.Scale,
+		Clients:  cfg.Clients,
+		Writers:  cfg.Writers,
+		Duration: elapsed.Seconds(),
+		Ops:      make(map[string]OpStats),
+		Errors:   fails.n,
+		Failures: fails.msgs,
+	}
+	var all []time.Duration
+	for op, s := range merged {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		rep.Ops[op] = OpStats{
+			Requests:    int64(len(s)),
+			ReqPerSec:   float64(len(s)) / elapsed.Seconds(),
+			P50:         ms(percentile(s, 0.50)),
+			P95:         ms(percentile(s, 0.95)),
+			P99:         ms(percentile(s, 0.99)),
+			NotModified: notMod[op],
+			Errors:      opFails[op],
+		}
+		all = append(all, s...)
+	}
+	for op, n := range opFails {
+		if _, ok := rep.Ops[op]; !ok {
+			rep.Ops[op] = OpStats{Errors: n}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var totalNotMod int64
+	for _, n := range notMod {
+		totalNotMod += n
+	}
+	rep.Total = OpStats{
+		Requests:    int64(len(all)),
+		ReqPerSec:   float64(len(all)) / elapsed.Seconds(),
+		P50:         ms(percentile(all, 0.50)),
+		P95:         ms(percentile(all, 0.95)),
+		P99:         ms(percentile(all, 0.99)),
+		NotModified: totalNotMod,
+		Errors:      fails.n,
+	}
+	return rep
+}
+
+// String renders the human-readable run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BENCH_http: scale=%.2f clients=%d writers=%d duration=%.1fs\n",
+		r.Scale, r.Clients, r.Writers, r.Duration)
+	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %9s %6s %6s\n",
+		"op", "requests", "req/s", "p50(ms)", "p95(ms)", "p99(ms)", "304s", "errs")
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		s := r.Ops[op]
+		fmt.Fprintf(&b, "%-8s %9d %9.1f %9.2f %9.2f %9.2f %6d %6d\n",
+			op, s.Requests, s.ReqPerSec, s.P50, s.P95, s.P99, s.NotModified, s.Errors)
+	}
+	s := r.Total
+	fmt.Fprintf(&b, "%-8s %9d %9.1f %9.2f %9.2f %9.2f %6d %6d\n",
+		"TOTAL", s.Requests, s.ReqPerSec, s.P50, s.P95, s.P99, s.NotModified, s.Errors)
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(&b, "validation failures (%d total, first %d):\n", r.Errors, len(r.Failures))
+		for _, m := range r.Failures {
+			fmt.Fprintf(&b, "  %s\n", m)
+		}
+	}
+	return b.String()
+}
+
+// BaselineEntries renders the run as one-line benchmark entries in the
+// BENCH_baseline.json dialect (one JSON object per line, "ns/op" carrying
+// the regression-gated number — here the op's p99 in nanoseconds — so
+// scripts/bench_compare.sh can diff HTTP latency exactly like the
+// in-process benchmarks).
+func (r *Report) BaselineEntries() []string {
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var lines []string
+	entry := func(name string, s OpStats) string {
+		return fmt.Sprintf(`    {"package": "repro/internal/loadgen", "name": "BenchmarkHTTPSocket/%s", "iterations": %d, "metrics": {"ns/op": %.0f, "req/s": %.1f, "p50-ms": %.2f, "p95-ms": %.2f, "p99-ms": %.2f, "not-modified": %d, "errors": %d}}`,
+			name, s.Requests, s.P99*1e6, s.ReqPerSec, s.P50, s.P95, s.P99, s.NotModified, s.Errors)
+	}
+	for _, op := range ops {
+		lines = append(lines, entry(op, r.Ops[op]))
+	}
+	lines = append(lines, entry("total", r.Total))
+	return lines
+}

@@ -499,16 +499,7 @@ func (db *DB) CollectStats() Stats {
 	s := db.Store()
 	var st Stats
 	if err := s.View(func(tx *store.Tx) error {
-		st = Stats{
-			Users:         tx.Count(KindUser),
-			Projects:      tx.Count(KindProject),
-			Institutes:    tx.Count(KindInstitute),
-			Organizations: tx.Count(KindOrganization),
-			Samples:       tx.Count(KindSample),
-			Extracts:      tx.Count(KindExtract),
-			DataResources: tx.Count(KindDataResource),
-			Workunits:     tx.Count(KindWorkunit),
-		}
+		st = db.CollectStatsTx(tx)
 		return nil
 	}); err != nil {
 		// A closed store refuses transactions but its final version is
@@ -525,4 +516,20 @@ func (db *DB) CollectStats() Stats {
 		}
 	}
 	return st
+}
+
+// CollectStatsTx counts the main entity populations against the caller's
+// pinned transaction, letting callers tie the table to a snapshot they
+// already hold (the portal's conditional /api/stats does).
+func (db *DB) CollectStatsTx(tx *store.Tx) Stats {
+	return Stats{
+		Users:         tx.Count(KindUser),
+		Projects:      tx.Count(KindProject),
+		Institutes:    tx.Count(KindInstitute),
+		Organizations: tx.Count(KindOrganization),
+		Samples:       tx.Count(KindSample),
+		Extracts:      tx.Count(KindExtract),
+		DataResources: tx.Count(KindDataResource),
+		Workunits:     tx.Count(KindWorkunit),
+	}
 }

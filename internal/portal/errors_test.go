@@ -156,7 +156,9 @@ func TestSampleGetAccessControl(t *testing.T) {
 }
 
 func TestTasksForUnknownSessionUser(t *testing.T) {
-	// A session for a user later removed from the user table yields 404.
+	// A session whose user was later removed from the user table no
+	// longer resolves to an identity: the session-user fast path maps it
+	// to 401, same as any dead session.
 	fx := newFixture(t)
 	var uid int64
 	_ = fx.sys.Update(func(tx *store.Tx) error {
@@ -168,7 +170,7 @@ func TestTasksForUnknownSessionUser(t *testing.T) {
 		return fx.sys.DB.Registry().Delete(tx, model.KindUser, uid, "test")
 	})
 	code := fx.call(t, "outsider", "GET", "/api/tasks", nil, nil)
-	if code != http.StatusNotFound {
+	if code != http.StatusUnauthorized {
 		t.Errorf("deleted user tasks: %d", code)
 	}
 }

@@ -1,0 +1,274 @@
+package portal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// get performs an authenticated GET with optional extra headers and
+// returns the raw response with its body fully read.
+func (fx *fixture) get(t *testing.T, login, path string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", fx.srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login != "" {
+		req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestBrowseETagConditional pins the conditional-request contract on the
+// browse listing: the ETag is the pinned snapshot seq, identical requests
+// on the same version carry the same tag, a matching If-None-Match
+// answers 304 with an empty body, and any committed write advances the
+// seq and yields a fresh 200 + new tag.
+func TestBrowseETagConditional(t *testing.T) {
+	fx := newFixture(t)
+	const path = "/api/browse/sample?limit=10"
+
+	resp1, body1 := fx.get(t, "alice", path, nil)
+	if resp1.StatusCode != http.StatusOK || len(body1) == 0 {
+		t.Fatalf("first browse: %d", resp1.StatusCode)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("browse response without ETag")
+	}
+
+	// Same pinned version: the tag is stable across identical requests.
+	resp2, _ := fx.get(t, "alice", path, nil)
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Errorf("ETag changed without a commit: %q -> %q", etag, got)
+	}
+
+	// A matching validator answers 304 with an empty body.
+	resp3, body3 := fx.get(t, "alice", path, map[string]string{"If-None-Match": etag})
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional browse: %d, want 304", resp3.StatusCode)
+	}
+	if len(body3) != 0 {
+		t.Errorf("304 carried %d body bytes", len(body3))
+	}
+	if got := resp3.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+
+	// Any committed write advances the seq: same request revalidates to a
+	// fresh 200 with a new tag.
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "etag-probe", Project: fx.project},
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("probe write: %d", code)
+	}
+	resp4, body4 := fx.get(t, "alice", path, map[string]string{"If-None-Match": etag})
+	if resp4.StatusCode != http.StatusOK || len(body4) == 0 {
+		t.Fatalf("post-commit conditional browse: %d", resp4.StatusCode)
+	}
+	if got := resp4.Header.Get("ETag"); got == etag || got == "" {
+		t.Errorf("post-commit ETag = %q, want a new tag != %q", got, etag)
+	}
+}
+
+// TestStatsETagConditional is the same contract on /api/stats.
+func TestStatsETagConditional(t *testing.T) {
+	fx := newFixture(t)
+
+	resp1, _ := fx.get(t, "", "/api/stats", nil)
+	etag := resp1.Header.Get("ETag")
+	if resp1.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("stats: %d etag=%q", resp1.StatusCode, etag)
+	}
+	resp2, body2 := fx.get(t, "", "/api/stats", map[string]string{"If-None-Match": etag})
+	if resp2.StatusCode != http.StatusNotModified || len(body2) != 0 {
+		t.Fatalf("conditional stats: %d (%d bytes), want 304 empty", resp2.StatusCode, len(body2))
+	}
+	code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{Name: "stats-probe", Project: fx.project},
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("probe write: %d", code)
+	}
+	resp3, _ := fx.get(t, "", "/api/stats", map[string]string{"If-None-Match": etag})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-commit conditional stats: %d, want 200", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("ETag"); got == etag {
+		t.Errorf("stats ETag did not advance past a commit")
+	}
+}
+
+// TestBearerTokenParsing pins the single bearer-parsing helper's behavior
+// across the malformed-header space: everything but a well-formed Bearer
+// credential with a live token is rejected with the 401 envelope.
+func TestBearerTokenParsing(t *testing.T) {
+	fx := newFixture(t)
+	valid := fx.tokens["alice"]
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"valid", "Bearer " + valid, http.StatusOK},
+		{"case-insensitive scheme", "bearer " + valid, http.StatusOK},
+		{"padded token", "Bearer   " + valid + "  ", http.StatusOK},
+		{"missing header", "", http.StatusUnauthorized},
+		{"empty bearer", "Bearer ", http.StatusUnauthorized},
+		{"scheme only", "Bearer", http.StatusUnauthorized},
+		{"wrong scheme", "Basic " + valid, http.StatusUnauthorized},
+		{"raw token without scheme", valid, http.StatusUnauthorized},
+		{"garbled", "Bearer%%%not-a-token", http.StatusUnauthorized},
+		{"unknown token", "Bearer deadbeefdeadbeefdeadbeef", http.StatusUnauthorized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, _ := http.NewRequest("GET", fx.srv.URL+"/api/tasks", nil)
+			if tc.header != "" {
+				req.Header.Set("Authorization", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("header %q: status %d, want %d", tc.header, resp.StatusCode, tc.want)
+			}
+			if tc.want == http.StatusUnauthorized {
+				var env errEnvelope
+				if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Code != "unauthorized" {
+					t.Errorf("header %q: envelope %+v (err %v)", tc.header, env, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionUserCacheDeactivationRace races authenticated requests
+// against the user's deactivation: requests that begin after the
+// deactivating commit returns must never be served, no matter how hot the
+// session-user cache is. Run under -race this also proves the cache
+// itself is data-race free.
+func TestSessionUserCacheDeactivationRace(t *testing.T) {
+	fx := newFixture(t)
+
+	var aliceID int64
+	_ = fx.sys.View(func(tx *store.Tx) error {
+		u, err := fx.sys.DB.UserByLogin(tx, "alice")
+		aliceID = u.ID
+		return err
+	})
+
+	const workers = 8
+	var deactivated atomic.Bool
+	var served, rejected atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan string, workers)
+	done := make(chan struct{})
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Read the flag BEFORE the request leaves: if the
+				// deactivating commit has returned by then, any snapshot
+				// this request pins includes it.
+				mustReject := deactivated.Load()
+				req, _ := http.NewRequest("GET", fx.srv.URL+"/api/tasks", nil)
+				req.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errCh <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if mustReject {
+						errCh <- "request after deactivation served with 200"
+						return
+					}
+					served.Add(1)
+				case http.StatusForbidden:
+					rejected.Add(1)
+				default:
+					errCh <- fmt.Sprintf("unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		deadline := time.Now().Add(20 * time.Second)
+		for !cond() {
+			select {
+			case msg := <-errCh:
+				close(done)
+				t.Fatal(msg)
+			default:
+			}
+			if time.Now().After(deadline) {
+				close(done)
+				t.Fatalf("timed out waiting for %s (served=%d rejected=%d)",
+					what, served.Load(), rejected.Load())
+			}
+			runtime.Gosched()
+		}
+	}
+
+	// Let the cache get hot, then deactivate mid-flight.
+	waitFor("warm cache", func() bool { return served.Load() >= 50 })
+	err := fx.sys.Update(func(tx *store.Tx) error {
+		return fx.sys.DB.Registry().Update(tx, model.KindUser, aliceID, "test", map[string]any{"active": false})
+	})
+	if err != nil {
+		close(done)
+		t.Fatal(err)
+	}
+	deactivated.Store(true)
+
+	// Observe a batch of definitely-rejected requests, then stop.
+	waitFor("rejections", func() bool { return rejected.Load() >= 20 })
+	close(done)
+	wg.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+	if served.Load() == 0 || rejected.Load() == 0 {
+		t.Fatalf("race did not exercise both phases: served=%d rejected=%d", served.Load(), rejected.Load())
+	}
+}

@@ -6,6 +6,7 @@
 package portal
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -16,6 +17,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/apps"
@@ -170,12 +172,25 @@ func (s *Server) routes() {
 
 // --- plumbing -----------------------------------------------------------------
 
+// bearerToken extracts the session token from a request's Authorization
+// header. The single place bearer parsing happens: the auth middleware,
+// logout and the session-user fast path all agree on what a token is. A
+// missing header, a non-Bearer scheme or a garbled value yield "", which
+// no session ever matches.
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return strings.TrimSpace(h[len(prefix):])
+	}
+	return ""
+}
+
 // auth wraps a handler with session-token authentication. Tokens travel in
 // the Authorization header ("Bearer <token>").
 func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
-		login, err := s.sys.Auth.SessionLogin(token)
+		login, err := s.sys.Auth.SessionLogin(bearerToken(r))
 		if err != nil {
 			writeErr(w, http.StatusUnauthorized, err)
 			return
@@ -187,10 +202,72 @@ func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
 
 func loginOf(r *http.Request) string { return r.Header.Get("X-Login") }
 
+// sessionUser resolves the request's session to its user record as of the
+// transaction's snapshot, via the auth service's seq-validated cache —
+// the hot read path's replacement for a per-request UserByLogin index walk.
+func (s *Server) sessionUser(tx *store.Tx, r *http.Request) (model.User, error) {
+	return s.sys.Auth.SessionUser(tx, bearerToken(r))
+}
+
+// bufPool recycles response-encoding buffers across requests. Every JSON
+// response body is built in a pooled buffer and written to the socket in
+// one call, so the per-request allocation cost amortizes to zero on the
+// hot path and handlers can still swap the status line on late errors.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf keeps pathological responses (a 500-row browse page) from
+// pinning megabytes in the pool forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encoding failed before anything reached the wire; the error
+		// envelope (a struct of strings) cannot itself fail to encode.
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, status, buf)
+}
+
+// writeRaw sends a fully-built JSON body in a single write.
+func writeRaw(w http.ResponseWriter, status int, buf *bytes.Buffer) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// etagFor derives the entity tag of a snapshot-determined response: the
+// pinned MVCC version seq is the validator. Identical requests served from
+// the same store version carry the same tag; any committed write advances
+// the seq and with it the tag.
+func etagFor(seq uint64) string { return `"v` + strconv.FormatUint(seq, 10) + `"` }
+
+// etagMatch reports whether an If-None-Match header matches the tag.
+func etagMatch(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, c := range strings.Split(header, ",") {
+		if strings.TrimSpace(c) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // errEnvelope is the uniform JSON error body. "error" stays a plain
@@ -227,7 +304,9 @@ func codeFor(status int, err error) string {
 		return "conflict"
 	case errors.Is(err, store.ErrNotFound):
 		return "not_found"
-	case errors.Is(err, auth.ErrForbidden):
+	case errors.Is(err, auth.ErrNoSession):
+		return "unauthorized"
+	case errors.Is(err, auth.ErrForbidden), errors.Is(err, auth.ErrInactive):
 		return "forbidden"
 	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique):
 		return "duplicate"
@@ -255,7 +334,9 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, auth.ErrForbidden):
+	case errors.Is(err, auth.ErrNoSession):
+		return http.StatusUnauthorized
+	case errors.Is(err, auth.ErrForbidden), errors.Is(err, auth.ErrInactive):
 		return http.StatusForbidden
 	case errors.Is(err, vocab.ErrDuplicate), errors.Is(err, store.ErrUnique),
 		errors.Is(err, store.ErrConflict), errors.Is(err, tasks.ErrTaskClosed):
@@ -293,8 +374,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
-	token := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
-	s.sys.Auth.Logout(token)
+	s.sys.Auth.Logout(bearerToken(r))
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -320,8 +400,36 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	_ = dashboardTmpl.Execute(w, s.sys.DB.CollectStats())
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.DB.CollectStats())
+// handleStats serves the deployment statistics table conditionally: the
+// response is fully determined by the pinned store version, so its seq is
+// the entity tag and a matching If-None-Match answers 304 before any
+// counting work runs.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	inm := r.Header.Get("If-None-Match")
+	var st model.Stats
+	notModified := false
+	var etag string
+	err := s.sys.View(func(tx *store.Tx) error {
+		etag = etagFor(tx.Snapshot())
+		if inm != "" && etagMatch(inm, etag) {
+			notModified = true
+			return nil
+		}
+		st = s.sys.DB.CollectStatsTx(tx)
+		return nil
+	})
+	if err != nil {
+		// A closed store refuses transactions; fall back to the
+		// unconditional collection path, which reads the final version.
+		writeJSON(w, http.StatusOK, s.sys.DB.CollectStats())
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if notModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // --- health probes ---------------------------------------------------------------
@@ -353,7 +461,7 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	login := loginOf(r)
 	var out any
 	err := s.sys.View(func(tx *store.Tx) error {
-		u, err := s.sys.DB.UserByLogin(tx, login)
+		u, err := s.sessionUser(tx, r)
 		if err != nil {
 			return err
 		}
@@ -384,7 +492,7 @@ func (s *Server) handleCompleteTask(w http.ResponseWriter, r *http.Request) {
 	}
 	login := loginOf(r)
 	err = s.sys.View(func(tx *store.Tx) error {
-		u, err := s.sys.DB.UserByLogin(tx, login)
+		u, err := s.sessionUser(tx, r)
 		if err != nil {
 			return err
 		}
@@ -438,7 +546,11 @@ func (s *Server) handleCreateSample(w http.ResponseWriter, r *http.Request) {
 	login := loginOf(r)
 	var ids []int64
 	err := s.sys.Update(func(tx *store.Tx) error {
-		if err := s.sys.Auth.RequireProject(tx, login, req.Sample.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProjectUser(tx, u, req.Sample.Project); err != nil {
 			return err
 		}
 		if err := s.checkVocab(tx, map[string]string{
@@ -478,7 +590,11 @@ func (s *Server) handleGetSample(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Auth.RequireProject(tx, loginOf(r), sm.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProjectUser(tx, u, sm.Project); err != nil {
 			return err
 		}
 		sample = sm
@@ -538,7 +654,11 @@ func (s *Server) handleCreateExtract(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Auth.RequireProject(tx, login, sm.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProjectUser(tx, u, sm.Project); err != nil {
 			return err
 		}
 		if err := s.checkVocab(tx, map[string]string{
@@ -690,11 +810,11 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	}
 	var res importer.Result
 	err := s.sys.Update(func(tx *store.Tx) error {
-		if err := s.sys.Auth.RequireProject(tx, login, req.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
 			return err
 		}
-		u, err := s.sys.DB.UserByLogin(tx, login)
-		if err != nil {
+		if err := s.sys.Auth.RequireProjectUser(tx, u, req.Project); err != nil {
 			return err
 		}
 		res, err = s.sys.Importer.Import(tx, importer.Request{
@@ -827,11 +947,11 @@ func (s *Server) handleRunExperiment(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Auth.RequireProject(tx, login, exp.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
 			return err
 		}
-		u, err := s.sys.DB.UserByLogin(tx, login)
-		if err != nil {
+		if err := s.sys.Auth.RequireProjectUser(tx, u, exp.Project); err != nil {
 			return err
 		}
 		res, err = s.sys.Executor.RunExperiment(tx, apps.RunRequest{
@@ -865,7 +985,11 @@ func (s *Server) handleGetWorkunit(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Auth.RequireProject(tx, loginOf(r), wu.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProjectUser(tx, u, wu.Project); err != nil {
 			return err
 		}
 		rs, err := s.sys.DB.ResourcesOfWorkunit(tx, id)
@@ -898,7 +1022,11 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		if err := s.sys.Auth.RequireProject(tx, loginOf(r), wu.Project); err != nil {
+		u, err := s.sessionUser(tx, r)
+		if err != nil {
+			return err
+		}
+		if err := s.sys.Auth.RequireProjectUser(tx, u, wu.Project); err != nil {
 			return err
 		}
 		res = dr
@@ -1076,18 +1204,32 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 	if from > 0 {
 		q.Cursor = from - 1 // from is the first id to include; Cursor is exclusive
 	}
-	login := loginOf(r)
-	var out struct {
-		Items []store.Record `json:"items"`
-		Next  int64          `json:"next"` // 0: no further pages
-		AsOf  uint64         `json:"asOf"` // store version the page was read from
-		Plan  string         `json:"plan,omitempty"`
-	}
-	out.Items = []store.Record{}
 	explain := r.URL.Query().Get("explain") == "1"
+	inm := r.Header.Get("If-None-Match")
+
+	// The page body streams into a pooled buffer as rows are scanned —
+	// no intermediate []store.Record — and reaches the socket in one
+	// write, so a mid-scan error can still become a clean error envelope.
+	buf := getBuf()
+	defer putBuf(buf)
+	enc := json.NewEncoder(buf)
+	var next int64
+	var asOf uint64
+	var plan string
+	items := 0
+	notModified := false
 	err = s.sys.View(func(tx *store.Tx) error {
-		out.AsOf = tx.Snapshot()
-		u, err := s.sys.DB.UserByLogin(tx, login)
+		asOf = tx.Snapshot()
+		// Conditional fast path: the page is fully determined by the
+		// pinned version, so a matching validator answers before the user
+		// resolution and the query run. The auth middleware has already
+		// vetted the session, and any commit that deactivated the caller
+		// also advanced the seq past every tag handed out before it.
+		if inm != "" && etagMatch(inm, etagFor(asOf)) {
+			notModified = true
+			return nil
+		}
+		u, err := s.sessionUser(tx, r)
 		if err != nil {
 			return err
 		}
@@ -1096,8 +1238,9 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		if explain {
-			out.Plan = rows.Plan().String()
+			plan = rows.Plan().String()
 		}
+		buf.WriteString(`{"items":[`)
 		seeAll := u.Role == model.RoleAdmin || u.Role == model.RoleExpert
 		allowed := map[int64]bool{}
 		// Cap the rows examined per page so a heavily-restricted listing
@@ -1119,8 +1262,8 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			rec := rows.Record()
-			if len(out.Items) == limit || scanned == scanBudget {
-				out.Next = rec.ID()
+			if items == limit || scanned == scanBudget {
+				next = rec.ID()
 				return nil
 			}
 			scanned++
@@ -1131,7 +1274,7 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 				case project > 0:
 					ok, cached := allowed[project]
 					if !cached {
-						ok = s.sys.Auth.CanAccessProject(tx, login, project)
+						ok = s.sys.Auth.CanAccessProjectUser(tx, u, project)
 						allowed[project] = ok
 					}
 					if !ok {
@@ -1139,7 +1282,14 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
-			out.Items = append(out.Items, rec)
+			if items > 0 {
+				buf.WriteByte(',')
+			}
+			// Encode's trailing newline is insignificant JSON whitespace.
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			items++
 		}
 		return rows.Err()
 	})
@@ -1147,7 +1297,20 @@ func (s *Server) handleBrowseList(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	etag := etagFor(asOf)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "private")
+	if notModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	fmt.Fprintf(buf, `],"next":%d,"asOf":%d`, next, asOf)
+	if plan != "" {
+		buf.WriteString(`,"plan":`)
+		_ = enc.Encode(plan)
+	}
+	buf.WriteByte('}')
+	writeRaw(w, http.StatusOK, buf)
 }
 
 func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,562 @@
+package portal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// routeProbe drives one registered route pattern: a failure request whose
+// response must carry the JSON error envelope, and (run later, in order)
+// a success request. Keep the table in sync with (*Server).routes.
+type routeProbe struct {
+	pattern string // the mux pattern, for the report
+	// failure case
+	failLogin  string // "" = unauthenticated
+	failMethod string
+	failPath   string
+	failBody   any
+	failStatus int
+	failCode   string // expected envelope code
+	// success case; nil run = covered by a dedicated flow elsewhere in
+	// this test (noted in pattern order below).
+	run func(t *testing.T, fx *fixture, st *routeState)
+}
+
+// routeState threads ids created by earlier routes into later ones.
+type routeState struct {
+	sample int64
+	termID int64
+	imp    struct {
+		Workunit         int64
+		Resources        []int64
+		WorkflowInstance int64
+	}
+	appID int64
+	expID int64
+	run   struct {
+		Workunit         int64
+		WorkflowInstance int64
+		Resources        []int64
+		Failed           bool
+	}
+	taskID    int64
+	exportZip []byte
+}
+
+// TestEveryRouteOnceOverHTTP walks every route the portal registers with
+// one authenticated success and one failure, asserting the failure comes
+// back as the uniform JSON error envelope. The probes run in table order:
+// later routes consume objects earlier ones created.
+func TestEveryRouteOnceOverHTTP(t *testing.T) {
+	fx := newFixture(t)
+	st := &routeState{}
+
+	expectEnvelope := func(t *testing.T, login, method, path string, body any, wantStatus int, wantCode string) {
+		t.Helper()
+		var env errEnvelope
+		code := fx.call(t, login, method, path, body, &env)
+		if code != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, code, wantStatus)
+		}
+		if env.Code != wantCode || env.Error == "" || env.Status != wantStatus {
+			t.Errorf("%s %s: envelope %+v, want code %q", method, path, env, wantCode)
+		}
+	}
+
+	probes := []routeProbe{
+		{
+			pattern:    "POST /api/login",
+			failMethod: "POST", failPath: "/api/login",
+			failBody:   map[string]string{"Login": "alice", "Password": "nope"},
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				if tok := fx.login(t, "alice", "alice-pw"); tok == "" {
+					t.Fatal("empty token")
+				}
+			},
+		},
+		{
+			pattern:    "POST /api/logout",
+			failMethod: "POST", failPath: "/api/logout",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				tok := fx.login(t, "outsider", "outsider-pw")
+				req, _ := http.NewRequest("POST", fx.srv.URL+"/api/logout", bytes.NewReader(nil))
+				req.Header.Set("Authorization", "Bearer "+tok)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("logout: %d", resp.StatusCode)
+				}
+			},
+		},
+		{
+			// /api/stats is deliberately unauthenticated; its failure mode
+			// is a degraded store, exercised in the fault-injection tests.
+			pattern: "GET /api/stats",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var s model.Stats
+				if code := fx.call(t, "", "GET", "/api/stats", nil, &s); code != http.StatusOK || s.Users == 0 {
+					t.Fatalf("stats: %d %+v", code, s)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/samples",
+			failLogin: "outsider", failMethod: "POST", failPath: "/api/samples",
+			failBody:   map[string]any{"Sample": model.Sample{Name: "x", Project: 1}},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var created struct{ IDs []int64 }
+				code := fx.call(t, "alice", "POST", "/api/samples", map[string]any{
+					"Sample": model.Sample{
+						Name: "coverage", Project: fx.project,
+						Species: "Arabidopsis thaliana", Treatment: "Light",
+					},
+				}, &created)
+				if code != http.StatusCreated || len(created.IDs) != 1 {
+					t.Fatalf("create sample: %d %v", code, created.IDs)
+				}
+				st.sample = created.IDs[0]
+			},
+		},
+		{
+			pattern:   "GET /api/samples/{id}",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/samples/999999",
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var sm model.Sample
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/samples/%d", st.sample), nil, &sm)
+				if code != http.StatusOK || sm.ID != st.sample {
+					t.Fatalf("get sample: %d %+v", code, sm)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/samples/{id}/clone",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/samples/999999/clone",
+			failBody:   map[string]string{"Name": "c"},
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var clone struct{ ID int64 }
+				code := fx.call(t, "alice", "POST", fmt.Sprintf("/api/samples/%d/clone", st.sample),
+					map[string]string{"Name": "coverage-clone"}, &clone)
+				if code != http.StatusCreated || clone.ID == 0 {
+					t.Fatalf("clone: %d %+v", code, clone)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/extracts",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/extracts",
+			failBody:   map[string]any{"Extract": model.Extract{Name: "x", Sample: 999999}},
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var created struct{ IDs []int64 }
+				code := fx.call(t, "alice", "POST", "/api/extracts", map[string]any{
+					"Extract": model.Extract{Name: "coverage-ex", Sample: st.sample},
+				}, &created)
+				if code != http.StatusCreated || len(created.IDs) != 1 {
+					t.Fatalf("create extract: %d %v", code, created.IDs)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/annotations",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/annotations",
+			failBody:   map[string]string{"Vocabulary": model.VocabTreatment, "Value": "Light"},
+			failStatus: http.StatusConflict, failCode: "duplicate",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var created struct{ Term struct{ ID int64 } }
+				code := fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+					"Vocabulary": model.VocabTreatment, "Value": "Darkness",
+				}, &created)
+				if code != http.StatusCreated || created.Term.ID == 0 {
+					t.Fatalf("create annotation: %d %+v", code, created)
+				}
+				st.termID = created.Term.ID
+			},
+		},
+		{
+			pattern:    "GET /api/annotations",
+			failMethod: "GET", failPath: "/api/annotations",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var terms []map[string]any
+				code := fx.call(t, "alice", "GET", "/api/annotations?vocabulary="+model.VocabTreatment, nil, &terms)
+				if code != http.StatusOK || len(terms) == 0 {
+					t.Fatalf("list annotations: %d %v", code, terms)
+				}
+			},
+		},
+		{
+			pattern:    "GET /api/tasks",
+			failMethod: "GET", failPath: "/api/tasks",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				// The pending term created above queued a review task.
+				var tasks []struct{ ID int64 }
+				code := fx.call(t, "eva", "GET", "/api/tasks", nil, &tasks)
+				if code != http.StatusOK || len(tasks) == 0 {
+					t.Fatalf("tasks: %d %v", code, tasks)
+				}
+				st.taskID = tasks[0].ID
+			},
+		},
+		{
+			pattern:   "POST /api/tasks/{id}/complete",
+			failLogin: "eva", failMethod: "POST", failPath: "/api/tasks/abc/complete",
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "eva", "POST", fmt.Sprintf("/api/tasks/%d/complete", st.taskID), map[string]string{}, nil)
+				if code != http.StatusOK {
+					t.Fatalf("complete task: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/annotations/{id}/release",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/annotations/1/release",
+			failBody:   map[string]string{},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "eva", "POST", fmt.Sprintf("/api/annotations/%d/release", st.termID), map[string]string{}, nil)
+				if code != http.StatusOK {
+					t.Fatalf("release: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/annotations/merge",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/annotations/merge",
+			failBody:   map[string]any{"Keep": 1, "Drop": 2},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var a, b struct{ Term struct{ ID int64 } }
+				fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+					"Vocabulary": model.VocabTissue, "Value": "Stem",
+				}, &a)
+				fx.call(t, "alice", "POST", "/api/annotations", map[string]string{
+					"Vocabulary": model.VocabTissue, "Value": "Stemm",
+				}, &b)
+				code := fx.call(t, "eva", "POST", "/api/annotations/merge", map[string]any{
+					"Keep": a.Term.ID, "Drop": b.Term.ID,
+				}, nil)
+				if code != http.StatusOK {
+					t.Fatalf("merge: %d", code)
+				}
+			},
+		},
+		{
+			pattern:    "GET /api/annotations/recommendations",
+			failMethod: "GET", failPath: "/api/annotations/recommendations",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				if code := fx.call(t, "eva", "GET", "/api/annotations/recommendations", nil, nil); code != http.StatusOK {
+					t.Fatalf("recommendations: %d", code)
+				}
+			},
+		},
+		{
+			pattern:    "GET /api/providers",
+			failMethod: "GET", failPath: "/api/providers",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var ps []string
+				if code := fx.call(t, "alice", "GET", "/api/providers", nil, &ps); code != http.StatusOK || len(ps) != 1 {
+					t.Fatalf("providers: %d %v", code, ps)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/import",
+			failLogin: "outsider", failMethod: "POST", failPath: "/api/import",
+			failBody:   map[string]any{"Provider": "genechip", "WorkunitName": "w", "Project": 1},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "POST", "/api/import", map[string]any{
+					"Provider": "genechip", "WorkunitName": "arrays", "Project": fx.project,
+				}, &st.imp)
+				if code != http.StatusCreated || len(st.imp.Resources) != 2 {
+					t.Fatalf("import: %d %+v", code, st.imp)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/import/{workunit}/matches",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/import/999999/matches",
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				_ = fx.sys.Update(func(tx *store.Tx) error {
+					_, _ = fx.sys.DB.CreateExtract(tx, "alice", model.Extract{Name: "AT-1-control", Sample: st.sample})
+					_, _ = fx.sys.DB.CreateExtract(tx, "alice", model.Extract{Name: "AT-1-treated", Sample: st.sample})
+					return nil
+				})
+				var matches []map[string]any
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/import/%d/matches?apply=1", st.imp.Workunit), nil, &matches)
+				if code != http.StatusOK || len(matches) != 2 {
+					t.Fatalf("matches: %d %v", code, matches)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/import/{instance}/complete",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/import/999999/complete",
+			failBody:   map[string]string{},
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "POST", fmt.Sprintf("/api/import/%d/complete", st.imp.WorkflowInstance), map[string]string{}, nil)
+				if code != http.StatusOK {
+					t.Fatalf("complete import: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/applications",
+			failLogin: "root", failMethod: "POST", failPath: "/api/applications",
+			failBody:   model.Application{Name: "bad", Connector: "galaxy", Program: "x", Active: true},
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var app struct{ ID int64 }
+				code := fx.call(t, "root", "POST", "/api/applications", model.Application{
+					Name: "two group analysis", Connector: "rserve", Program: "twogroup.R", Active: true,
+				}, &app)
+				if code != http.StatusCreated || app.ID == 0 {
+					t.Fatalf("register app: %d", code)
+				}
+				st.appID = app.ID
+			},
+		},
+		{
+			pattern:   "POST /api/experiments",
+			failLogin: "outsider", failMethod: "POST", failPath: "/api/experiments",
+			failBody:   model.Experiment{Name: "x", Project: 1},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var exp struct{ ID int64 }
+				code := fx.call(t, "alice", "POST", "/api/experiments", model.Experiment{
+					Name: "coverage-exp", Project: fx.project, Resources: st.imp.Resources,
+				}, &exp)
+				if code != http.StatusCreated || exp.ID == 0 {
+					t.Fatalf("create experiment: %d", code)
+				}
+				st.expID = exp.ID
+			},
+		},
+		{
+			pattern:   "POST /api/experiments/{id}/run",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/experiments/999999/run",
+			failBody:   map[string]any{"Application": 1, "WorkunitName": "r"},
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "POST", fmt.Sprintf("/api/experiments/%d/run", st.expID), map[string]any{
+					"Application": st.appID, "WorkunitName": "results",
+					"Params": map[string]string{"reference_group": "control"},
+				}, &st.run)
+				if code != http.StatusOK || st.run.Failed {
+					t.Fatalf("run experiment: %d %+v", code, st.run)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/workunits/{id}",
+			failLogin: "outsider", failMethod: "GET", failPath: "", // set below after import
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var wu struct{ Workunit model.Workunit }
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/workunits/%d", st.run.Workunit), nil, &wu)
+				if code != http.StatusOK || wu.Workunit.State != model.WorkunitReady {
+					t.Fatalf("workunit: %d %+v", code, wu.Workunit)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/resources/{id}/download",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/resources/999999/download",
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/resources/%d/download", st.run.Resources[0]), nil, nil)
+				if code != http.StatusOK {
+					t.Fatalf("download: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/browse/{kind}",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/browse/nonsense",
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var page struct {
+					Items []map[string]any `json:"items"`
+					AsOf  uint64           `json:"asOf"`
+				}
+				code := fx.call(t, "alice", "GET", "/api/browse/sample?limit=10", nil, &page)
+				if code != http.StatusOK || len(page.Items) == 0 || page.AsOf == 0 {
+					t.Fatalf("browse list: %d %+v", code, page)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/browse/{kind}/{id}",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/browse/sample/abc",
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/browse/sample/%d", st.sample), nil, nil)
+				if code != http.StatusOK {
+					t.Fatalf("browse neighbors: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/workflows/{id}/dot",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/workflows/999999/dot",
+			failStatus: http.StatusNotFound, failCode: "not_found",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "GET", fmt.Sprintf("/api/workflows/%d/dot", st.run.WorkflowInstance), nil, nil)
+				if code != http.StatusOK {
+					t.Fatalf("workflow dot: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/search",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/search?q=",
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var hits []map[string]any
+				code := fx.call(t, "alice", "GET", "/api/search?q=coverage", nil, &hits)
+				if code != http.StatusOK || len(hits) == 0 {
+					t.Fatalf("search: %d %v", code, hits)
+				}
+			},
+		},
+		{
+			pattern:    "GET /api/search/history",
+			failMethod: "GET", failPath: "/api/search/history",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var hist []string
+				code := fx.call(t, "alice", "GET", "/api/search/history", nil, &hist)
+				if code != http.StatusOK || len(hist) == 0 {
+					t.Fatalf("history: %d %v", code, hist)
+				}
+			},
+		},
+		{
+			pattern:   "POST /api/search/save",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/search/save",
+			failBody:   "not json",
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "POST", "/api/search/save",
+					map[string]string{"Name": "mine", "Query": "coverage"}, nil)
+				if code != http.StatusCreated {
+					t.Fatalf("save query: %d", code)
+				}
+			},
+		},
+		{
+			pattern:    "GET /api/search/saved",
+			failMethod: "GET", failPath: "/api/search/saved",
+			failStatus: http.StatusUnauthorized, failCode: "unauthorized",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var saved []map[string]any
+				code := fx.call(t, "alice", "GET", "/api/search/saved", nil, &saved)
+				if code != http.StatusOK || len(saved) == 0 {
+					t.Fatalf("saved queries: %d %v", code, saved)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/search/export",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/search/export?q=",
+			failStatus: http.StatusBadRequest, failCode: "bad_request",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				code := fx.call(t, "alice", "GET", "/api/search/export?q=coverage", nil, nil)
+				if code != http.StatusOK {
+					t.Fatalf("search export: %d", code)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/audit/recent",
+			failLogin: "alice", failMethod: "GET", failPath: "/api/audit/recent",
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				var es []map[string]any
+				code := fx.call(t, "root", "GET", "/api/audit/recent?n=5", nil, &es)
+				if code != http.StatusOK || len(es) == 0 {
+					t.Fatalf("audit: %d %v", code, es)
+				}
+			},
+		},
+		{
+			pattern:   "GET /api/projects/{id}/export",
+			failLogin: "outsider", failMethod: "GET", failPath: "", // set below
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				req, _ := http.NewRequest("GET", fx.srv.URL+fmt.Sprintf("/api/projects/%d/export", fx.project), nil)
+				req.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				data, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK || len(data) == 0 {
+					t.Fatalf("export project: %d (%d bytes)", resp.StatusCode, len(data))
+				}
+				st.exportZip = data
+			},
+		},
+		{
+			pattern:   "POST /api/projects/import",
+			failLogin: "alice", failMethod: "POST", failPath: "/api/projects/import",
+			failBody:   map[string]string{},
+			failStatus: http.StatusForbidden, failCode: "forbidden",
+			run: func(t *testing.T, fx *fixture, st *routeState) {
+				req, _ := http.NewRequest("POST", fx.srv.URL+"/api/projects/import", bytes.NewReader(st.exportZip))
+				req.Header.Set("Authorization", "Bearer "+fx.tokens["root"])
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Fatalf("import project: %d", resp.StatusCode)
+				}
+			},
+		},
+	}
+
+	// Dynamic failure paths that need ids from the fixture.
+	for i := range probes {
+		switch probes[i].pattern {
+		case "GET /api/workunits/{id}":
+			probes[i].failPath = "/api/workunits/1" // created by POST /api/import below; ordered after it
+		case "GET /api/projects/{id}/export":
+			probes[i].failPath = fmt.Sprintf("/api/projects/%d/export", fx.project)
+		}
+	}
+
+	for _, p := range probes {
+		p := p
+		t.Run(p.pattern, func(t *testing.T) {
+			if p.run != nil {
+				p.run(t, fx, st)
+			}
+			if p.failMethod != "" {
+				expectEnvelope(t, p.failLogin, p.failMethod, p.failPath, p.failBody, p.failStatus, p.failCode)
+			}
+		})
+	}
+}

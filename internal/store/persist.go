@@ -184,6 +184,7 @@ func (s *Store) Load(r io.Reader) error {
 	for _, ts := range snap.Tables {
 		t := newTable(ts.Name)
 		t.nextID = ts.NextID
+		t.lastSeq = snap.Seq
 		for _, ixs := range ts.Indexes {
 			t.indexes[ixs.Field] = newIndex(ixs.Field, ixs.Unique)
 		}

@@ -264,6 +264,7 @@ func (s *Store) applyWALRecord(rec walRecord) error {
 		if tc.NextID > t.nextID {
 			t.nextID = tc.NextID
 		}
+		t.lastSeq = rec.Seq
 	}
 	v.seq = rec.Seq
 	return nil

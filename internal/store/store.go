@@ -168,7 +168,9 @@ func (s *Store) CreateTable(name string) error {
 		return fmt.Errorf("store: table %q already exists: %w", name, ErrExists)
 	}
 	nv := v.withTables()
-	nv.tables[name] = newTable(name)
+	nt := newTable(name)
+	nt.lastSeq = v.seq
+	nv.tables[name] = nt
 	s.current.Store(nv)
 	return nil
 }
@@ -187,7 +189,9 @@ func (s *Store) EnsureTable(name string) {
 		return
 	}
 	nv := v.withTables()
-	nv.tables[name] = newTable(name)
+	nt := newTable(name)
+	nt.lastSeq = v.seq
+	nv.tables[name] = nt
 	s.current.Store(nv)
 }
 
@@ -250,6 +254,19 @@ func (s *Store) CreateIndex(tableName, field string, unique bool) error {
 // CommitSeq returns the number of transactions committed so far.
 func (s *Store) CommitSeq() uint64 {
 	return s.current.Load().seq
+}
+
+// TableSeq returns the commit sequence of the last committed transaction
+// that modified the named table, as of the latest published version, or 0
+// for an unknown table. Lock-free (one atomic load plus a map read on an
+// immutable version), so callers may consult it per request: a cached
+// derivation of table T taken at sequence S is still current as long as
+// TableSeq(T) <= S, however many commits other tables have seen since.
+func (s *Store) TableSeq(name string) uint64 {
+	if t, ok := s.current.Load().tables[name]; ok {
+		return t.lastSeq
+	}
+	return 0
 }
 
 // Close marks the store closed and, on durable stores, stops the

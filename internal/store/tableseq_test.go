@@ -1,0 +1,120 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTableSeqTracksTouchedTablesOnly pins the contract behind the
+// portal's session-user cache and conditional responses: a commit bumps
+// the stamp of exactly the tables it touches, and untouched tables carry
+// their old stamp forward.
+func TestTableSeqTracksTouchedTablesOnly(t *testing.T) {
+	s := New()
+	if err := s.CreateTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TableSeq("a"); got != 0 {
+		t.Fatalf("fresh table seq = %d, want 0", got)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("a", Record{"v": int64(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seqA := s.CommitSeq()
+	if got := s.TableSeq("a"); got != seqA {
+		t.Errorf("TableSeq(a) = %d, want %d", got, seqA)
+	}
+	if got := s.TableSeq("b"); got != 0 {
+		t.Errorf("TableSeq(b) = %d, want 0 (untouched)", got)
+	}
+	// Commits against b leave a's stamp alone.
+	for i := 0; i < 3; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			_, err := tx.Insert("b", Record{"v": int64(i)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.TableSeq("a"); got != seqA {
+		t.Errorf("TableSeq(a) after b-only commits = %d, want %d", got, seqA)
+	}
+	if got := s.TableSeq("b"); got != s.CommitSeq() {
+		t.Errorf("TableSeq(b) = %d, want %d", got, s.CommitSeq())
+	}
+	if got := s.TableSeq("missing"); got != 0 {
+		t.Errorf("TableSeq(missing) = %d, want 0", got)
+	}
+
+	// The pinned-version view agrees and is stable under later commits.
+	tx, err := s.Begin(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedB := tx.TableSeq("b")
+	if pinnedB != s.CommitSeq() {
+		t.Errorf("pinned TableSeq(b) = %d, want %d", pinnedB, s.CommitSeq())
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("b", Record{"v": int64(99)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.TableSeq("b"); got != pinnedB {
+		t.Errorf("pinned TableSeq(b) moved to %d after concurrent commit", got)
+	}
+	tx.Rollback()
+
+	// A delete touches the table too.
+	seqB := s.TableSeq("b")
+	if err := s.Update(func(tx *Tx) error {
+		return tx.Delete("b", 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TableSeq("b"); got <= seqB {
+		t.Errorf("TableSeq(b) after delete = %d, want > %d", got, seqB)
+	}
+}
+
+// TestTableSeqSurvivesRecovery proves the stamps stay conservative (never
+// too low) across snapshot load and WAL replay: after reopening, a
+// touched table's stamp is at least the seq of its last mutation.
+func TestTableSeqSurvivesRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	s, err := Open(dir, DurabilityOptions{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("a", Record{"v": int64(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.TableSeq("a")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, DurabilityOptions{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.TableSeq("a"); got < want {
+		t.Errorf("recovered TableSeq(a) = %d, want >= %d", got, want)
+	}
+	if got := s2.TableSeq("a"); got > s2.CommitSeq() {
+		t.Errorf("recovered TableSeq(a) = %d beyond CommitSeq %d", got, s2.CommitSeq())
+	}
+}

@@ -198,6 +198,18 @@ func (o *txTable) checkUnique(t *table, rec Record, id int64) error {
 // below it and none above it.
 func (tx *Tx) Snapshot() uint64 { return tx.ver.seq }
 
+// TableSeq returns the commit sequence of the last commit at or below this
+// transaction's snapshot that modified the named table, or 0 for an
+// unknown table. Pending writes of this transaction are not reflected.
+// A value derived from the table at sequence S needs no refresh inside
+// this transaction while TableSeq(name) <= S.
+func (tx *Tx) TableSeq(name string) uint64 {
+	if t, ok := tx.ver.tables[name]; ok {
+		return t.lastSeq
+	}
+	return 0
+}
+
 // Rollback discards the transaction. For read-only transactions it simply
 // unpins the snapshot. It is idempotent, and safe to defer alongside an
 // explicit Commit.

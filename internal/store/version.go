@@ -71,6 +71,14 @@ type table struct {
 	count   int // live records
 	chunks  []*chunk
 	indexes map[string]*index
+	// lastSeq is the commit sequence of the last commit that modified this
+	// table (records or serial high-water mark). Untouched tables carry
+	// their stamp forward unchanged across commits, so a reader pinned to
+	// version V knows "nothing in table T changed since seq S" from one
+	// field read — the validity check behind the portal's session-user
+	// cache and conditional (ETag) responses. After recovery or snapshot
+	// load the stamp is conservatively the restored sequence.
+	lastSeq uint64
 }
 
 func newTable(name string) *table {
@@ -155,7 +163,7 @@ func (t *table) del(id int64, seq uint64) {
 // structures themselves stay shared with the original until a cowTable /
 // cowIndex detaches the ones a commit touches.
 func (t *table) clone() *table {
-	nt := &table{name: t.name, nextID: t.nextID, count: t.count}
+	nt := &table{name: t.name, nextID: t.nextID, count: t.count, lastSeq: t.lastSeq}
 	nt.chunks = append([]*chunk(nil), t.chunks...)
 	nt.indexes = make(map[string]*index, len(t.indexes))
 	for f, ix := range t.indexes {
@@ -439,11 +447,13 @@ func applyOverlay(base *version, pending map[string]*txTable) (*version, error) 
 				// only the serial high-water mark moves.
 				nt := bt.clone()
 				nt.nextID = o.nextID
+				nt.lastSeq = nv.seq
 				nv.tables[name] = nt
 			}
 			continue
 		}
 		ct := newCowTable(bt)
+		ct.t.lastSeq = nv.seq
 
 		delIDs := make([]int64, 0, len(o.deletes))
 		for id := range o.deletes {

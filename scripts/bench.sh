@@ -13,7 +13,15 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-0.2s}"
 OUT="${OUT:-BENCH_baseline.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+HTTP="$(mktemp)"
+trap 'rm -f "$RAW" "$HTTP"' EXIT
+
+# The socket-level BenchmarkHTTPSocket entries come from `make bench-http`
+# (cmd/bfabric-loadbench), not from `go test -bench`; carry them over so a
+# baseline refresh does not silently drop them.
+if [ -f "$OUT" ]; then
+    grep '"name": "BenchmarkHTTPSocket/' "$OUT" | sed 's/,[[:space:]]*$//' > "$HTTP" || true
+fi
 
 go test -bench=. -benchmem -run='^$' -benchtime="$BENCHTIME" -timeout 60m ./... | tee "$RAW"
 
@@ -44,5 +52,24 @@ END {
     printf "  ]\n"
     printf "}\n"
 }' "$RAW" > "$OUT"
+
+if [ -s "$HTTP" ]; then
+    TMP="$(mktemp)"
+    awk -v httpfile="$HTTP" '
+    { lines[NR] = $0 }
+    END {
+        close_i = 0
+        for (i = 1; i <= NR; i++) if (lines[i] ~ /^  \]/) { close_i = i; break }
+        m = 0
+        while ((getline l < httpfile) > 0) http[m++] = l
+        for (i = 1; i < close_i; i++) {
+            if (i == close_i - 1 && m > 0 && lines[i] !~ /,$/) lines[i] = lines[i] ","
+            print lines[i]
+        }
+        for (j = 0; j < m; j++) print http[j] (j < m - 1 ? "," : "")
+        for (i = close_i; i <= NR; i++) print lines[i]
+    }' "$OUT" > "$TMP" && mv "$TMP" "$OUT"
+    echo "carried over $(wc -l < "$HTTP") BenchmarkHTTPSocket entries (refresh them with make bench-http)"
+fi
 
 echo "wrote $OUT"

@@ -66,8 +66,11 @@ END {
         delete base[name]
     }
     if (bench == ".") {
+        # BenchmarkHTTPSocket entries come from make bench-http, not from
+        # go test -bench — never report them as gone.
         for (name in base)
-            printf "%-70s %12.1f %12s %9s\n", name, base[name], "-", "gone"
+            if (name !~ /^BenchmarkHTTPSocket\//)
+                printf "%-70s %12.1f %12s %9s\n", name, base[name], "-", "gone"
     }
     exit worst
 }' "$BASELINE"
