@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults bench-http bench-http-smoke
+.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults bench-http bench-http-smoke bench-http-replicas test-repl
 
 build:
 	go build ./...
@@ -17,7 +17,7 @@ verify:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	go test ./...
-	go test -race ./internal/store ./internal/portal
+	go test -race ./internal/store ./internal/portal ./internal/repl
 	$(MAKE) bench-http-smoke
 
 # The full randomized crash-point campaign: injects a fault at EVERY
@@ -32,6 +32,18 @@ test-faults:
 		-run 'TestFaultCampaign|TestDegraded|TestPoison|TestPortalDegraded' \
 		./internal/store ./internal/portal
 
+# The replication chaos campaign, exhaustive: every fault point on the
+# follower replay path (BFABRIC_FAULTS=full), the kill -9 follower
+# convergence test, the ScanRange pagination stress on a live follower,
+# and the online-backup round trips — all under the race detector. The
+# deterministic subsets of these already run inside `make test`/`make
+# verify`; this target buys the full sweep. Seed the fault-mode shuffle
+# with BFABRIC_FAULT_SEED=n for a reproducible run.
+test-repl:
+	BFABRIC_FAULTS=full go test -race -count=1 \
+		-run 'TestFollowerFaultCampaign|TestKillNineFollowerConvergence|TestFollowerScanPaginationStress|TestDivergenceResync|TestBackup' \
+		./internal/repl ./internal/store
+
 # Fence that the storefs indirection keeps the hot paths within noise:
 # Q1 (filtered browse query), D3 (durable commit latency) and the bulk
 # ingest benchmarks, diffed against the committed baseline.
@@ -42,7 +54,7 @@ bench-faults:
 # Race-checks every package with dedicated concurrency tests (MVCC
 # snapshot isolation, zero-copy read path, search flush).
 race:
-	go test -race ./internal/store/... ./internal/search/... ./internal/entity/... ./internal/portal/...
+	go test -race ./internal/store/... ./internal/search/... ./internal/entity/... ./internal/portal/... ./internal/repl/...
 
 # The ISUCON-style socket-level benchmark: boots the portal on a real TCP
 # listener, logs in a pool of bench users, and drives a validated mixed
@@ -52,6 +64,18 @@ race:
 DURATION ?= 12s
 bench-http:
 	go run ./cmd/bfabric-loadbench -duration $(DURATION) \
+		-merge-baseline BENCH_baseline.json
+
+# Replicated read scaling: the same socket-level workload served by
+# WAL-shipping read replicas — writers stay on the primary, readers
+# spread across the follower portals (16 clients per serving instance,
+# so the runs measure capacity, not a fixed load split thinner). Records
+# BenchmarkHTTPSocket/replica-N/... rows next to the single-server ones;
+# compare replica-1 vs replica-2 req/s for the scaling claim.
+bench-http-replicas:
+	go run ./cmd/bfabric-loadbench -duration $(DURATION) -replicas 1 \
+		-merge-baseline BENCH_baseline.json
+	go run ./cmd/bfabric-loadbench -duration $(DURATION) -replicas 2 \
 		-merge-baseline BENCH_baseline.json
 
 # Short correctness-only pass over the load harness: boots the full

@@ -4,6 +4,12 @@
 // read/write workload for the requested duration, reporting req/s and
 // latency percentiles per operation class.
 //
+// With -replicas N the harness additionally boots N WAL-shipping read
+// replicas (each with its own store and portal socket) and spreads the
+// readers across them while writers keep hitting the primary — measuring
+// how aggregate read throughput scales with follower count. Those runs
+// report as BenchmarkHTTPSocket/replica-N/... rows.
+//
 // With -merge-baseline the run's results are merged into
 // BENCH_baseline.json as one-line BenchmarkHTTPSocket entries, the same
 // dialect scripts/bench_compare.sh diffs for the in-process benchmarks.
@@ -24,8 +30,9 @@ import (
 func main() {
 	var (
 		duration   = flag.Duration("duration", 10*time.Second, "measured run duration")
-		clients    = flag.Int("clients", 16, "concurrent reader clients")
+		clients    = flag.Int("clients", 0, "concurrent reader clients (0 = 16 per serving instance)")
 		writers    = flag.Int("writers", 4, "concurrent writer clients (0 = read-only run)")
+		replicas   = flag.Int("replicas", 0, "boot N WAL-shipping read replicas and spread readers across them (0 = single server)")
 		scale      = flag.Float64("scale", 0.1, "genload population scale (1.0 = paper's FGCZ deployment)")
 		seed       = flag.Int64("seed", 1, "deterministic population/workload seed")
 		smoke      = flag.Bool("smoke", false, "short correctness-only run (2s, small scale)")
@@ -44,6 +51,7 @@ func main() {
 		Scale:    *scale,
 		Clients:  *clients,
 		Writers:  nWriters,
+		Replicas: *replicas,
 		Duration: *duration,
 		Seed:     *seed,
 		Portal:   portal.Config{RequestTimeout: *reqTimeout, MaxInFlight: *inflight},
@@ -89,9 +97,12 @@ func main() {
 
 // mergeBaseline splices the run's BenchmarkHTTPSocket entries into the
 // one-object-per-line benchmarks array of a BENCH_baseline.json file,
-// replacing any previous HTTP entries. The merge is line-based on purpose:
-// scripts/bench_compare.sh parses the file with line-oriented awk, so the
-// formatting of untouched entries must survive byte-for-byte.
+// replacing only the previous entries of the SAME run class: a
+// single-server run refreshes the unprefixed rows and leaves replica-N
+// rows alone; a -replicas N run refreshes exactly the replica-N rows.
+// The merge is line-based on purpose: scripts/bench_compare.sh parses the
+// file with line-oriented awk, so the formatting of untouched entries
+// must survive byte-for-byte.
 func mergeBaseline(path string, report *loadgen.Report) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -99,10 +110,21 @@ func mergeBaseline(path string, report *loadgen.Report) error {
 	}
 	lines := strings.Split(string(data), "\n")
 
-	// Drop prior HTTP entries.
+	// Drop prior entries of this run class only.
+	sameClass := func(ln string) bool {
+		i := strings.Index(ln, `"name": "BenchmarkHTTPSocket/`)
+		if i < 0 {
+			return false
+		}
+		rest := ln[i+len(`"name": "BenchmarkHTTPSocket/`):]
+		if prefix := report.NamePrefix(); prefix != "" {
+			return strings.HasPrefix(rest, prefix)
+		}
+		return !strings.HasPrefix(rest, "replica-")
+	}
 	kept := lines[:0]
 	for _, ln := range lines {
-		if strings.Contains(ln, `"name": "BenchmarkHTTPSocket/`) {
+		if sameClass(ln) {
 			continue
 		}
 		kept = append(kept, ln)

@@ -6,6 +6,7 @@
 //
 //	bfabric [-addr :8077] [-seed] [-data-dir DIR] [-fsync always|interval|off]
 //	        [-sync-every 25ms] [-snapshot-every BYTES]
+//	        [-replicate-listen :8078] [-replicate-from HOST:8078]
 //	        [-http-header-timeout 5s] [-http-read-timeout 30s]
 //	        [-http-write-timeout 60s] [-http-idle-timeout 2m]
 //	        [-request-timeout 30s] [-max-in-flight 256]
@@ -23,6 +24,14 @@
 // provider, and the two-group-analysis application registered. Seeding is
 // skipped when the data directory already contains users, so restarting a
 // seeded durable server does not duplicate the fixture.
+//
+// With -replicate-listen the server additionally ships its committed WAL
+// frames to read replicas. With -replicate-from the server IS a read
+// replica: it follows the given primary, serves reads from its own
+// replicated state, and answers every write with 503 + Retry-After (the
+// same envelope a degraded primary uses). Both flags together make a
+// relay: a replica that re-ships to further replicas. See
+// docs/replication.md.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/portal"
 	"repro/internal/provider"
+	"repro/internal/repl"
 	"repro/internal/store"
 )
 
@@ -55,7 +65,13 @@ func main() {
 	idleTimeout := flag.Duration("http-idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
 	maxInFlight := flag.Int("max-in-flight", 256, "max concurrently served requests before 503 (0 disables the gate)")
+	replListen := flag.String("replicate-listen", "", "address to ship committed WAL frames from (primary side; empty = off)")
+	replFrom := flag.String("replicate-from", "", "primary replication address to follow (makes this server a read-only replica)")
 	flag.Parse()
+
+	if *replFrom != "" && *seed {
+		log.Fatalf("bfabric: -seed and -replicate-from are mutually exclusive: a replica takes all state from its primary")
+	}
 
 	opts := core.Options{}
 	if *dataDir != "" {
@@ -97,9 +113,34 @@ func main() {
 		}
 	}
 
+	// Replication wiring. A replica flips the store read-only BEFORE the
+	// portal starts serving, so no local write can ever interleave with
+	// the stream; schema is already registered (identically on primary and
+	// replica) by the core wiring above, which is not write-gated.
+	var follower *repl.Follower
+	if *replFrom != "" {
+		sys.Store.SetReplica(true)
+		follower = repl.NewFollower(sys.Store, *replFrom, repl.FollowerOptions{Logf: log.Printf})
+		follower.Start()
+		log.Printf("read replica following %s", *replFrom)
+	}
+	var shipper *repl.Server
+	if *replListen != "" {
+		shipper = repl.NewServer(sys.Store)
+		shipper.Logf = log.Printf
+		bound, err := shipper.Start(*replListen)
+		if err != nil {
+			log.Fatalf("bfabric: replication listener: %v", err)
+		}
+		log.Printf("shipping WAL frames to replicas on %s", bound)
+	}
+
 	// Flag semantics: 0 disables. The portal config uses negative for
 	// "explicitly off" (its zero value means "default"), so translate.
 	cfg := portal.Config{RequestTimeout: *requestTimeout, MaxInFlight: *maxInFlight}
+	if follower != nil {
+		cfg.ReplicaStatus = func() any { return follower.Status() }
+	}
 	if *requestTimeout == 0 {
 		cfg.RequestTimeout = -1
 	}
@@ -141,6 +182,12 @@ func main() {
 	// ListenAndServe returns as soon as Shutdown is *called*; wait for the
 	// drain to finish before closing the store underneath the handlers.
 	<-drained
+	if shipper != nil {
+		shipper.Close()
+	}
+	if follower != nil {
+		follower.Close()
+	}
 	if err := sys.Close(); err != nil {
 		log.Fatalf("bfabric: shutdown: %v", err)
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/genload"
 	"repro/internal/model"
 	"repro/internal/portal"
+	"repro/internal/repl"
 	"repro/internal/store"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	// Negative means none: a read-only run, where conditional requests
 	// hit their validators and the 304 path carries the load.
 	Writers int
+	// Replicas, when positive, boots that many WAL-shipping read replicas
+	// next to the primary (each with its own store, portal and TCP
+	// socket). Readers are spread round-robin across the replica portals;
+	// writers keep targeting the primary. Clients defaults to 16 per
+	// serving instance so aggregate read throughput measures capacity, not
+	// a fixed offered load split ever thinner.
+	Replicas int
 	// Duration is the measured wall time of the run.
 	Duration time.Duration
 	// Seed makes population generation and workload choice deterministic.
@@ -59,8 +67,14 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Scale == 0 {
 		cfg.Scale = 0.1
 	}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
 	if cfg.Clients == 0 {
 		cfg.Clients = 16
+		if cfg.Replicas > 0 {
+			cfg.Clients = 16 * cfg.Replicas
+		}
 	}
 	if cfg.Writers == 0 {
 		cfg.Writers = 4
@@ -232,7 +246,19 @@ func Run(cfg Config) (*Report, error) {
 	defer func() { _ = shutdown() }()
 	cfg.logf("portal serving at %s", base)
 
-	report, err := drive(cfg, base, users)
+	readerBases := []string{base}
+	if cfg.Replicas > 0 {
+		bases, cleanup, err := bootReplicas(cfg, sys)
+		if cleanup != nil {
+			defer cleanup()
+		}
+		if err != nil {
+			return nil, err
+		}
+		readerBases = bases
+	}
+
+	report, err := drive(cfg, readerBases, base, users)
 	if err != nil {
 		return nil, err
 	}
@@ -240,4 +266,53 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: shutdown: %w", err)
 	}
 	return report, nil
+}
+
+// bootReplicas stands up cfg.Replicas read replicas over real TCP: a WAL
+// shipper on the primary, and per replica a fresh system wired exactly
+// like the primary's (same schema registration), flipped into replica
+// mode, followed up to the primary's current seq, and served by its own
+// portal socket. Readers then browse replicated state while the primary
+// keeps committing; each replica's search index is knowingly empty
+// (replicated commits fire no events — see docs/replication.md), which
+// the search workload tolerates as zero hits.
+func bootReplicas(cfg Config, sys *core.System) ([]string, func(), error) {
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	shipper := repl.NewServer(sys.Store)
+	shipAddr, err := shipper.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanups = append(cleanups, func() { shipper.Close() })
+
+	head := sys.Store.CommitSeq()
+	bases := make([]string, 0, cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		fsys, err := core.NewWithStore(store.New(), core.Options{})
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("loadgen: replica %d: %w", i+1, err)
+		}
+		fsys.Store.SetReplica(true)
+		f := repl.NewFollower(fsys.Store, shipAddr, repl.FollowerOptions{})
+		f.Start()
+		cleanups = append(cleanups, f.Close)
+		if err := f.WaitForSeq(head, 60*time.Second); err != nil {
+			return nil, cleanup, fmt.Errorf("loadgen: replica %d catch-up: %w", i+1, err)
+		}
+		pcfg := cfg.Portal
+		pcfg.ReplicaStatus = func() any { return f.Status() }
+		rbase, rshut, err := BootServer(fsys, pcfg)
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("loadgen: replica %d portal: %w", i+1, err)
+		}
+		cleanups = append(cleanups, func() { _ = rshut() })
+		bases = append(bases, rbase)
+		cfg.logf("replica %d caught up to seq %d, serving at %s", i+1, head, rbase)
+	}
+	return bases, cleanup, nil
 }

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -38,5 +39,41 @@ func TestHarnessSmoke(t *testing.T) {
 	}
 	if len(report.BaselineEntries()) == 0 {
 		t.Error("no baseline entries produced")
+	}
+}
+
+// TestReplicaHarnessSmoke runs the replicated read mode briefly: primary
+// plus two WAL-shipping replicas, readers spread across the replica
+// portals, writers racing on the primary — zero validation failures
+// means replicated reads serve consistent pages while frames stream in.
+func TestReplicaHarnessSmoke(t *testing.T) {
+	cfg := Config{
+		Scale:    0.02,
+		Clients:  6,
+		Writers:  2,
+		Replicas: 2,
+		Duration: 1500 * time.Millisecond,
+		Seed:     43,
+	}
+	if testing.Short() {
+		cfg.Duration = 800 * time.Millisecond
+	}
+	report, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("replica harness run: %v", err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("replica harness recorded %d validation failures:\n%v", report.Errors, report.Failures)
+	}
+	if report.Ops[opBrowse].Requests == 0 {
+		t.Error("replica readers made no browse requests")
+	}
+	if report.Ops[opWrite].Requests == 0 {
+		t.Error("primary writers made no requests")
+	}
+	for _, e := range report.BaselineEntries() {
+		if !strings.Contains(e, "BenchmarkHTTPSocket/replica-2/") {
+			t.Fatalf("baseline entry not namespaced: %s", e)
+		}
 	}
 }

@@ -49,6 +49,7 @@ type Report struct {
 	Scale    float64            `json:"scale"`
 	Clients  int                `json:"clients"`
 	Writers  int                `json:"writers"`
+	Replicas int                `json:"replicas,omitempty"`
 	Duration float64            `json:"duration_s"`
 	Total    OpStats            `json:"total"`
 	Ops      map[string]OpStats `json:"ops"`
@@ -85,6 +86,7 @@ func buildReport(cfg Config, elapsed time.Duration, recs []*recorder, fails *fai
 		Scale:    cfg.Scale,
 		Clients:  cfg.Clients,
 		Writers:  cfg.Writers,
+		Replicas: cfg.Replicas,
 		Duration: elapsed.Seconds(),
 		Ops:      make(map[string]OpStats),
 		Errors:   fails.n,
@@ -129,8 +131,11 @@ func buildReport(cfg Config, elapsed time.Duration, recs []*recorder, fails *fai
 // String renders the human-readable run summary.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "BENCH_http: scale=%.2f clients=%d writers=%d duration=%.1fs\n",
-		r.Scale, r.Clients, r.Writers, r.Duration)
+	fmt.Fprintf(&b, "BENCH_http: scale=%.2f clients=%d writers=%d", r.Scale, r.Clients, r.Writers)
+	if r.Replicas > 0 {
+		fmt.Fprintf(&b, " replicas=%d", r.Replicas)
+	}
+	fmt.Fprintf(&b, " duration=%.1fs\n", r.Duration)
 	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %9s %6s %6s\n",
 		"op", "requests", "req/s", "p50(ms)", "p95(ms)", "p99(ms)", "304s", "errs")
 	ops := make([]string, 0, len(r.Ops))
@@ -159,7 +164,10 @@ func (r *Report) String() string {
 // BENCH_baseline.json dialect (one JSON object per line, "ns/op" carrying
 // the regression-gated number — here the op's p99 in nanoseconds — so
 // scripts/bench_compare.sh can diff HTTP latency exactly like the
-// in-process benchmarks).
+// in-process benchmarks). Replicated runs are namespaced
+// BenchmarkHTTPSocket/replica-<N>/..., so a replica row never collides
+// with (or silently replaces) the single-server baseline it is compared
+// against.
 func (r *Report) BaselineEntries() []string {
 	ops := make([]string, 0, len(r.Ops))
 	for op := range r.Ops {
@@ -168,12 +176,22 @@ func (r *Report) BaselineEntries() []string {
 	sort.Strings(ops)
 	var lines []string
 	entry := func(name string, s OpStats) string {
-		return fmt.Sprintf(`    {"package": "repro/internal/loadgen", "name": "BenchmarkHTTPSocket/%s", "iterations": %d, "metrics": {"ns/op": %.0f, "req/s": %.1f, "p50-ms": %.2f, "p95-ms": %.2f, "p99-ms": %.2f, "not-modified": %d, "errors": %d}}`,
-			name, s.Requests, s.P99*1e6, s.ReqPerSec, s.P50, s.P95, s.P99, s.NotModified, s.Errors)
+		return fmt.Sprintf(`    {"package": "repro/internal/loadgen", "name": "BenchmarkHTTPSocket/%s%s", "iterations": %d, "metrics": {"ns/op": %.0f, "req/s": %.1f, "p50-ms": %.2f, "p95-ms": %.2f, "p99-ms": %.2f, "not-modified": %d, "errors": %d}}`,
+			r.NamePrefix(), name, s.Requests, s.P99*1e6, s.ReqPerSec, s.P50, s.P95, s.P99, s.NotModified, s.Errors)
 	}
 	for _, op := range ops {
 		lines = append(lines, entry(op, r.Ops[op]))
 	}
 	lines = append(lines, entry("total", r.Total))
 	return lines
+}
+
+// NamePrefix is the benchmark-name namespace of this run's baseline
+// entries under BenchmarkHTTPSocket/: empty for a single-server run,
+// "replica-<N>/" for a replicated one.
+func (r *Report) NamePrefix() string {
+	if r.Replicas > 0 {
+		return fmt.Sprintf("replica-%d/", r.Replicas)
+	}
+	return ""
 }

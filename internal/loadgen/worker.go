@@ -455,8 +455,13 @@ func (w *worker) writeOp() {
 }
 
 // drive logs the pool in and runs every worker until the deadline,
-// merging per-worker recordings into the final report.
-func drive(cfg Config, base string, users []poolUser) (*Report, error) {
+// merging per-worker recordings into the final report. Readers are
+// assigned round-robin over readerBases (one entry per serving instance:
+// just the primary, or the replica portals); writers always target
+// writerBase. A worker sticks to its instance for its whole run, so every
+// consistency check (cursor chains, ETag replays) observes one
+// monotonically advancing store.
+func drive(cfg Config, readerBases []string, writerBase string, users []poolUser) (*Report, error) {
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Clients + cfg.Writers + 8,
 		MaxIdleConnsPerHost: cfg.Clients + cfg.Writers + 8,
@@ -466,6 +471,10 @@ func drive(cfg Config, base string, users []poolUser) (*Report, error) {
 	workers := make([]*worker, 0, cfg.Clients+cfg.Writers)
 	for i := 0; i < cfg.Clients+cfg.Writers; i++ {
 		isWriter := i >= cfg.Clients
+		base := writerBase
+		if !isWriter {
+			base = readerBases[i%len(readerBases)]
+		}
 		w := newWorker(i, isWriter, base, transport, users[i], cfg.Timeout, cfg.Seed+int64(i)*7919, fails)
 		if err := w.login(); err != nil {
 			return nil, fmt.Errorf("loadgen: %w", err)

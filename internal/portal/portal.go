@@ -42,6 +42,12 @@ type Config struct {
 	// rejected immediately with 503 + Retry-After instead of queueing
 	// without bound. 0 = 256; negative disables the gate.
 	MaxInFlight int
+	// ReplicaStatus, when set, marks this portal as fronting a read-only
+	// replica. GET /api/replication reports the value (the follower's
+	// replication status: lag, last contact, resyncs), and /readyz answers
+	// 503 — this server never accepts writes, so a write-routing balancer
+	// must look elsewhere — while reads keep being served.
+	ReplicaStatus func() any
 }
 
 const (
@@ -51,10 +57,11 @@ const (
 
 // Server is the portal HTTP server.
 type Server struct {
-	sys      *core.System
-	mux      *http.ServeMux
-	timeout  time.Duration
-	inflight chan struct{} // admission gate; nil when disabled
+	sys           *core.System
+	mux           *http.ServeMux
+	timeout       time.Duration
+	inflight      chan struct{} // admission gate; nil when disabled
+	replicaStatus func() any    // non-nil = read-only replica
 }
 
 // New builds the portal over a wired system with default hardening.
@@ -64,7 +71,7 @@ func New(sys *core.System) *Server {
 
 // NewWithConfig builds the portal with explicit serving limits.
 func NewWithConfig(sys *core.System, cfg Config) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s := &Server{sys: sys, mux: http.NewServeMux(), replicaStatus: cfg.ReplicaStatus}
 	switch {
 	case cfg.RequestTimeout == 0:
 		s.timeout = defaultRequestTimeout
@@ -124,6 +131,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /", s.handleDashboard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /api/replication", s.handleReplication)
 	s.mux.HandleFunc("POST /api/login", s.handleLogin)
 	s.mux.HandleFunc("POST /api/logout", s.auth(s.handleLogout))
 
@@ -296,6 +304,8 @@ func writeErrCode(w http.ResponseWriter, status int, code string, err error) {
 // codeFor names the error class for the envelope's machine-readable code.
 func codeFor(status int, err error) string {
 	switch {
+	case errors.Is(err, store.ErrReplica):
+		return "read_only_replica"
 	case errors.Is(err, store.ErrDegraded):
 		return "degraded"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -326,9 +336,11 @@ func codeFor(status int, err error) string {
 // statusFor maps service errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, store.ErrDegraded):
-		// Store can't accept writes; reads still work. Retryable once the
-		// operator clears the fault, hence 503 + Retry-After.
+	case errors.Is(err, store.ErrReplica), errors.Is(err, store.ErrDegraded):
+		// Store can't accept writes; reads still work. Replicas reject
+		// writes by design, degraded stores until the operator clears the
+		// fault — either way the client should retry against a writable
+		// server, hence 503 + Retry-After (the degraded envelope).
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
@@ -447,12 +459,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // while keeping read traffic here.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	h := s.sys.Health()
+	if s.replicaStatus != nil {
+		// A replica never accepts writes, so the honest answer to "route
+		// writes here?" is always 503; the replication status rides along
+		// so operators see lag and connectivity in the same probe.
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok": false, "reason": "read-only replica",
+			"health": h, "replication": s.replicaStatus(),
+		})
+		return
+	}
 	if h.OK {
 		writeJSON(w, http.StatusOK, h)
 		return
 	}
 	w.Header().Set("Retry-After", "10")
 	writeJSON(w, http.StatusServiceUnavailable, h)
+}
+
+// handleReplication reports a replica portal's replication status (last
+// applied seq, primary head, lag, last contact, resyncs). On a primary it
+// answers 404: there is no replication stream to report on.
+func (s *Server) handleReplication(w http.ResponseWriter, _ *http.Request) {
+	if s.replicaStatus == nil {
+		writeErrCode(w, http.StatusNotFound, "not_found",
+			errors.New("portal: this server is not a read replica"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replica": true, "replication": s.replicaStatus()})
 }
 
 // --- tasks ---------------------------------------------------------------------

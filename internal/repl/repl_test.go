@@ -1,0 +1,295 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// newPrimary returns an in-memory store with the reference schema.
+func newPrimary(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	mustSchema(t, s)
+	return s
+}
+
+func mustSchema(t *testing.T, s *store.Store) {
+	t.Helper()
+	if err := s.CreateTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateIndex("acct", "login", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("feed"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// putAcct commits one row through the primary's normal write path.
+func putAcct(t *testing.T, s *store.Store, login string, gen int64) int64 {
+	t.Helper()
+	var id int64
+	err := s.Update(func(tx *store.Tx) error {
+		var err error
+		id, err = tx.Insert("acct", store.Record{"login": login, "gen": gen})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// assertConverged asserts the two stores serialize to identical bytes —
+// same tables, rows, indexes and seq.
+func assertConverged(t *testing.T, primary, follower *store.Store) {
+	t.Helper()
+	var pb, fb bytes.Buffer
+	if err := primary.Save(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Save(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Bytes(), fb.Bytes()) {
+		t.Fatalf("store states diverged: primary %d bytes (seq %d), follower %d bytes (seq %d)",
+			pb.Len(), primary.CommitSeq(), fb.Len(), follower.CommitSeq())
+	}
+}
+
+func startServer(t *testing.T, s *store.Store) (*Server, string) {
+	t.Helper()
+	srv := NewServer(s)
+	srv.Heartbeat = 50 * time.Millisecond
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+func waitConnected(t *testing.T, f *Follower) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Status().Connected {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func startFollower(t *testing.T, s *store.Store, addr string) *Follower {
+	t.Helper()
+	s.SetReplica(true)
+	f := NewFollower(s, addr, FollowerOptions{Logf: t.Logf})
+	f.Start()
+	t.Cleanup(f.Close)
+	return f
+}
+
+// TestLiveStream covers the live feed: a follower that joins an empty
+// primary sees every subsequent commit and converges byte-for-byte.
+func TestLiveStream(t *testing.T) {
+	primary := newPrimary(t)
+	_, addr := startServer(t, primary)
+
+	fstore := store.New()
+	mustSchema(t, fstore)
+	f := startFollower(t, fstore, addr)
+
+	for i := 0; i < 20; i++ {
+		putAcct(t, primary, fmt.Sprintf("u%d", i), 1)
+	}
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, fstore)
+
+	if got := fstore.Count("acct"); got != 20 {
+		t.Fatalf("follower acct count = %d, want 20", got)
+	}
+}
+
+// TestLateJoinerSnapshot covers snapshot catch-up: the primary has
+// history the follower never saw and (being in-memory) no log to serve
+// it from, so the handshake must fall back to a full snapshot.
+func TestLateJoinerSnapshot(t *testing.T) {
+	primary := newPrimary(t)
+	for i := 0; i < 30; i++ {
+		putAcct(t, primary, fmt.Sprintf("u%d", i), 1)
+	}
+	_, addr := startServer(t, primary)
+
+	fstore := store.New()
+	mustSchema(t, fstore)
+	f := startFollower(t, fstore, addr)
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, fstore)
+
+	// And the live feed still works after the snapshot.
+	putAcct(t, primary, "late", 2)
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, fstore)
+}
+
+// TestOffsetCatchUp covers log-offset catch-up: a durable primary still
+// holds the frames a rejoining follower missed, so no snapshot is
+// needed; the follower replays the gap from the shipped WAL frames.
+func TestOffsetCatchUp(t *testing.T) {
+	primary, err := store.Open(t.TempDir(), store.DurabilityOptions{Sync: store.SyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	mustSchema(t, primary)
+	for i := 0; i < 10; i++ {
+		putAcct(t, primary, fmt.Sprintf("u%d", i), 1)
+	}
+	_, addr := startServer(t, primary)
+
+	fstore := store.New()
+	mustSchema(t, fstore)
+	f := startFollower(t, fstore, addr)
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, fstore)
+	st := f.Status()
+	if st.Resyncs != 0 {
+		t.Fatalf("offset catch-up took %d snapshot resyncs, want 0", st.Resyncs)
+	}
+}
+
+// TestReplicaWriteGate: a store in replica mode refuses local writes
+// with ErrReplica while reads keep working.
+func TestReplicaWriteGate(t *testing.T) {
+	s := store.New()
+	mustSchema(t, s)
+	s.SetReplica(true)
+	err := s.Update(func(tx *store.Tx) error {
+		_, err := tx.Insert("acct", store.Record{"login": "x"})
+		return err
+	})
+	if !errors.Is(err, store.ErrReplica) {
+		t.Fatalf("Update on replica = %v, want ErrReplica", err)
+	}
+	tx, err := s.Begin(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("acct", store.Record{"login": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, store.ErrReplica) {
+		t.Fatalf("optimistic Commit on replica = %v, want ErrReplica", err)
+	}
+	if err := s.View(func(tx *store.Tx) error { return nil }); err != nil {
+		t.Fatalf("View on replica: %v", err)
+	}
+}
+
+// TestHeartbeatStaleness: with no writes, heartbeats keep advancing
+// LastContact and carry the primary's head.
+func TestHeartbeatStaleness(t *testing.T) {
+	primary := newPrimary(t)
+	putAcct(t, primary, "a", 1)
+	_, addr := startServer(t, primary)
+
+	fstore := store.New()
+	mustSchema(t, fstore)
+	f := startFollower(t, fstore, addr)
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := f.Status()
+	time.Sleep(150 * time.Millisecond)
+	second := f.Status()
+	if !second.LastContact.After(first.LastContact) {
+		t.Fatalf("heartbeats did not advance LastContact: %v -> %v", first.LastContact, second.LastContact)
+	}
+	if second.PrimarySeq != primary.CommitSeq() {
+		t.Fatalf("PrimarySeq = %d, want %d", second.PrimarySeq, primary.CommitSeq())
+	}
+	if second.Lag() != 0 {
+		t.Fatalf("Lag = %d, want 0", second.Lag())
+	}
+}
+
+// TestDivergenceResync: a follower whose state has diverged (extra local
+// row violating a unique index the primary later reuses) detects the
+// apply failure and recovers through a snapshot resync instead of
+// serving phantom state.
+func TestDivergenceResync(t *testing.T) {
+	primary := newPrimary(t)
+	putAcct(t, primary, "shared", 1)
+	_, addr := startServer(t, primary)
+
+	// Diverge the follower BEFORE replica mode: a row under a login the
+	// primary will also insert, so the replicated frame hits the unique
+	// index.
+	fstore := store.New()
+	mustSchema(t, fstore)
+	if err := fstore.Update(func(tx *store.Tx) error {
+		_, err := tx.Insert("acct", store.Record{"login": "taken", "gen": int64(99)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f := startFollower(t, fstore, addr)
+	// The follower is at seq 1 with different content; primary is at seq
+	// 1 too, so the live feed simply continues — until the conflicting
+	// frame arrives. Wait for the session so the frame travels the live
+	// feed (a late handshake would catch up via snapshot and never hit
+	// the conflict).
+	waitConnected(t, f)
+	putAcct(t, primary, "taken", 2)
+	putAcct(t, primary, "after", 3)
+	if err := f.WaitForSeq(primary.CommitSeq(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, fstore)
+	if f.Status().Resyncs == 0 {
+		t.Fatal("expected at least one snapshot resync after divergence")
+	}
+}
+
+// TestFollowerChaining: a follower can itself ship frames (fan-out
+// topology): primary -> mid -> leaf all converge.
+func TestFollowerChaining(t *testing.T) {
+	primary := newPrimary(t)
+	_, addr := startServer(t, primary)
+
+	mid := store.New()
+	mustSchema(t, mid)
+	fmid := startFollower(t, mid, addr)
+	_, midAddr := startServer(t, mid)
+
+	leaf := store.New()
+	mustSchema(t, leaf)
+	fleaf := startFollower(t, leaf, midAddr)
+
+	for i := 0; i < 10; i++ {
+		putAcct(t, primary, fmt.Sprintf("u%d", i), 1)
+	}
+	if err := fmid.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleaf.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, mid)
+	assertConverged(t, primary, leaf)
+}

@@ -38,4 +38,18 @@ var (
 	// history (a torn tail on the newest WAL segment is repaired, not
 	// reported).
 	ErrCorrupt = errors.New("corrupt data directory")
+	// ErrReplica is returned by every local write path of a store placed
+	// in replica mode with SetReplica: the only writes a replica accepts
+	// are replicated frames (ApplyReplicated) and snapshot resyncs
+	// (ResetFromSnapshot). Writers must be routed to the primary.
+	ErrReplica = errors.New("read-only replica")
+	// ErrReplicaGap is returned by ApplyReplicated when a frame skips
+	// ahead of the replica's next expected commit sequence. The replica's
+	// state is untouched; the caller must re-fetch the missing frames (or
+	// resync from a snapshot) rather than apply out of order.
+	ErrReplicaGap = errors.New("replicated frame out of order")
+	// ErrSeqGone is returned by WALFrames when the requested start
+	// sequence has been truncated out of the log by a snapshot. Callers
+	// catch up from a snapshot instead.
+	ErrSeqGone = errors.New("wal sequence truncated")
 )

@@ -61,8 +61,13 @@ func (s *Store) Health() Health {
 
 // writeGate is checked at the top of every write path: a degraded store
 // fails writes fast, before any lock is taken, so a saturated write load
-// against a dead disk cannot pile up on the writer mutex.
+// against a dead disk cannot pile up on the writer mutex. A store in
+// replica mode refuses local writes the same way — only the replication
+// stream (ApplyReplicated, ResetFromSnapshot) mutates a replica.
 func (s *Store) writeGate() error {
+	if s.replica.Load() {
+		return ErrReplica
+	}
 	if d := s.degraded.Load(); d != nil {
 		return &DegradedError{Cause: d.cause, Since: d.since}
 	}

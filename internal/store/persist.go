@@ -122,7 +122,15 @@ func (s *Store) freeze() *version {
 // sequence the snapshot captures. No lock is held at any point: the
 // pinned version is an immutable snapshot by construction.
 func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
-	v := s.freeze()
+	return writeSnapshotVersion(s.freeze(), w)
+}
+
+// writeSnapshotVersion serializes one pinned version. The encoding is
+// deterministic — tables, rows, field keys and index names are all
+// emitted in sorted order through a single gob stream — so two stores
+// holding the same logical state at the same seq produce byte-identical
+// snapshots (the property replica convergence tests pin on).
+func writeSnapshotVersion(v *version, w io.Writer) (uint64, error) {
 	snap := snapshot{Version: 1, Seq: v.seq}
 	for _, name := range v.tableNames() {
 		t := v.tables[name]
@@ -180,6 +188,18 @@ func (s *Store) Load(r io.Reader) error {
 	}
 	// Build the version privately — no reader can reach it yet — then
 	// publish it with one atomic store.
+	nv, err := buildSnapshotVersion(&snap)
+	if err != nil {
+		return err
+	}
+	s.current.Store(nv)
+	return nil
+}
+
+// buildSnapshotVersion materializes a decoded snapshot into a fresh,
+// fully-indexed version. The version is private to the caller until it
+// publishes it; shared by Load and ResetFromSnapshot.
+func buildSnapshotVersion(snap *snapshot) (*version, error) {
 	nv := &version{seq: snap.Seq, tables: make(map[string]*table, len(snap.Tables))}
 	for _, ts := range snap.Tables {
 		t := newTable(ts.Name)
@@ -196,15 +216,14 @@ func (s *Store) Load(r io.Reader) error {
 			}
 			for _, ix := range t.indexes {
 				if err := ix.insert(rec, rs.ID); err != nil {
-					return fmt.Errorf("store: loading %s/%d: %w", ts.Name, rs.ID, err)
+					return nil, fmt.Errorf("store: loading %s/%d: %w", ts.Name, rs.ID, err)
 				}
 			}
 			t.put(rs.ID, rec, snap.Seq)
 		}
 		nv.tables[ts.Name] = t
 	}
-	s.current.Store(nv)
-	return nil
+	return nv, nil
 }
 
 // SaveFile writes the store snapshot atomically (write to a temp file,
@@ -219,13 +238,20 @@ func (s *Store) SaveFile(path string) error {
 // directory so the rename itself is durable. It reports the commit
 // sequence the snapshot captured.
 func (s *Store) writeSnapshotFile(path string) (uint64, error) {
+	return s.writeVersionSnapshotFile(path, s.freeze())
+}
+
+// writeVersionSnapshotFile runs the atomic-write protocol for one pinned
+// (or not-yet-published) version. ResetFromSnapshot uses it to persist a
+// resync before the rebuilt version becomes reachable.
+func (s *Store) writeVersionSnapshotFile(path string, v *version) (uint64, error) {
 	fsys := s.fileSystem()
 	tmp := path + ".tmp"
 	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, err
 	}
-	seq, err := s.writeSnapshot(f)
+	seq, err := writeSnapshotVersion(v, f)
 	if err == nil {
 		err = f.Sync()
 	}

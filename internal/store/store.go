@@ -137,12 +137,19 @@ type Store struct {
 	degraded      atomic.Pointer[degradedState]
 	walEncBuf     []byte // commit-path encode scratch; guarded by writeMu
 	snapshotEvery int64
-	onError       func(error) // background-failure hook; may be nil
-	snapMu        sync.Mutex  // serializes Snapshot; also guards snapErr
-	snapErr       error
-	snapTrigger   chan struct{}
-	snapStop      chan struct{}
-	snapDone      chan struct{}
+	// replica flips the store into replica mode: local write paths fail
+	// with ErrReplica and the only mutations accepted are ApplyReplicated
+	// frames and ResetFromSnapshot resyncs. See repl.go.
+	replica atomic.Bool
+	// replSubs are the committed-frame feed subscribers (WAL shippers).
+	// Guarded by writeMu; publication happens inside the commit section.
+	replSubs    []*CommitSub
+	onError     func(error) // background-failure hook; may be nil
+	snapMu      sync.Mutex  // serializes Snapshot; also guards snapErr
+	snapErr     error
+	snapTrigger chan struct{}
+	snapStop    chan struct{}
+	snapDone    chan struct{}
 }
 
 // New returns an empty store.
@@ -281,6 +288,9 @@ func (s *Store) Close() error {
 	// shuts down beneath it.
 	s.writeMu.Lock()
 	already := s.closed.Swap(true)
+	if !already {
+		s.closeSubsLocked()
+	}
 	s.writeMu.Unlock()
 	if already {
 		return nil

@@ -881,21 +881,27 @@ func (tx *Tx) commitLocked() error {
 	if !changed {
 		return nil
 	}
-	if s.wal != nil {
-		payload, seq, err := tx.encodeWALPayload(base)
+	// The WAL payload doubles as the replication frame: encode it when
+	// either consumer exists (an in-memory primary can still ship frames
+	// to subscribed followers).
+	var payload []byte
+	var seq uint64
+	if s.wal != nil || len(s.replSubs) > 0 {
+		var err error
+		payload, seq, err = tx.encodeWALPayload(base)
 		if err != nil {
 			return err
 		}
-		if seq != 0 {
-			if err := s.wal.append(seq, payload); err != nil {
-				// The log is poisoned (sticky): no future commit can be
-				// made durable, so the store degrades to read-only now.
-				// The failing commit itself reports the root cause.
-				s.degrade(err)
-				return err
-			}
-			tx.walSeq = seq
+	}
+	if s.wal != nil && seq != 0 {
+		if err := s.wal.append(seq, payload); err != nil {
+			// The log is poisoned (sticky): no future commit can be
+			// made durable, so the store degrades to read-only now.
+			// The failing commit itself reports the root cause.
+			s.degrade(err)
+			return err
 		}
+		tx.walSeq = seq
 	}
 	nv, err := applyOverlay(base, tx.pending)
 	if err != nil {
@@ -911,6 +917,9 @@ func (tx *Tx) commitLocked() error {
 		return err
 	}
 	s.current.Store(nv)
+	if seq != 0 {
+		s.publishCommit(seq, payload)
+	}
 	return nil
 }
 

@@ -16,8 +16,9 @@ RAW="$(mktemp)"
 HTTP="$(mktemp)"
 trap 'rm -f "$RAW" "$HTTP"' EXIT
 
-# The socket-level BenchmarkHTTPSocket entries come from `make bench-http`
-# (cmd/bfabric-loadbench), not from `go test -bench`; carry them over so a
+# The socket-level BenchmarkHTTPSocket entries (including the
+# replica-N/... rows from `make bench-http-replicas`) come from
+# cmd/bfabric-loadbench, not from `go test -bench`; carry them over so a
 # baseline refresh does not silently drop them.
 if [ -f "$OUT" ]; then
     grep '"name": "BenchmarkHTTPSocket/' "$OUT" | sed 's/,[[:space:]]*$//' > "$HTTP" || true
