@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify bench-compare bench-ingest test-faults bench-faults bench-http bench-http-smoke bench-http-replicas test-repl
+.PHONY: build test race bench verify bench-compare bench-ingest bench-agg test-faults bench-faults bench-http bench-http-smoke bench-http-replicas test-repl
 
 build:
 	go build ./...
@@ -94,6 +94,15 @@ bench-compare:
 # changes to the store's transaction/commit/fan-out path.
 bench-ingest:
 	BENCH='BenchmarkAblationTxBatchSize|BenchmarkAblationEventSubscribers|BenchmarkT1_DeploymentLoad|BenchmarkF2_RegisterSample|BenchmarkF3_RegisterExtractBatch|BenchmarkF4_ReleaseAnnotation|BenchmarkSAU_AuditLog|BenchmarkD1_DurableRegisterSample' \
+		scripts/bench_compare.sh
+
+# Aggregation-pushdown fence: the planned Count/GroupBy paths against
+# their retained scan-and-fold baselines, plus the query benchmarks that
+# share the planner, diffed against the committed baseline. The quick
+# regression check for changes to the aggregate strategies or the index
+# key walk.
+bench-agg:
+	BENCH='BenchmarkQ4_|BenchmarkQ5_|BenchmarkQ1_|BenchmarkQ2_' \
 		scripts/bench_compare.sh
 
 # Runs the full benchmark suite with -benchmem and refreshes

@@ -990,6 +990,163 @@ func BenchmarkQ3_OrderedPageUnderWriterLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkQ4_AggCount is the acceptance benchmark for ungrouped
+// aggregation pushdown: counting the samples of one species. The planned
+// path answers from index postings lengths (count(postings)) without
+// materializing a single row; the retained full-scan fold is the baseline
+// every reporting call site used before, and the fence the >=10x claim is
+// measured against.
+func BenchmarkQ4_AggCount(b *testing.B) {
+	sys := queryBenchSystem(b)
+	const species = "Homo sapiens"
+	q := store.Query{Table: model.KindSample, Where: []store.Pred{store.Eq("species", species)}}
+	var expect int
+	err := sys.View(func(tx *store.Tx) error {
+		if err := tx.ScanRef(model.KindSample, func(r store.Record) bool {
+			if r.String("species") == species {
+				expect++
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		plan, err := tx.ExplainAgg(q.Count())
+		if err != nil {
+			return err
+		}
+		if plan.Agg != store.AggStrategyPostings {
+			return fmt.Errorf("plan %s: want %s", plan, store.AggStrategyPostings)
+		}
+		return nil
+	})
+	if err != nil || expect == 0 {
+		b.Fatalf("setup: expect=%d err=%v", expect, err)
+	}
+
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := sys.View(func(tx *store.Tx) error {
+				n, err := tx.QueryCount(q)
+				if err != nil {
+					return err
+				}
+				if n != expect {
+					return fmt.Errorf("counted %d, want %d", n, expect)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := sys.View(func(tx *store.Tx) error {
+				n := 0
+				if err := tx.ScanRef(model.KindSample, func(r store.Record) bool {
+					if r.String("species") == species {
+						n++
+					}
+					return true
+				}); err != nil {
+					return err
+				}
+				if n != expect {
+					return fmt.Errorf("scan counted %d, want %d", n, expect)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQ5_GroupBy is the acceptance benchmark for grouped aggregation
+// pushdown: the species histogram over every sample (the
+// /api/stats/sample?by=species shape). The planned path walks the species
+// index's distinct keys — O(distinct values) — while the retained
+// scan-and-fold baseline visits every row.
+func BenchmarkQ5_GroupBy(b *testing.B) {
+	sys := queryBenchSystem(b)
+	aq := store.Query{Table: model.KindSample}.GroupBy("species")
+	want := map[string]int{}
+	err := sys.View(func(tx *store.Tx) error {
+		if err := tx.ScanRef(model.KindSample, func(r store.Record) bool {
+			if s := r.String("species"); s != "" {
+				want[s]++
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		plan, err := tx.ExplainAgg(aq)
+		if err != nil {
+			return err
+		}
+		if plan.Agg != store.AggStrategyPostings {
+			return fmt.Errorf("plan %s: want %s", plan, store.AggStrategyPostings)
+		}
+		return nil
+	})
+	if err != nil || len(want) == 0 {
+		b.Fatalf("setup: %d species, err=%v", len(want), err)
+	}
+
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := sys.View(func(tx *store.Tx) error {
+				res, err := tx.Aggregate(aq)
+				if err != nil {
+					return err
+				}
+				if len(res.Groups) != len(want) {
+					return fmt.Errorf("%d groups, want %d", len(res.Groups), len(want))
+				}
+				for _, g := range res.Groups {
+					if g.Count() != want[g.Key.(string)] {
+						return fmt.Errorf("group %v = %d, want %d", g.Key, g.Count(), want[g.Key.(string)])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := sys.View(func(tx *store.Tx) error {
+				got := map[string]int{}
+				if err := tx.ScanRef(model.KindSample, func(r store.Record) bool {
+					if s := r.String("species"); s != "" {
+						got[s]++
+					}
+					return true
+				}); err != nil {
+					return err
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("scan folded %d groups, want %d", len(got), len(want))
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- D3: MVCC non-blocking reads under write load -------------------------------
 
 // BenchmarkD3_ReadUnderWriteLoad measures the portal's hot read shape — a

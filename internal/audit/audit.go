@@ -225,3 +225,42 @@ func (l *Log) Recent(tx *store.Tx, n int) ([]Entry, error) {
 
 // Count returns the total number of audit entries.
 func (l *Log) Count() int { return l.store.Count(auditTable) }
+
+// Summary is the monitoring rollup of the manipulation log: the total
+// entry count and the histograms over topics and actors.
+type Summary struct {
+	ByTopic map[string]int `json:"by_topic"`
+	ByActor map[string]int `json:"by_actor"`
+	Total   int            `json:"total"`
+}
+
+// Summarize computes the rollup from maintained counters: the total is
+// the table's live count and both histograms walk their index's distinct
+// keys (count(postings)) — cost is O(distinct topics + distinct actors),
+// never O(entries), no matter how long the system has been running.
+func (l *Log) Summarize(tx *store.Tx) (Summary, error) {
+	s := Summary{
+		ByTopic: map[string]int{},
+		ByActor: map[string]int{},
+		Total:   tx.Count(auditTable),
+	}
+	fill := func(field string, into map[string]int) error {
+		res, err := tx.Aggregate(store.Query{Table: auditTable}.GroupBy(field))
+		if err != nil {
+			return err
+		}
+		for _, g := range res.Groups {
+			if k, ok := g.Key.(string); ok {
+				into[k] = g.Count()
+			}
+		}
+		return nil
+	}
+	if err := fill("topic", s.ByTopic); err != nil {
+		return s, err
+	}
+	if err := fill("actor", s.ByActor); err != nil {
+		return s, err
+	}
+	return s, nil
+}

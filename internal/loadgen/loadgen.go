@@ -274,8 +274,9 @@ func Run(cfg Config) (*Report, error) {
 // mode, followed up to the primary's current seq, and served by its own
 // portal socket. Readers then browse replicated state while the primary
 // keeps committing; each replica's search index is knowingly empty
-// (replicated commits fire no events — see docs/replication.md), which
-// the search workload tolerates as zero hits.
+// (replicated commits fire no events — see docs/replication.md), so the
+// replica portal answers /api/search with 503 search_unavailable and the
+// search workload verifies exactly that refusal.
 func bootReplicas(cfg Config, sys *core.System) ([]string, func(), error) {
 	var cleanups []func()
 	cleanup := func() {

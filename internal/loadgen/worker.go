@@ -17,12 +17,13 @@ import (
 
 // Operation class names, the keys latency percentiles are reported under.
 const (
-	opBrowse = "browse"
-	opObject = "object"
-	opStats  = "stats"
-	opSearch = "search"
-	opTasks  = "tasks"
-	opWrite  = "write"
+	opBrowse     = "browse"
+	opObject     = "object"
+	opStats      = "stats"
+	opStatsGroup = "stats-group"
+	opSearch     = "search"
+	opTasks      = "tasks"
+	opWrite      = "write"
 )
 
 // failures collects validation failures across workers: the full count
@@ -58,13 +59,16 @@ type stream struct {
 type worker struct {
 	id     int
 	writer bool
-	base   string
-	client *http.Client
-	token  string
-	user   poolUser
-	rng    *rand.Rand
-	rec    *recorder
-	fails  *failures
+	// replica marks a worker pointed at a replica portal, where search is
+	// deliberately unavailable (503) rather than silently empty.
+	replica bool
+	base    string
+	client  *http.Client
+	token   string
+	user    poolUser
+	rng     *rand.Rand
+	rec     *recorder
+	fails   *failures
 
 	streams   []*stream
 	etags     map[string]string
@@ -76,17 +80,18 @@ type worker struct {
 	seq       int
 }
 
-func newWorker(id int, writer bool, base string, rt http.RoundTripper, u poolUser, timeout time.Duration, seed int64, fails *failures) *worker {
+func newWorker(id int, writer, replica bool, base string, rt http.RoundTripper, u poolUser, timeout time.Duration, seed int64, fails *failures) *worker {
 	w := &worker{
-		id:     id,
-		writer: writer,
-		base:   base,
-		client: &http.Client{Transport: rt, Timeout: timeout},
-		user:   u,
-		rng:    rand.New(rand.NewSource(seed)),
-		rec:    newRecorder(),
-		fails:  fails,
-		etags:  make(map[string]string),
+		id:      id,
+		writer:  writer,
+		replica: replica,
+		base:    base,
+		client:  &http.Client{Transport: rt, Timeout: timeout},
+		user:    u,
+		rng:     rand.New(rand.NewSource(seed)),
+		rec:     newRecorder(),
+		fails:   fails,
+		etags:   make(map[string]string),
 	}
 	for _, kind := range []string{model.KindSample, model.KindExtract, model.KindWorkunit, model.KindDataResource, model.KindProject} {
 		w.streams = append(w.streams, &stream{kind: kind, filter: url.Values{}})
@@ -189,11 +194,13 @@ func (w *worker) run(deadline time.Time) {
 		switch p := w.rng.Intn(100); {
 		case p < 45:
 			w.browseOp()
-		case p < 65:
+		case p < 63:
 			w.objectOp()
-		case p < 75:
+		case p < 71:
 			w.statsOp()
-		case p < 85:
+		case p < 77:
+			w.statsGroupOp()
+		case p < 87:
 			w.searchOp()
 		default:
 			w.tasksOp()
@@ -375,9 +382,96 @@ func (w *worker) statsOp() {
 	}
 }
 
+// statsGroupOp polls the grouped live-count endpoint the way a dashboard
+// widget would: rotating over a few kind/field pairs, replaying the last
+// validator half the time, and sanity-checking the histogram it gets
+// back.
+func (w *worker) statsGroupOp() {
+	pairs := [...][2]string{
+		{model.KindWorkunit, "state"},
+		{model.KindSample, "species"},
+		{model.KindDataResource, "format"},
+	}
+	pair := pairs[w.rng.Intn(len(pairs))]
+	path := "/api/stats/" + pair[0] + "?by=" + pair[1]
+	header := http.Header{}
+	conditional := false
+	if etag, ok := w.etags[path]; ok && w.rng.Intn(2) == 0 {
+		header.Set("If-None-Match", etag)
+		conditional = true
+	}
+	status, data, respHeader := w.request(opStatsGroup, "GET", path, nil, header, http.StatusOK, http.StatusNotModified)
+	switch status {
+	case http.StatusNotModified:
+		if !conditional {
+			w.fails.add(opStatsGroup, path+": 304 without If-None-Match")
+		}
+		if len(data) != 0 {
+			w.fails.add(opStatsGroup, path+": 304 with non-empty body")
+		}
+		return
+	case http.StatusOK:
+	default:
+		return
+	}
+	var out struct {
+		Kind   string `json:"kind"`
+		By     string `json:"by"`
+		Groups []struct {
+			Key   any `json:"key"`
+			Count int `json:"count"`
+		} `json:"groups"`
+		AsOf uint64 `json:"asOf"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		w.fails.add(opStatsGroup, path+": bad JSON: "+err.Error())
+		return
+	}
+	if out.Kind != pair[0] || out.By != pair[1] || out.AsOf == 0 {
+		w.fails.add(opStatsGroup, path+": wrong kind/by/asOf in body")
+		return
+	}
+	if len(out.Groups) == 0 {
+		w.fails.add(opStatsGroup, path+": empty histogram over populated table")
+		return
+	}
+	for _, g := range out.Groups {
+		if g.Count < 1 {
+			w.fails.add(opStatsGroup, fmt.Sprintf("%s: group %v with non-positive count %d", path, g.Key, g.Count))
+			break
+		}
+		if s, ok := g.Key.(string); ok && s == "" {
+			w.fails.add(opStatsGroup, path+": group with empty key")
+			break
+		}
+	}
+	if etag := respHeader.Get("ETag"); etag != "" {
+		w.etags[path] = etag
+	}
+}
+
 func (w *worker) searchOp() {
 	q := fmt.Sprintf("sample-%05d", 1+w.rng.Intn(256))
 	path := "/api/search?q=" + url.QueryEscape(q)
+	if w.replica {
+		// Replicas refuse search honestly instead of serving their empty
+		// index as zero hits; the refusal must be machine-readable and
+		// retryable.
+		status, data, respHeader := w.request(opSearch, "GET", path, nil, nil, http.StatusServiceUnavailable)
+		if status != http.StatusServiceUnavailable {
+			return
+		}
+		var env struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil || env.Code != "search_unavailable" {
+			w.fails.add(opSearch, path+": replica 503 without search_unavailable code")
+		}
+		if respHeader.Get("Retry-After") == "" {
+			w.fails.add(opSearch, path+": replica 503 without Retry-After")
+		}
+		return
+	}
 	status, data, _ := w.request(opSearch, "GET", path, nil, nil, http.StatusOK)
 	if status != http.StatusOK {
 		return
@@ -475,7 +569,7 @@ func drive(cfg Config, readerBases []string, writerBase string, users []poolUser
 		if !isWriter {
 			base = readerBases[i%len(readerBases)]
 		}
-		w := newWorker(i, isWriter, base, transport, users[i], cfg.Timeout, cfg.Seed+int64(i)*7919, fails)
+		w := newWorker(i, isWriter, base != writerBase, base, transport, users[i], cfg.Timeout, cfg.Seed+int64(i)*7919, fails)
 		if err := w.login(); err != nil {
 			return nil, fmt.Errorf("loadgen: %w", err)
 		}

@@ -520,7 +520,10 @@ func (db *DB) CollectStats() Stats {
 
 // CollectStatsTx counts the main entity populations against the caller's
 // pinned transaction, letting callers tie the table to a snapshot they
-// already hold (the portal's conditional /api/stats does).
+// already hold (the portal's conditional /api/stats and the dashboard
+// do). Every count reads the version's maintained live counter — the
+// aggregate engine's count(maintained) strategy — so the whole table
+// costs O(1) per kind regardless of population size.
 func (db *DB) CollectStatsTx(tx *store.Tx) Stats {
 	return Stats{
 		Users:         tx.Count(KindUser),
@@ -532,4 +535,95 @@ func (db *DB) CollectStatsTx(tx *store.Tx) Stats {
 		DataResources: tx.Count(KindDataResource),
 		Workunits:     tx.Count(KindWorkunit),
 	}
+}
+
+// ProjectStats summarizes one project's holdings: live counts of its
+// samples, extracts, workunits and data resources, plus the workunit
+// state histogram. Sample and workunit counts come straight from index
+// postings lengths (count(postings)); extracts and resources hang one
+// reference away, so their counts sum the postings of the resolved
+// foreign-key batch — no row of any of the four tables is materialized.
+type ProjectStats struct {
+	Project          int64          `json:"project"`
+	Samples          int            `json:"samples"`
+	Extracts         int            `json:"extracts"`
+	Workunits        int            `json:"workunits"`
+	DataResources    int            `json:"dataresources"`
+	WorkunitsByState map[string]int `json:"workunits_by_state"`
+}
+
+// ProjectStats collects the per-project reporting counts the portal's
+// project pages and the curation progress views are built from.
+func (db *DB) ProjectStats(tx *store.Tx, project int64) (ProjectStats, error) {
+	ps := ProjectStats{Project: project, WorkunitsByState: map[string]int{}}
+	var err error
+	byProject := func(kind string) store.Query {
+		return store.Query{Table: kind, Where: []store.Pred{store.Eq("project", project)}}
+	}
+	if ps.Samples, err = tx.QueryCount(byProject(KindSample)); err != nil {
+		return ps, err
+	}
+	if ps.Workunits, err = tx.QueryCount(byProject(KindWorkunit)); err != nil {
+		return ps, err
+	}
+	sids, err := tx.Lookup(KindSample, "project", project)
+	if err != nil {
+		return ps, err
+	}
+	if ps.Extracts, err = tx.QueryCount(store.Query{
+		Table: KindExtract, Where: []store.Pred{store.InIDs("sample", sids)},
+	}); err != nil {
+		return ps, err
+	}
+	wids, err := tx.Lookup(KindWorkunit, "project", project)
+	if err != nil {
+		return ps, err
+	}
+	if ps.DataResources, err = tx.QueryCount(store.Query{
+		Table: KindDataResource, Where: []store.Pred{store.InIDs("workunit", wids)},
+	}); err != nil {
+		return ps, err
+	}
+	res, err := tx.Aggregate(byProject(KindWorkunit).GroupBy("state"))
+	if err != nil {
+		return ps, err
+	}
+	for _, g := range res.Groups {
+		if state, ok := g.Key.(string); ok {
+			ps.WorkunitsByState[state] = g.Count()
+		}
+	}
+	return ps, nil
+}
+
+// GroupedCount is one bucket of a grouped live count.
+type GroupedCount struct {
+	Key   any `json:"key"`
+	Count int `json:"count"`
+}
+
+// CountsBy returns the live-count histogram of one kind grouped by an
+// indexed (or unique) field, ordered by key — the backing of the
+// portal's GET /api/stats/{kind}?by=field. The aggregate engine answers
+// it by walking the grouping index's keys (count(postings)): O(distinct
+// values), never O(rows). Unindexed fields are refused rather than
+// silently degraded to a table scan.
+func (db *DB) CountsBy(tx *store.Tx, kind, field string) ([]GroupedCount, error) {
+	k := db.rg.Kind(kind)
+	if k == nil {
+		return nil, fmt.Errorf("model: %q: %w", kind, entity.ErrUnknownKind)
+	}
+	f := k.Field(field)
+	if f == nil || !(f.Indexed || f.Unique || f.Type == entity.Ref) {
+		return nil, fmt.Errorf("model: %s has no indexed field %q to group by: %w", kind, field, store.ErrBadQuery)
+	}
+	res, err := tx.Aggregate(store.Query{Table: kind}.GroupBy(field))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupedCount, len(res.Groups))
+	for i, g := range res.Groups {
+		out[i] = GroupedCount{Key: g.Key, Count: g.Count()}
+	}
+	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/audit"
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/entity"
@@ -136,7 +137,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/logout", s.auth(s.handleLogout))
 
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/stats/{kind}", s.auth(s.handleStatsGrouped))
 	s.mux.HandleFunc("GET /api/tasks", s.auth(s.handleTasks))
+	s.mux.HandleFunc("GET /api/tasks/summary", s.auth(s.handleTaskSummary))
 	s.mux.HandleFunc("POST /api/tasks/{id}/complete", s.auth(s.handleCompleteTask))
 
 	s.mux.HandleFunc("POST /api/samples", s.auth(s.handleCreateSample))
@@ -173,6 +176,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/search/export", s.auth(s.handleExport))
 
 	s.mux.HandleFunc("GET /api/audit/recent", s.auth(s.handleAuditRecent))
+	s.mux.HandleFunc("GET /api/audit/summary", s.auth(s.handleAuditSummary))
 
 	s.mux.HandleFunc("GET /api/projects/{id}/export", s.auth(s.handleExportProject))
 	s.mux.HandleFunc("POST /api/projects/import", s.auth(s.handleImportProject))
@@ -403,13 +407,43 @@ var dashboardTmpl = template.Must(template.New("dash").Parse(`<!DOCTYPE html>
 </table>
 </body></html>`))
 
+// handleDashboard renders the landing-page statistics table. The table is
+// fully determined by the pinned store version — every cell is an O(1)
+// maintained live count — so the page carries the seq-keyed validator and
+// a matching If-None-Match answers 304 before any counting or templating
+// runs, same contract as /api/stats.
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
+	inm := r.Header.Get("If-None-Match")
+	var st model.Stats
+	notModified := false
+	var etag string
+	err := s.sys.View(func(tx *store.Tx) error {
+		etag = etagFor(tx.Snapshot())
+		if inm != "" && etagMatch(inm, etag) {
+			notModified = true
+			return nil
+		}
+		st = s.sys.DB.CollectStatsTx(tx)
+		return nil
+	})
+	if err != nil {
+		// A closed store refuses transactions; render the final version
+		// unconditionally.
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = dashboardTmpl.Execute(w, s.sys.DB.CollectStats())
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if notModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_ = dashboardTmpl.Execute(w, s.sys.DB.CollectStats())
+	_ = dashboardTmpl.Execute(w, st)
 }
 
 // handleStats serves the deployment statistics table conditionally: the
@@ -442,6 +476,104 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStatsGrouped serves the live-count histogram of one kind grouped
+// by an indexed field — GET /api/stats/{kind}?by=field. The aggregate
+// engine answers it by walking the grouping index's distinct keys
+// (count(postings)): cost is O(distinct values), never O(rows), so the
+// endpoint is safe to poll at any population size. The response is fully
+// determined by the pinned version, so it carries the same seq-keyed
+// validator as /api/stats; explain=1 appends the executed aggregate plan.
+func (s *Server) handleStatsGrouped(w http.ResponseWriter, r *http.Request) {
+	kindName := r.PathValue("kind")
+	if s.sys.Registry.Kind(kindName) == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("portal: unknown kind %q", kindName))
+		return
+	}
+	by := r.URL.Query().Get("by")
+	if by == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("portal: missing by=<field> parameter"))
+		return
+	}
+	explain := r.URL.Query().Get("explain") == "1"
+	inm := r.Header.Get("If-None-Match")
+	var groups []model.GroupedCount
+	var plan string
+	var asOf uint64
+	notModified := false
+	err := s.sys.View(func(tx *store.Tx) error {
+		asOf = tx.Snapshot()
+		if inm != "" && etagMatch(inm, etagFor(asOf)) {
+			notModified = true
+			return nil
+		}
+		var err error
+		if groups, err = s.sys.DB.CountsBy(tx, kindName, by); err != nil {
+			return err
+		}
+		if explain {
+			p, err := tx.ExplainAgg(store.Query{Table: kindName}.GroupBy(by))
+			if err != nil {
+				return err
+			}
+			plan = p.String()
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	etag := etagFor(asOf)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "private")
+	if notModified {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	resp := map[string]any{"kind": kindName, "by": by, "groups": groups, "asOf": asOf}
+	if explain {
+		resp["plan"] = plan
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTaskSummary reports the task-queue health snapshot: per-state
+// counts and the open backlog per role queue, all from maintained
+// counters.
+func (s *Server) handleTaskSummary(w http.ResponseWriter, r *http.Request) {
+	var out tasks.Summary
+	err := s.sys.View(func(tx *store.Tx) error {
+		var err error
+		out, err = s.sys.Tasks.Summarize(tx)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAuditSummary reports the manipulation-log rollup (admin only,
+// like the raw log itself).
+func (s *Server) handleAuditSummary(w http.ResponseWriter, r *http.Request) {
+	login := loginOf(r)
+	var out audit.Summary
+	err := s.sys.View(func(tx *store.Tx) error {
+		if err := s.sys.Auth.RequireRole(tx, login, model.RoleAdmin); err != nil {
+			return err
+		}
+		var err error
+		out, err = s.sys.Audit.Summarize(tx)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // --- health probes ---------------------------------------------------------------
@@ -1402,7 +1534,26 @@ func (s *Server) handleWorkflowDOT(w http.ResponseWriter, r *http.Request) {
 
 // --- search ------------------------------------------------------------------------------
 
+// searchUnavailable answers 503 on replica portals, where the in-memory
+// search index is knowingly empty: the index is built from write-path
+// events the replica never sees (it applies raw WAL frames). Serving an
+// empty index would return zero hits for everything — indistinguishable
+// from "nothing matched" — so the replica refuses honestly with a
+// machine-readable code and Retry-After instead of silently lying;
+// clients route /api/search to the primary (see docs/replication.md).
+func (s *Server) searchUnavailable(w http.ResponseWriter) bool {
+	if s.replicaStatus == nil {
+		return false
+	}
+	writeErrCode(w, http.StatusServiceUnavailable, "search_unavailable",
+		errors.New("portal: search is not available on a read replica, query the primary"))
+	return true
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.searchUnavailable(w) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	hits, err := s.sys.Search.Search(loginOf(r), q)
 	if err != nil {
@@ -1450,6 +1601,9 @@ func (s *Server) handleSavedQueries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if s.searchUnavailable(w) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	hits, err := s.sys.Search.Search(loginOf(r), q)
 	if err != nil {

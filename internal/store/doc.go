@@ -85,4 +85,18 @@
 // as residual filters; Tx.Explain returns the exact Plan the executor
 // follows. See docs/query.md for the query model, planner rules and
 // cursor semantics.
+//
+// # Aggregation
+//
+// Query.Count, Query.GroupBy and Query.Aggregate build aggregate forms
+// (Count/Min/Max/Sum, optionally grouped) executed by Tx.QueryCount and
+// Tx.Aggregate through the same planner. Predicate-free counts read the
+// table's maintained live counter O(1); fully-indexed counts and
+// groupings sum index postings lengths or walk the index's keys,
+// adjusting for the transaction's overlay without materializing rows;
+// everything else folds inside the streaming iterator. The per-table
+// counts and postings are themselves the maintained counters — updated
+// by every commit, rebuilt by recovery and replica replay. Tx.ExplainAgg
+// names the chosen strategy. See the Aggregation section of
+// docs/query.md.
 package store

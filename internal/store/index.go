@@ -36,6 +36,32 @@ func keyFor(v any) (indexKey, bool) {
 	}
 }
 
+// decodeKey converts an index key back to the field value it encodes —
+// the inverse of keyFor, used by grouped aggregates to report group keys
+// without reading any row. Every key keyFor produces decodes.
+func decodeKey(k indexKey) (any, bool) {
+	if len(k) < 2 || k[1] != ':' {
+		return nil, false
+	}
+	body := string(k[2:])
+	switch k[0] {
+	case 's':
+		return body, true
+	case 'i':
+		n, err := strconv.ParseInt(body, 10, 64)
+		return n, err == nil
+	case 'f':
+		f, err := strconv.ParseFloat(body, 64)
+		return f, err == nil
+	case 'b':
+		return body == "1", true
+	case 't':
+		ts, err := time.Parse(time.RFC3339Nano, body)
+		return ts, err == nil
+	}
+	return nil, false
+}
+
 // Index postings are spread over hash shards arranged as a two-level
 // radix: ixGroupCount groups of ixGroupSize shard maps each. Sharding
 // exists for the copy-on-write commit path: a commit privatizes only the
@@ -196,6 +222,29 @@ func (ix *index) removeKey(key indexKey, id int64) {
 		return
 	}
 	ix.setPostings(key, ids)
+}
+
+// walkKeys calls fn for every key with postings, in shard order (that
+// is, unordered with respect to key values), sharing each postings slice
+// (callers must not mutate). fn returning false stops the walk. This is
+// the grouped-count access path: the distinct keys of the index and
+// their live-row counts, without touching a single record.
+func (ix *index) walkKeys(fn func(key indexKey, ids []int64) bool) {
+	for _, g := range ix.groups {
+		if g == nil {
+			continue
+		}
+		for _, m := range g {
+			for key, ids := range m {
+				if len(ids) == 0 {
+					continue
+				}
+				if !fn(key, ids) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // lookup returns the sorted IDs of rows whose indexed field equals v. The

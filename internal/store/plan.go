@@ -75,17 +75,40 @@ type Plan struct {
 	OrderBy string
 	Desc    bool
 	Limit   int
+	// Agg names the aggregate strategy for aggregate queries —
+	// AggStrategyMaintained, AggStrategyPostings or AggStrategyScanFold —
+	// and is empty for row queries.
+	Agg string
+	// GroupField echoes the aggregate's GroupBy field.
+	GroupField string
 }
 
 // String renders the plan in the compact one-line form used by Explain
 // output and the portal's explain mode, e.g.
 //
 //	sample: index(project) keys=1 est=37 residual=[species] order=id limit=50
+//
+// Aggregate plans lead with their strategy instead of the access path:
+//
+//	workunit: agg=count(postings) by=state via index(state) est=1543
 func (p Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s", p.Table, p.Access)
-	if p.Field != "" {
-		fmt.Fprintf(&b, "(%s)", p.Field)
+	if p.Agg != "" {
+		fmt.Fprintf(&b, "%s: agg=%s", p.Table, p.Agg)
+		if p.GroupField != "" {
+			fmt.Fprintf(&b, " by=%s", p.GroupField)
+		}
+		if p.Agg != AggStrategyMaintained {
+			fmt.Fprintf(&b, " via %s", p.Access)
+			if p.Field != "" {
+				fmt.Fprintf(&b, "(%s)", p.Field)
+			}
+		}
+	} else {
+		fmt.Fprintf(&b, "%s: %s", p.Table, p.Access)
+		if p.Field != "" {
+			fmt.Fprintf(&b, "(%s)", p.Field)
+		}
 	}
 	if p.Access == AccessScan && (p.ScanFrom != 0 || p.ScanTo != 0) {
 		from, to := "1", "∞"
@@ -103,6 +126,10 @@ func (p Plan) String() string {
 	fmt.Fprintf(&b, " est=%d", p.EstRows)
 	if len(p.Residual) > 0 {
 		fmt.Fprintf(&b, " residual=[%s]", strings.Join(p.Residual, ","))
+	}
+	if p.Agg != "" {
+		// Ordering, sorting and limits do not apply to aggregates.
+		return b.String()
 	}
 	order := p.OrderBy
 	if order == "" {

@@ -475,8 +475,10 @@ func (tx *Tx) Exists(tableName string, id int64) bool {
 }
 
 // Count returns the number of live records in the table as seen by the
-// transaction: the pinned snapshot's count adjusted for the transaction's
-// own inserts and deletes.
+// transaction: the version's incrementally maintained live count (every
+// commit publishes it alongside the chunks — see applyOverlay) adjusted
+// for the transaction's own inserts and deletes. O(1) plus the overlay
+// size; this is the "count(maintained)" strategy of aggregate plans.
 func (tx *Tx) Count(tableName string) int {
 	if tx.done {
 		return 0
@@ -485,6 +487,11 @@ func (tx *Tx) Count(tableName string) int {
 	if err != nil {
 		return 0
 	}
+	return tx.liveCount(tableName, t)
+}
+
+// liveCount is Count against an already-resolved table.
+func (tx *Tx) liveCount(tableName string, t *table) int {
 	n := t.count
 	if o, ok := tx.pending[tableName]; ok {
 		for id := range o.writes {

@@ -427,6 +427,14 @@ type keyDelta struct {
 // one remove and one add on each key, never a transient collision. Rows
 // whose indexed key is unchanged generate no delta at all, so a rewrite
 // that does not move a row never detaches (copies) the key's postings.
+//
+// The same delta merge is what keeps the version's live counters
+// maintained: the per-table count (table.count, incremented/decremented
+// as chunk slots flip) and the per-(field,key) counts — materialized as
+// the postings lengths the merged slices carry — are published on every
+// committed version, so Tx.Count and the aggregate strategies
+// count(maintained)/count(postings) read them O(1) instead of ever
+// recounting rows.
 func applyOverlay(base *version, pending map[string]*txTable) (*version, error) {
 	nv := base.withTables()
 	nv.seq = base.seq + 1

@@ -246,13 +246,58 @@ func (e *Engine) OpenForObject(tx *store.Tx, kind string, ref int64) ([]Task, er
 	return out, rows.Err()
 }
 
-// CountOpen returns the number of open tasks in the system.
+// CountOpen returns the number of open tasks in the system. The count is
+// answered from the state index's postings length (the planner's
+// count(postings) strategy) — no id slice is materialized.
 func (e *Engine) CountOpen(tx *store.Tx) (int, error) {
-	ids, err := tx.Lookup(tasksTable, "state", StateOpen)
-	if err != nil {
-		return 0, err
+	return tx.QueryCount(store.Query{
+		Table: tasksTable,
+		Where: []store.Pred{store.Eq("state", StateOpen)},
+	})
+}
+
+// Summary is the task-queue health snapshot the portal's operations view
+// renders: how many tasks sit in each state, and how the open backlog
+// splits across role queues.
+type Summary struct {
+	ByState    map[string]int `json:"by_state"`
+	OpenByRole map[string]int `json:"open_by_role"`
+	Total      int            `json:"total"`
+}
+
+// Summarize computes the snapshot from maintained counters: the state
+// histogram walks the state index's distinct keys, the per-role open
+// backlog folds the open postings through the assignee_role residual,
+// and the total is the table's live count — no task record's full task
+// list is ever built.
+func (e *Engine) Summarize(tx *store.Tx) (Summary, error) {
+	s := Summary{
+		ByState:    map[string]int{},
+		OpenByRole: map[string]int{},
+		Total:      tx.Count(tasksTable),
 	}
-	return len(ids), nil
+	states, err := tx.Aggregate(store.Query{Table: tasksTable}.GroupBy("state"))
+	if err != nil {
+		return s, err
+	}
+	for _, g := range states.Groups {
+		if state, ok := g.Key.(string); ok {
+			s.ByState[state] = g.Count()
+		}
+	}
+	roles, err := tx.Aggregate(store.Query{
+		Table: tasksTable,
+		Where: []store.Pred{store.Eq("state", StateOpen)},
+	}.GroupBy("assignee_role"))
+	if err != nil {
+		return s, err
+	}
+	for _, g := range roles.Groups {
+		if role, ok := g.Key.(string); ok && role != "" {
+			s.OpenByRole[role] = g.Count()
+		}
+	}
+	return s, nil
 }
 
 // --- event-driven derivation ------------------------------------------------

@@ -1,0 +1,462 @@
+// Golden equivalence tests for aggregation pushdown: every aggregate the
+// engine computes — whatever strategy the planner picks — must agree
+// exactly with a hand-rolled scan-and-fold over the same snapshot, on the
+// genload-populated store (the FGCZ deployment shape at reduced scale).
+// Randomized predicate/group/aggregate combinations sweep the strategy
+// space; the reporting consumers (model stats, tasks/audit summaries) are
+// checked against the same baseline.
+package repro_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/tasks"
+)
+
+// aggMatchEq is the type-strict Go-side equality the reference fold uses:
+// exactly the comparisons the engine's index keys encode.
+func aggMatchEq(v, want any) bool {
+	switch w := want.(type) {
+	case string:
+		x, ok := v.(string)
+		return ok && x == w
+	case int64:
+		x, ok := v.(int64)
+		return ok && x == w
+	case float64:
+		x, ok := v.(float64)
+		return ok && x == w
+	case bool:
+		x, ok := v.(bool)
+		return ok && x == w
+	case time.Time:
+		x, ok := v.(time.Time)
+		return ok && x.Equal(w)
+	default:
+		return false
+	}
+}
+
+// refGroup is one group of the reference fold.
+type refGroup struct {
+	n    int
+	sumI int64
+	sumF float64
+	isF  bool
+}
+
+// aggKeyString renders a group key the same way for engine and reference
+// results, so maps compare.
+func aggKeyString(v any) string {
+	switch x := v.(type) {
+	case time.Time:
+		return "t:" + x.UTC().Format(time.RFC3339Nano)
+	default:
+		return fmt.Sprintf("%T:%v", v, v)
+	}
+}
+
+func TestAggEquivalenceRandomized(t *testing.T) {
+	sys := equivSystem(t)
+	rng := rand.New(rand.NewSource(20100226))
+	type kindShape struct {
+		table       string
+		predFields  []string // Eq/In candidates, indexed and not
+		groupFields []string // GroupBy candidates, indexed and not
+		sumField    string   // numeric field for Sum/Min/Max, "" = use id
+	}
+	shapes := []kindShape{
+		{model.KindSample, []string{"project", "species", "disease_state", "tissue", "name"}, []string{"species", "disease_state", "project", "tissue"}, ""},
+		{model.KindWorkunit, []string{"project", "state", "name"}, []string{"state", "project"}, ""},
+		{model.KindDataResource, []string{"workunit", "format", "is_input"}, []string{"format", "linked"}, "size_bytes"},
+		{model.KindExtract, []string{"sample", "label"}, []string{"label"}, "concentration"},
+	}
+	err := sys.View(func(tx *store.Tx) error {
+		for _, shape := range shapes {
+			// The scan baseline reads shared record refs; they are only read.
+			all := scanRecords(t, tx, shape.table, func(store.Record) bool { return true })
+			if len(all) == 0 {
+				t.Fatalf("%s: empty population", shape.table)
+			}
+			for iter := 0; iter < 40; iter++ {
+				// Random predicate set: 0..2 Eq/In predicates over values
+				// that actually occur.
+				var preds []store.Pred
+				var keeps []func(store.Record) bool
+				for range rng.Intn(3) {
+					field := shape.predFields[rng.Intn(len(shape.predFields))]
+					var vals []any
+					for len(vals) < 1+rng.Intn(3) {
+						v := all[rng.Intn(len(all))][field]
+						if v == nil {
+							break
+						}
+						vals = append(vals, v)
+					}
+					if len(vals) == 0 {
+						continue
+					}
+					if len(vals) == 1 {
+						preds = append(preds, store.Eq(field, vals[0]))
+					} else {
+						preds = append(preds, store.In(field, vals...))
+					}
+					f, vs := field, vals
+					keeps = append(keeps, func(r store.Record) bool {
+						for _, want := range vs {
+							if aggMatchEq(r[f], want) {
+								return true
+							}
+						}
+						return false
+					})
+				}
+				keep := func(r store.Record) bool {
+					for _, k := range keeps {
+						if !k(r) {
+							return false
+						}
+					}
+					return true
+				}
+				q := store.Query{Table: shape.table, Where: preds}
+
+				sumField := shape.sumField
+				if sumField == "" {
+					sumField = store.IDField
+				}
+				grouped := rng.Intn(2) == 0
+				var aq store.AggQuery
+				var groupField string
+				if grouped {
+					groupField = shape.groupFields[rng.Intn(len(shape.groupFields))]
+					aq = q.GroupBy(groupField, store.Count(), store.Sum(sumField))
+				} else {
+					aq = q.Aggregate(store.Count(), store.Sum(sumField))
+				}
+
+				res, err := tx.Aggregate(aq)
+				if err != nil {
+					return fmt.Errorf("%s iter %d: %w", shape.table, iter, err)
+				}
+				if ep, err := tx.ExplainAgg(aq); err != nil || ep.Agg != res.Plan().Agg {
+					t.Errorf("%s iter %d: explain strategy %q (err %v) != executed %q",
+						shape.table, iter, ep.Agg, err, res.Plan().Agg)
+				}
+
+				// Reference: scan, filter, fold.
+				ref := map[string]*refGroup{}
+				refKeys := map[string]any{}
+				for _, r := range all {
+					if !keep(r) {
+						continue
+					}
+					gk := ""
+					if grouped {
+						gv := any(r.ID())
+						if groupField != store.IDField {
+							gv = r[groupField]
+						}
+						switch gv.(type) {
+						case string, int64, float64, bool, time.Time:
+						default:
+							continue // unindexable grouping value: no group
+						}
+						gk = aggKeyString(gv)
+						refKeys[gk] = gv
+					}
+					g := ref[gk]
+					if g == nil {
+						g = &refGroup{}
+						ref[gk] = g
+					}
+					g.n++
+					var sv any = r.ID()
+					if sumField != store.IDField {
+						sv = r[sumField]
+					}
+					switch x := sv.(type) {
+					case int64:
+						g.sumI += x
+					case float64:
+						g.sumF += x
+						g.isF = true
+					}
+				}
+				if !grouped && len(ref) == 0 {
+					ref[""] = &refGroup{}
+				}
+
+				if len(res.Groups) != len(ref) {
+					t.Errorf("%s iter %d (%s): %d groups, scan-fold %d",
+						shape.table, iter, res.Plan(), len(res.Groups), len(ref))
+					continue
+				}
+				for _, g := range res.Groups {
+					gk := ""
+					if grouped {
+						gk = aggKeyString(g.Key)
+					}
+					want := ref[gk]
+					if want == nil {
+						t.Errorf("%s iter %d (%s): unexpected group %v",
+							shape.table, iter, res.Plan(), g.Key)
+						continue
+					}
+					if g.Count() != want.n {
+						t.Errorf("%s iter %d (%s): group %v count %d, scan-fold %d",
+							shape.table, iter, res.Plan(), g.Key, g.Count(), want.n)
+					}
+					switch got := g.Aggs[1].(type) {
+					case int64:
+						if want.isF || got != want.sumI {
+							t.Errorf("%s iter %d: group %v sum %d, scan-fold %v/%v",
+								shape.table, iter, g.Key, got, want.sumI, want.sumF)
+						}
+					case float64:
+						wantSum := want.sumF + float64(want.sumI)
+						if math.Abs(got-wantSum) > 1e-6*math.Max(1, math.Abs(wantSum)) {
+							t.Errorf("%s iter %d: group %v sum %v, scan-fold %v",
+								shape.table, iter, g.Key, got, wantSum)
+						}
+					default:
+						t.Errorf("%s iter %d: group %v sum has type %T", shape.table, iter, g.Key, g.Aggs[1])
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggStatsConsumers checks the reporting surfaces rebuilt onto the
+// aggregate engine against the scan baseline: the dashboard stats, the
+// per-project rollup and the grouped histogram backing /api/stats/{kind}.
+func TestAggStatsConsumers(t *testing.T) {
+	sys := equivSystem(t)
+	db := sys.DB
+	err := sys.View(func(tx *store.Tx) error {
+		countScan := func(table string, keep func(store.Record) bool) int {
+			return len(scanRecords(t, tx, table, keep))
+		}
+		everything := func(store.Record) bool { return true }
+
+		st := db.CollectStatsTx(tx)
+		for _, c := range []struct {
+			kind string
+			got  int
+		}{
+			{model.KindUser, st.Users}, {model.KindProject, st.Projects},
+			{model.KindSample, st.Samples}, {model.KindExtract, st.Extracts},
+			{model.KindDataResource, st.DataResources}, {model.KindWorkunit, st.Workunits},
+		} {
+			if want := countScan(c.kind, everything); c.got != want {
+				t.Errorf("CollectStatsTx %s = %d, scan %d", c.kind, c.got, want)
+			}
+		}
+
+		for pid := int64(1); pid <= 5; pid++ {
+			ps, err := db.ProjectStats(tx, pid)
+			if err != nil {
+				return err
+			}
+			inProject := func(r store.Record) bool { return r.Int("project") == pid }
+			if want := countScan(model.KindSample, inProject); ps.Samples != want {
+				t.Errorf("ProjectStats(%d).Samples = %d, scan %d", pid, ps.Samples, want)
+			}
+			if want := countScan(model.KindWorkunit, inProject); ps.Workunits != want {
+				t.Errorf("ProjectStats(%d).Workunits = %d, scan %d", pid, ps.Workunits, want)
+			}
+			sampleSet := map[int64]bool{}
+			for _, r := range scanRecords(t, tx, model.KindSample, inProject) {
+				sampleSet[r.ID()] = true
+			}
+			if want := countScan(model.KindExtract, func(r store.Record) bool { return sampleSet[r.Int("sample")] }); ps.Extracts != want {
+				t.Errorf("ProjectStats(%d).Extracts = %d, scan %d", pid, ps.Extracts, want)
+			}
+			wuSet := map[int64]bool{}
+			for _, r := range scanRecords(t, tx, model.KindWorkunit, inProject) {
+				wuSet[r.ID()] = true
+			}
+			if want := countScan(model.KindDataResource, func(r store.Record) bool { return wuSet[r.Int("workunit")] }); ps.DataResources != want {
+				t.Errorf("ProjectStats(%d).DataResources = %d, scan %d", pid, ps.DataResources, want)
+			}
+			wantStates := map[string]int{}
+			for _, r := range scanRecords(t, tx, model.KindWorkunit, inProject) {
+				wantStates[r.String("state")]++
+			}
+			if len(ps.WorkunitsByState) != len(wantStates) {
+				t.Errorf("ProjectStats(%d) states %v, scan %v", pid, ps.WorkunitsByState, wantStates)
+			}
+			for s, n := range wantStates {
+				if ps.WorkunitsByState[s] != n {
+					t.Errorf("ProjectStats(%d) state %s = %d, scan %d", pid, s, ps.WorkunitsByState[s], n)
+				}
+			}
+		}
+
+		for _, c := range [][2]string{
+			{model.KindWorkunit, "state"},
+			{model.KindSample, "species"},
+			{model.KindDataResource, "format"},
+			{model.KindSample, "project"}, // Ref field: indexed via registry
+			{model.KindUser, "login"},     // unique index groups too
+		} {
+			groups, err := db.CountsBy(tx, c[0], c[1])
+			if err != nil {
+				return fmt.Errorf("CountsBy(%s, %s): %w", c[0], c[1], err)
+			}
+			want := map[string]int{}
+			for _, r := range scanRecords(t, tx, c[0], everything) {
+				if v := r[c[1]]; v != nil {
+					want[aggKeyString(v)]++
+				}
+			}
+			if len(groups) != len(want) {
+				t.Errorf("CountsBy(%s, %s): %d groups, scan %d", c[0], c[1], len(groups), len(want))
+			}
+			for _, g := range groups {
+				if got, w := g.Count, want[aggKeyString(g.Key)]; got != w {
+					t.Errorf("CountsBy(%s, %s) group %v = %d, scan %d", c[0], c[1], g.Key, got, w)
+				}
+			}
+		}
+
+		// Validation: unknown kinds 404-class, unindexed fields refuse.
+		if _, err := db.CountsBy(tx, "nope", "state"); !errors.Is(err, entity.ErrUnknownKind) {
+			t.Errorf("CountsBy(nope): %v, want ErrUnknownKind", err)
+		}
+		if _, err := db.CountsBy(tx, model.KindSample, "tissue"); !errors.Is(err, store.ErrBadQuery) {
+			t.Errorf("CountsBy(sample, tissue): %v, want ErrBadQuery (not indexed)", err)
+		}
+		if _, err := db.CountsBy(tx, model.KindSample, "bogus"); !errors.Is(err, store.ErrBadQuery) {
+			t.Errorf("CountsBy(sample, bogus): %v, want ErrBadQuery", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggTaskAuditSummaries checks the tasks and audit rollups against
+// the scan baseline on a mixed task population.
+func TestAggTaskAuditSummaries(t *testing.T) {
+	sys := equivSystem(t)
+	err := sys.Update(func(tx *store.Tx) error {
+		for i := 0; i < 30; i++ {
+			task := tasks.Task{
+				Type:  tasks.TypeAssignExtracts,
+				Title: fmt.Sprintf("task %d", i),
+				Kind:  model.KindWorkunit,
+				Ref:   int64(i%5 + 1),
+			}
+			if i%2 == 0 {
+				task.AssigneeRole = "expert"
+			} else {
+				task.AssigneeRole = "admin"
+			}
+			id, err := sys.Tasks.Create(tx, task)
+			if err != nil {
+				return err
+			}
+			if i%5 == 0 {
+				if err := sys.Tasks.Complete(tx, "closer", id); err != nil {
+					return err
+				}
+			} else if i%7 == 0 {
+				if err := sys.Tasks.Cancel(tx, "closer", id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.View(func(tx *store.Tx) error {
+		sum, err := sys.Tasks.Summarize(tx)
+		if err != nil {
+			return err
+		}
+		all := scanRecords(t, tx, "task", func(store.Record) bool { return true })
+		if sum.Total != len(all) {
+			t.Errorf("tasks total %d, scan %d", sum.Total, len(all))
+		}
+		wantState, wantRole := map[string]int{}, map[string]int{}
+		for _, r := range all {
+			wantState[r.String("state")]++
+			if r.String("state") == tasks.StateOpen && r.String("assignee_role") != "" {
+				wantRole[r.String("assignee_role")]++
+			}
+		}
+		for s, n := range wantState {
+			if sum.ByState[s] != n {
+				t.Errorf("tasks state %s = %d, scan %d", s, sum.ByState[s], n)
+			}
+		}
+		if len(sum.ByState) != len(wantState) {
+			t.Errorf("tasks states %v, scan %v", sum.ByState, wantState)
+		}
+		for role, n := range wantRole {
+			if sum.OpenByRole[role] != n {
+				t.Errorf("tasks open role %s = %d, scan %d", role, sum.OpenByRole[role], n)
+			}
+		}
+		if len(sum.OpenByRole) != len(wantRole) {
+			t.Errorf("tasks roles %v, scan %v", sum.OpenByRole, wantRole)
+		}
+
+		n, err := sys.Tasks.CountOpen(tx)
+		if err != nil {
+			return err
+		}
+		if want := wantState[tasks.StateOpen]; n != want {
+			t.Errorf("CountOpen = %d, scan %d", n, want)
+		}
+
+		asum, err := sys.Audit.Summarize(tx)
+		if err != nil {
+			return err
+		}
+		entries := scanRecords(t, tx, "_audit", func(store.Record) bool { return true })
+		if asum.Total != len(entries) {
+			t.Errorf("audit total %d, scan %d", asum.Total, len(entries))
+		}
+		wantTopic, wantActor := map[string]int{}, map[string]int{}
+		for _, r := range entries {
+			wantTopic[r.String("topic")]++
+			wantActor[r.String("actor")]++
+		}
+		if len(asum.ByTopic) != len(wantTopic) || len(asum.ByActor) != len(wantActor) {
+			t.Errorf("audit histogram sizes: topics %d/%d actors %d/%d",
+				len(asum.ByTopic), len(wantTopic), len(asum.ByActor), len(wantActor))
+		}
+		for k, n := range wantTopic {
+			if asum.ByTopic[k] != n {
+				t.Errorf("audit topic %s = %d, scan %d", k, asum.ByTopic[k], n)
+			}
+		}
+		for k, n := range wantActor {
+			if asum.ByActor[k] != n {
+				t.Errorf("audit actor %s = %d, scan %d", k, asum.ByActor[k], n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
