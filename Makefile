@@ -1,4 +1,4 @@
-.PHONY: build test race bench verify bench-compare bench-ingest bench-agg test-faults bench-faults bench-http bench-http-smoke bench-http-replicas test-repl
+.PHONY: build test race bench verify bench-compare bench-ingest bench-agg test-faults bench-faults bench-http bench-http-smoke bench-http-replicas bench-http-failover test-repl test-chaos
 
 build:
 	go build ./...
@@ -44,6 +44,21 @@ test-repl:
 		-run 'TestFollowerFaultCampaign|TestKillNineFollowerConvergence|TestFollowerScanPaginationStress|TestDivergenceResync|TestBackup' \
 		./internal/repl ./internal/store
 
+# The promotion chaos campaign, exhaustive: every network fault mode
+# (latency, throttle, torn connections, half-open stalls) injected
+# against both followers mid-load, then primary partitioned away, a
+# follower promoted, survivors re-pointed, and the zombie primary
+# resurrected — asserting zero phantom commits, exact committed-prefix
+# timelines per epoch, and byte-identical convergence after the fenced
+# zombie resyncs via snapshot. The deterministic every-3rd-scenario
+# subset already runs inside `make test`/`make verify`; this target buys
+# the full sweep with randomized fault parameters. Seed with
+# BFABRIC_CHAOS_SEED=n for a reproducible run.
+test-chaos:
+	BFABRIC_CHAOS=full go test -race -count=1 \
+		-run 'TestPromotionChaosCampaign|TestFencedAheadRefusesZombie|TestPromoteDisconnectRepoints|TestHalfOpenFreezesLastContact' \
+		./internal/repl
+
 # Fence that the storefs indirection keeps the hot paths within noise:
 # Q1 (filtered browse query), D3 (durable commit latency) and the bulk
 # ingest benchmarks, diffed against the committed baseline.
@@ -76,6 +91,16 @@ bench-http-replicas:
 	go run ./cmd/bfabric-loadbench -duration $(DURATION) -replicas 1 \
 		-merge-baseline BENCH_baseline.json
 	go run ./cmd/bfabric-loadbench -duration $(DURATION) -replicas 2 \
+		-merge-baseline BENCH_baseline.json
+
+# The failover scenario at the socket: primary + follower under the
+# mixed workload, primary portal killed mid-load, follower drained and
+# promoted over HTTP, clients re-pointed. Fails if any acknowledged
+# write is lost; records BenchmarkHTTPSocket/failover/... rows (req/s
+# and p99 through the outage, plus the synthetic "switchover" op whose
+# latency is the outage duration).
+bench-http-failover:
+	go run ./cmd/bfabric-loadbench -duration $(DURATION) -failover \
 		-merge-baseline BENCH_baseline.json
 
 # Short correctness-only pass over the load harness: boots the full

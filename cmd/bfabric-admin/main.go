@@ -28,9 +28,12 @@
 //	bfabric-admin wal      -data-dir ./data
 //	bfabric-admin status   -addr http://localhost:8077
 //	bfabric-admin status   -data-dir ./data
+//	bfabric-admin promote  -addr http://localhost:8177 -login root -password demo
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -82,6 +85,8 @@ func main() {
 		err = cmdWAL(args)
 	case "status":
 		err = cmdStatus(args)
+	case "promote":
+		err = cmdPromote(args)
 	default:
 		usage()
 	}
@@ -91,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project|snapshot|backup|wal|status} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bfabric-admin {gen|stats|list|pending|release|merge|audit|export|export-project|import-project|snapshot|backup|wal|status|promote} [flags]")
 	os.Exit(2)
 }
 
@@ -290,10 +295,126 @@ func statusHTTP(base string) error {
 		return err
 	}
 	fmt.Printf("ready: %d %s\n", code, body)
+	// Replication coordinates: every server answers /api/replication with
+	// its role and fencing epoch; a follower adds lag and contact age so
+	// the operator can judge whether promoting it would lose writes.
+	rcode, rbody, rerr := probe("/api/replication")
+	if rerr == nil && rcode == http.StatusOK {
+		var rep struct {
+			Role        string `json:"role"`
+			Epoch       uint64 `json:"epoch"`
+			CommitSeq   uint64 `json:"commitSeq"`
+			Promoted    bool   `json:"promoted"`
+			Replication *struct {
+				Lag              uint64 `json:"lag"`
+				LastContactAgeMS int64  `json:"lastContactAgeMs"`
+				Connected        bool   `json:"connected"`
+				Fenced           bool   `json:"fenced"`
+			} `json:"replication"`
+		}
+		if json.Unmarshal([]byte(rbody), &rep) == nil && rep.Role != "" {
+			fmt.Printf("role:  %s (epoch %d, commit %d)\n", rep.Role, rep.Epoch, rep.CommitSeq)
+			if rep.Promoted {
+				fmt.Println("       promoted from replica this process lifetime")
+			}
+			if f := rep.Replication; f != nil && rep.Role == "replica" {
+				contact := "never"
+				if f.LastContactAgeMS >= 0 {
+					contact = fmt.Sprintf("%dms ago", f.LastContactAgeMS)
+				}
+				fmt.Printf("repl:  lag %d commit(s), primary heard %s, connected=%v fenced=%v\n",
+					f.Lag, contact, f.Connected, f.Fenced)
+			}
+		}
+	}
 	if code != http.StatusOK {
-		fmt.Println("store is DEGRADED: writes are rejected, reads still served; see docs/faults.md for the recovery runbook")
+		fmt.Println("store is DEGRADED or read-only: writes are rejected, reads still served; see docs/faults.md and docs/replication.md for the runbooks")
 	}
 	return nil
+}
+
+// cmdPromote turns a running read replica into a fenced primary over
+// HTTP: it logs in (promotion is admin-only), POSTs the promote
+// endpoint, and prints the new epoch and the committed prefix the new
+// timeline starts from. The old primary, if it resurrects, is refused by
+// the epoch fence and must resync via snapshot — see the failover
+// runbook in docs/replication.md.
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "portal base URL of the running replica (e.g. http://localhost:8177)")
+	login := fs.String("login", "", "admin login")
+	password := fs.String("password", "", "admin password")
+	_ = fs.Parse(args)
+	if *addr == "" || *login == "" || *password == "" {
+		return fmt.Errorf("-addr, -login and -password are required")
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	post := func(path, token string, payload, out any) (int, string, error) {
+		var buf bytes.Buffer
+		if payload != nil {
+			if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+				return 0, "", err
+			}
+		}
+		req, err := http.NewRequest(http.MethodPost, base+path, &buf)
+		if err != nil {
+			return 0, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, out); err != nil {
+				return resp.StatusCode, string(body), err
+			}
+		}
+		return resp.StatusCode, strings.TrimSpace(string(body)), nil
+	}
+
+	var loginOut struct {
+		Token string `json:"token"`
+	}
+	code, body, err := post("/api/login", "", map[string]string{"login": *login, "password": *password}, &loginOut)
+	if err != nil {
+		return fmt.Errorf("login: %w", err)
+	}
+	if code != http.StatusOK || loginOut.Token == "" {
+		return fmt.Errorf("login as %s failed: %d %s", *login, code, body)
+	}
+
+	var prom struct {
+		Promotion struct {
+			Epoch       uint64 `json:"epoch"`
+			LastApplied uint64 `json:"lastApplied"`
+		} `json:"promotion"`
+		Epoch     uint64 `json:"epoch"`
+		CommitSeq uint64 `json:"commitSeq"`
+	}
+	code, body, err = post("/api/replication/promote", loginOut.Token, nil, &prom)
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	switch code {
+	case http.StatusOK:
+		fmt.Printf("promoted: epoch %d, timeline starts at commit %d\n", prom.Epoch, prom.Promotion.LastApplied)
+		fmt.Println("re-point surviving replicas at this node; the old primary must resync via snapshot if it returns")
+		return nil
+	case http.StatusNotFound:
+		return fmt.Errorf("promote: %s is not a replica (no promote hook): %s", base, body)
+	case http.StatusConflict:
+		return fmt.Errorf("promote: already a primary: %s", body)
+	default:
+		return fmt.Errorf("promote failed: %d %s", code, body)
+	}
 }
 
 func statusDir(dir string) error {
@@ -337,6 +458,7 @@ func cmdWAL(args []string) error {
 		fmt.Printf("segment:  base %-6d %10d bytes  %5d records (seq %d..%d)  %s\n",
 			seg.Base, seg.Size, seg.Records, seg.FirstSeq, seg.LastSeq, state)
 	}
+	fmt.Printf("epoch:    %d\n", info.Epoch)
 	if info.Damaged {
 		fmt.Printf("DAMAGED: mid-history records are torn or missing; recovery will refuse this directory — restore from backup (intact prefix ends at commit %d)\n", info.LastSeq)
 		return nil

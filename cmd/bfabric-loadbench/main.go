@@ -10,6 +10,14 @@
 // how aggregate read throughput scales with follower count. Those runs
 // report as BenchmarkHTTPSocket/replica-N/... rows.
 //
+// With -failover the harness runs the promotion scenario instead: a
+// primary plus one WAL-shipping follower, the primary portal killed
+// mid-load, the follower drained and promoted over HTTP, every client
+// re-pointed — validating that no acknowledged write is lost and
+// reporting throughput and latency through the outage as
+// BenchmarkHTTPSocket/failover/... rows (including a synthetic
+// "switchover" op whose latency is the outage duration).
+//
 // With -merge-baseline the run's results are merged into
 // BENCH_baseline.json as one-line BenchmarkHTTPSocket entries, the same
 // dialect scripts/bench_compare.sh diffs for the in-process benchmarks.
@@ -33,6 +41,7 @@ func main() {
 		clients    = flag.Int("clients", 0, "concurrent reader clients (0 = 16 per serving instance)")
 		writers    = flag.Int("writers", 4, "concurrent writer clients (0 = read-only run)")
 		replicas   = flag.Int("replicas", 0, "boot N WAL-shipping read replicas and spread readers across them (0 = single server)")
+		failover   = flag.Bool("failover", false, "run the kill->promote->re-point scenario against a primary+follower pair")
 		scale      = flag.Float64("scale", 0.1, "genload population scale (1.0 = paper's FGCZ deployment)")
 		seed       = flag.Int64("seed", 1, "deterministic population/workload seed")
 		smoke      = flag.Bool("smoke", false, "short correctness-only run (2s, small scale)")
@@ -63,8 +72,16 @@ func main() {
 		cfg.Writers = 2
 		cfg.Duration = 2 * time.Second
 	}
+	if *failover && *replicas > 0 {
+		fmt.Fprintln(os.Stderr, "loadbench: -failover and -replicas are mutually exclusive")
+		os.Exit(1)
+	}
 
-	report, err := loadgen.Run(cfg)
+	run := loadgen.Run
+	if *failover {
+		run = loadgen.RunFailover
+	}
+	report, err := run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadbench:", err)
 		os.Exit(1)
@@ -99,7 +116,8 @@ func main() {
 // one-object-per-line benchmarks array of a BENCH_baseline.json file,
 // replacing only the previous entries of the SAME run class: a
 // single-server run refreshes the unprefixed rows and leaves replica-N
-// rows alone; a -replicas N run refreshes exactly the replica-N rows.
+// and failover rows alone; a -replicas N run refreshes exactly the
+// replica-N rows; a -failover run refreshes exactly the failover/ rows.
 // The merge is line-based on purpose: scripts/bench_compare.sh parses the
 // file with line-oriented awk, so the formatting of untouched entries
 // must survive byte-for-byte.
@@ -120,7 +138,7 @@ func mergeBaseline(path string, report *loadgen.Report) error {
 		if prefix := report.NamePrefix(); prefix != "" {
 			return strings.HasPrefix(rest, prefix)
 		}
-		return !strings.HasPrefix(rest, "replica-")
+		return !strings.HasPrefix(rest, "replica-") && !strings.HasPrefix(rest, "failover/")
 	}
 	kept := lines[:0]
 	for _, ln := range lines {

@@ -139,7 +139,30 @@ func main() {
 	// "explicitly off" (its zero value means "default"), so translate.
 	cfg := portal.Config{RequestTimeout: *requestTimeout, MaxInFlight: *maxInFlight}
 	if follower != nil {
-		cfg.ReplicaStatus = func() any { return follower.Status() }
+		f := follower
+		cfg.ReplicaStatus = func() any { return f.Report() }
+		// Failover: POST /api/replication/promote (admin only) turns this
+		// replica into a fenced primary. The epoch bump happens inside
+		// Promote, durably, before the write gate opens; disconnecting the
+		// shipper's followers (if this node relays) makes them re-handshake
+		// and adopt the new epoch immediately.
+		cfg.Promote = func() (any, error) {
+			prom, err := f.Promote()
+			if err != nil {
+				return nil, err
+			}
+			if shipper != nil {
+				shipper.Disconnect()
+			}
+			if sys.Search != nil {
+				// The replica's search index was empty by design (it applies
+				// raw WAL frames, not write-path events). Now that this node
+				// serves as primary, rebuild it from the replicated state.
+				sys.Search.ReindexAll()
+			}
+			log.Printf("promoted to primary: epoch %d, timeline starts at seq %d", prom.Epoch, prom.LastApplied)
+			return prom, nil
+		}
 	}
 	if *requestTimeout == 0 {
 		cfg.RequestTimeout = -1

@@ -77,3 +77,43 @@ func TestReplicaHarnessSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestFailoverHarnessSmoke runs the kill→promote→re-point scenario
+// briefly: half the run on the primary, portal killed, follower drained
+// and promoted over HTTP, clients re-pointed — zero validation failures
+// means no acknowledged write was lost and the promoted node served both
+// halves of the workload.
+func TestFailoverHarnessSmoke(t *testing.T) {
+	cfg := Config{
+		Scale:    0.02,
+		Clients:  6,
+		Writers:  2,
+		Duration: 2 * time.Second,
+		Seed:     44,
+	}
+	if testing.Short() {
+		cfg.Duration = 1200 * time.Millisecond
+	}
+	report, err := RunFailover(cfg)
+	if err != nil {
+		t.Fatalf("failover harness run: %v", err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("failover harness recorded %d validation failures:\n%v", report.Errors, report.Failures)
+	}
+	if !report.Failover {
+		t.Error("report not marked as a failover run")
+	}
+	sw := report.Ops[opSwitch]
+	if sw.Requests != 1 || sw.P99 <= 0 {
+		t.Errorf("switchover op = %+v, want exactly one positive-latency sample", sw)
+	}
+	if report.Ops[opWrite].Requests == 0 {
+		t.Error("failover writers made no requests")
+	}
+	for _, e := range report.BaselineEntries() {
+		if !strings.Contains(e, "BenchmarkHTTPSocket/failover/") {
+			t.Fatalf("baseline entry not namespaced: %s", e)
+		}
+	}
+}

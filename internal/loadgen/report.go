@@ -46,10 +46,14 @@ type OpStats struct {
 
 // Report is the result of one harness run.
 type Report struct {
-	Scale    float64            `json:"scale"`
-	Clients  int                `json:"clients"`
-	Writers  int                `json:"writers"`
-	Replicas int                `json:"replicas,omitempty"`
+	Scale    float64 `json:"scale"`
+	Clients  int     `json:"clients"`
+	Writers  int     `json:"writers"`
+	Replicas int     `json:"replicas,omitempty"`
+	// Failover marks a kill→promote→re-point run: the report covers the
+	// whole window including the outage, and a synthetic "switchover" op
+	// carries the outage duration as its single latency sample.
+	Failover bool               `json:"failover,omitempty"`
 	Duration float64            `json:"duration_s"`
 	Total    OpStats            `json:"total"`
 	Ops      map[string]OpStats `json:"ops"`
@@ -135,6 +139,9 @@ func (r *Report) String() string {
 	if r.Replicas > 0 {
 		fmt.Fprintf(&b, " replicas=%d", r.Replicas)
 	}
+	if r.Failover {
+		fmt.Fprintf(&b, " failover")
+	}
 	fmt.Fprintf(&b, " duration=%.1fs\n", r.Duration)
 	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %9s %6s %6s\n",
 		"op", "requests", "req/s", "p50(ms)", "p95(ms)", "p99(ms)", "304s", "errs")
@@ -188,8 +195,13 @@ func (r *Report) BaselineEntries() []string {
 
 // NamePrefix is the benchmark-name namespace of this run's baseline
 // entries under BenchmarkHTTPSocket/: empty for a single-server run,
-// "replica-<N>/" for a replicated one.
+// "replica-<N>/" for a replicated one, "failover/" for a promotion run
+// (whose numbers include the outage and must never refresh the
+// single-server rows).
 func (r *Report) NamePrefix() string {
+	if r.Failover {
+		return "failover/"
+	}
 	if r.Replicas > 0 {
 		return fmt.Sprintf("replica-%d/", r.Replicas)
 	}

@@ -24,6 +24,9 @@ const (
 	opSearch     = "search"
 	opTasks      = "tasks"
 	opWrite      = "write"
+	// opSwitch is the synthetic failover-outage sample: one observation
+	// whose latency is the full kill→promote→re-point wall time.
+	opSwitch = "switchover"
 )
 
 // failures collects validation failures across workers: the full count
@@ -78,6 +81,11 @@ type worker struct {
 	// writer state
 	mySamples []int64
 	seq       int
+	// samplesOnly restricts a writer to sample creations and records every
+	// acknowledged name in acked — the failover scenario's loss ledger:
+	// anything the portal acked with 201 must survive the promotion.
+	samplesOnly bool
+	acked       []string
 }
 
 func newWorker(id int, writer, replica bool, base string, rt http.RoundTripper, u poolUser, timeout time.Duration, seed int64, fails *failures) *worker {
@@ -505,24 +513,13 @@ func (w *worker) tasksOp() {
 
 func (w *worker) writeOp() {
 	w.seq++
+	if w.samplesOnly {
+		w.createSampleOp()
+		return
+	}
 	switch p := w.rng.Intn(100); {
 	case p < 50 || len(w.mySamples) == 0:
-		name := fmt.Sprintf("bench-%s-s%06d", w.user.login, w.seq)
-		status, data, _ := w.request(opWrite, "POST", "/api/samples", map[string]any{
-			"Sample": model.Sample{
-				Name: name, Project: w.user.project,
-				Species: "Homo sapiens", Tissue: "Liver",
-			},
-		}, nil, http.StatusCreated)
-		if status != http.StatusCreated {
-			return
-		}
-		var out struct{ IDs []int64 }
-		if err := json.Unmarshal(data, &out); err != nil || len(out.IDs) != 1 || out.IDs[0] <= 0 {
-			w.fails.add(opWrite, "create sample: bad ids body")
-			return
-		}
-		w.mySamples = appendCapped(w.mySamples, out.IDs[0])
+		w.createSampleOp()
 	case p < 80:
 		name := fmt.Sprintf("bench-%s-e%06d", w.user.login, w.seq)
 		status, data, _ := w.request(opWrite, "POST", "/api/extracts", map[string]any{
@@ -545,6 +542,30 @@ func (w *worker) writeOp() {
 		w.request(opWrite, "POST", "/api/annotations", map[string]string{
 			"Vocabulary": model.VocabTreatment, "Value": value,
 		}, nil, http.StatusCreated, http.StatusConflict)
+	}
+}
+
+// createSampleOp registers one uniquely named sample and remembers the
+// acknowledgement when the worker keeps a loss ledger.
+func (w *worker) createSampleOp() {
+	name := fmt.Sprintf("bench-%s-s%06d", w.user.login, w.seq)
+	status, data, _ := w.request(opWrite, "POST", "/api/samples", map[string]any{
+		"Sample": model.Sample{
+			Name: name, Project: w.user.project,
+			Species: "Homo sapiens", Tissue: "Liver",
+		},
+	}, nil, http.StatusCreated)
+	if status != http.StatusCreated {
+		return
+	}
+	var out struct{ IDs []int64 }
+	if err := json.Unmarshal(data, &out); err != nil || len(out.IDs) != 1 || out.IDs[0] <= 0 {
+		w.fails.add(opWrite, "create sample: bad ids body")
+		return
+	}
+	w.mySamples = appendCapped(w.mySamples, out.IDs[0])
+	if w.samplesOnly {
+		w.acked = append(w.acked, name)
 	}
 }
 

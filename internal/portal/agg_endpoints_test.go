@@ -154,10 +154,15 @@ func TestDashboardETagConditional(t *testing.T) {
 func TestReplicaSearchUnavailable(t *testing.T) {
 	fx := newFixture(t)
 	// A second portal over the same system, marked as fronting a replica.
+	// The search gate follows the store's current role, so flip the shared
+	// store into replica mode for the refusal assertions (a real replica
+	// boots that way before serving).
 	replica := httptest.NewServer(NewWithConfig(fx.sys, Config{
 		ReplicaStatus: func() any { return map[string]any{"lag": 0} },
 	}))
 	defer replica.Close()
+	fx.sys.Store.SetReplica(true)
+	defer fx.sys.Store.SetReplica(false)
 
 	for _, path := range []string{"/api/search?q=anything", "/api/search/export?q=anything"} {
 		req, err := http.NewRequest("GET", replica.URL+path, nil)
@@ -187,6 +192,20 @@ func TestReplicaSearchUnavailable(t *testing.T) {
 	// The primary keeps serving search, and other replica reads still work.
 	if resp, _ := fx.get(t, "alice", "/api/search?q=anything", nil); resp.StatusCode != http.StatusOK {
 		t.Errorf("search on primary: %d, want 200", resp.StatusCode)
+	}
+
+	// Promotion opens the gate: once the store leaves replica mode the
+	// same portal serves search again, no restart needed.
+	fx.sys.Store.SetReplica(false)
+	req2, _ := http.NewRequest("GET", replica.URL+"/api/search?q=anything", nil)
+	req2.Header.Set("Authorization", "Bearer "+fx.tokens["alice"])
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("search on promoted replica portal: %d, want 200", resp2.StatusCode)
 	}
 	req, _ := http.NewRequest("GET", replica.URL+"/api/stats", nil)
 	resp, err := http.DefaultClient.Do(req)

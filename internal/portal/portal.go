@@ -45,10 +45,18 @@ type Config struct {
 	MaxInFlight int
 	// ReplicaStatus, when set, marks this portal as fronting a read-only
 	// replica. GET /api/replication reports the value (the follower's
-	// replication status: lag, last contact, resyncs), and /readyz answers
-	// 503 — this server never accepts writes, so a write-routing balancer
-	// must look elsewhere — while reads keep being served.
+	// replication status: lag, last contact age, epoch, resyncs), and
+	// /readyz answers 503 while the store is in replica mode — this
+	// server does not accept writes, so a write-routing balancer must
+	// look elsewhere — while reads keep being served. After a promotion
+	// (the store leaves replica mode) /readyz flips to the primary
+	// answer without a restart.
 	ReplicaStatus func() any
+	// Promote, when set, enables POST /api/replication/promote (admin
+	// only): failover promotion of the replica behind this portal. The
+	// callback performs the promotion (epoch bump, write gate) and
+	// returns a description of the result (e.g. repl.Promotion).
+	Promote func() (any, error)
 }
 
 const (
@@ -62,7 +70,8 @@ type Server struct {
 	mux           *http.ServeMux
 	timeout       time.Duration
 	inflight      chan struct{} // admission gate; nil when disabled
-	replicaStatus func() any    // non-nil = read-only replica
+	replicaStatus func() any    // non-nil = booted as a replica portal
+	promote       func() (any, error)
 }
 
 // New builds the portal over a wired system with default hardening.
@@ -72,7 +81,7 @@ func New(sys *core.System) *Server {
 
 // NewWithConfig builds the portal with explicit serving limits.
 func NewWithConfig(sys *core.System, cfg Config) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), replicaStatus: cfg.ReplicaStatus}
+	s := &Server{sys: sys, mux: http.NewServeMux(), replicaStatus: cfg.ReplicaStatus, promote: cfg.Promote}
 	switch {
 	case cfg.RequestTimeout == 0:
 		s.timeout = defaultRequestTimeout
@@ -133,6 +142,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /api/replication", s.handleReplication)
+	s.mux.HandleFunc("POST /api/replication/promote", s.auth(s.handlePromote))
 	s.mux.HandleFunc("POST /api/login", s.handleLogin)
 	s.mux.HandleFunc("POST /api/logout", s.auth(s.handleLogout))
 
@@ -589,16 +599,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // writes, 503 with the degradation reason once it has failed into
 // read-only mode. Load balancers can use it to route writes elsewhere
 // while keeping read traffic here.
+//
+// On a replica portal the answer follows the store's CURRENT role, not
+// the boot-time configuration: 503 while the store is in replica mode
+// (this server refuses writes by design), flipping to the primary
+// answer the moment a promotion opens the write gate — so re-pointing a
+// write balancer at a freshly promoted replica needs no restart.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	h := s.sys.Health()
-	if s.replicaStatus != nil {
+	if s.replicaStatus != nil && s.sys.Store.IsReplica() {
 		// A replica never accepts writes, so the honest answer to "route
-		// writes here?" is always 503; the replication status rides along
-		// so operators see lag and connectivity in the same probe.
+		// writes here?" is 503; the replication status rides along so
+		// operators see lag, epoch and connectivity in the same probe.
 		w.Header().Set("Retry-After", "10")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"ok": false, "reason": "read-only replica",
+			"epoch":  s.sys.Store.Epoch(),
 			"health": h, "replication": s.replicaStatus(),
+		})
+		return
+	}
+	if s.replicaStatus != nil {
+		// Booted as a replica, since promoted: a writable primary. Keep
+		// the promotion visible in the probe body alongside the health.
+		status := http.StatusOK
+		if !h.OK {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "10")
+		}
+		writeJSON(w, status, map[string]any{
+			"ok": h.OK, "reason": h.Reason, "promoted": true,
+			"epoch": s.sys.Store.Epoch(), "health": h,
 		})
 		return
 	}
@@ -610,16 +641,63 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, h)
 }
 
-// handleReplication reports a replica portal's replication status (last
-// applied seq, primary head, lag, last contact, resyncs). On a primary it
-// answers 404: there is no replication stream to report on.
+// handleReplication reports this node's replication coordinates: role,
+// epoch (the fencing token) and committed head on every server, plus the
+// follower's status report (lag, last contact age, resyncs) on portals
+// fronting a replica — promoted or not. Primaries answer too: the epoch
+// is what an operator compares across nodes when deciding who fences
+// whom.
 func (s *Server) handleReplication(w http.ResponseWriter, _ *http.Request) {
-	if s.replicaStatus == nil {
+	role := "primary"
+	if s.sys.Store.IsReplica() {
+		role = "replica"
+	}
+	out := map[string]any{
+		"role":      role,
+		"epoch":     s.sys.Store.Epoch(),
+		"commitSeq": s.sys.Store.CommitSeq(),
+	}
+	if s.replicaStatus != nil {
+		out["replication"] = s.replicaStatus()
+		if !s.sys.Store.IsReplica() {
+			out["promoted"] = true
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePromote performs failover promotion of the replica behind this
+// portal (admin only): the store's epoch is durably advanced past the
+// old primary's and the write gate opens. The old timeline is fenced
+// from that moment — see docs/replication.md, "Failover runbook".
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.promote == nil {
 		writeErrCode(w, http.StatusNotFound, "not_found",
-			errors.New("portal: this server is not a read replica"))
+			errors.New("portal: this server has no promotable replica"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"replica": true, "replication": s.replicaStatus()})
+	login := loginOf(r)
+	if err := s.sys.View(func(tx *store.Tx) error {
+		return s.sys.Auth.RequireRole(tx, login, model.RoleAdmin)
+	}); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if !s.sys.Store.IsReplica() {
+		writeErrCode(w, http.StatusConflict, "conflict",
+			errors.New("portal: store is already a primary"))
+		return
+	}
+	res, err := s.promote()
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promotion": res,
+		"epoch":     s.sys.Store.Epoch(),
+		"commitSeq": s.sys.Store.CommitSeq(),
+	})
 }
 
 // --- tasks ---------------------------------------------------------------------
@@ -1541,8 +1619,13 @@ func (s *Server) handleWorkflowDOT(w http.ResponseWriter, r *http.Request) {
 // from "nothing matched" — so the replica refuses honestly with a
 // machine-readable code and Retry-After instead of silently lying;
 // clients route /api/search to the primary (see docs/replication.md).
+//
+// The gate follows the store's current role: once the replica is
+// promoted (and the host rebuilds the index from the replicated state —
+// see the Promote wiring in cmd/bfabric), search serves again without a
+// restart.
 func (s *Server) searchUnavailable(w http.ResponseWriter) bool {
-	if s.replicaStatus == nil {
+	if s.replicaStatus == nil || !s.sys.Store.IsReplica() {
 		return false
 	}
 	writeErrCode(w, http.StatusServiceUnavailable, "search_unavailable",

@@ -1,0 +1,165 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// replicaCall performs an authenticated JSON request against an extra
+// portal server (the replica-configured one) reusing the fixture's
+// session tokens — both portals share the same auth service.
+func replicaCall(t *testing.T, fx *fixture, srv *httptest.Server, login, method, path string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if login != "" {
+		req.Header.Set("Authorization", "Bearer "+fx.tokens[login])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+// TestReplicationEndpointOnPrimary: every server reports its replication
+// coordinates — a plain primary answers role/epoch/commitSeq so an
+// operator can compare fencing tokens across nodes.
+func TestReplicationEndpointOnPrimary(t *testing.T) {
+	fx := newFixture(t)
+	var out struct {
+		Role      string `json:"role"`
+		Epoch     uint64 `json:"epoch"`
+		CommitSeq uint64 `json:"commitSeq"`
+	}
+	if code := fx.call(t, "", "GET", "/api/replication", nil, &out); code != http.StatusOK {
+		t.Fatalf("replication on primary: %d, want 200", code)
+	}
+	if out.Role != "primary" || out.Epoch != 1 {
+		t.Fatalf("replication on primary = %+v, want role=primary epoch=1", out)
+	}
+	if out.CommitSeq != fx.sys.Store.CommitSeq() {
+		t.Fatalf("replication commitSeq = %d, want %d", out.CommitSeq, fx.sys.Store.CommitSeq())
+	}
+}
+
+// TestPromoteEndpoint drives the HTTP failover path end to end on one
+// system: a replica portal whose readyz honestly refuses writes, an
+// admin-only promote that bumps the epoch and opens the write gate, and
+// the probes flipping to the primary answers without a restart.
+func TestPromoteEndpoint(t *testing.T) {
+	fx := newFixture(t)
+	st := fx.sys.Store
+	st.SetReplica(true)
+	defer st.SetReplica(false)
+
+	promote := func() (any, error) {
+		epoch, err := st.AdvanceEpoch(1)
+		if err != nil {
+			return nil, err
+		}
+		st.SetReplica(false)
+		return map[string]any{"epoch": epoch, "lastApplied": st.CommitSeq()}, nil
+	}
+	replica := httptest.NewServer(NewWithConfig(fx.sys, Config{
+		ReplicaStatus: func() any { return map[string]any{"lag": 0} },
+		Promote:       promote,
+	}))
+	defer replica.Close()
+
+	// While a replica: readyz refuses writes and carries the epoch.
+	resp, err := http.Get(replica.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		OK     bool   `json:"ok"`
+		Reason string `json:"reason"`
+		Epoch  uint64 `json:"epoch"`
+		Repl   any    `json:"replication"`
+		Promo  bool   `json:"promoted"`
+		Health any    `json:"health"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || err != nil {
+		t.Fatalf("readyz on replica: %d (%v), want 503", resp.StatusCode, err)
+	}
+	if ready.OK || ready.Epoch != 1 || ready.Repl == nil {
+		t.Fatalf("readyz replica body = %+v, want ok=false epoch=1 with replication", ready)
+	}
+
+	// Promotion is admin-only.
+	if code := replicaCall(t, fx, replica, "alice", "POST", "/api/replication/promote", nil); code != http.StatusForbidden {
+		t.Fatalf("promote as scientist: %d, want 403", code)
+	}
+	if st.IsReplica() != true {
+		t.Fatal("denied promotion changed the store's role")
+	}
+
+	var promoted struct {
+		Epoch     uint64 `json:"epoch"`
+		CommitSeq uint64 `json:"commitSeq"`
+	}
+	if code := replicaCall(t, fx, replica, "root", "POST", "/api/replication/promote", &promoted); code != http.StatusOK {
+		t.Fatalf("promote as admin: %d, want 200", code)
+	}
+	if promoted.Epoch != 2 || st.Epoch() != 2 || st.IsReplica() {
+		t.Fatalf("after promote: body epoch %d, store epoch %d, replica %v — want 2/2/false",
+			promoted.Epoch, st.Epoch(), st.IsReplica())
+	}
+
+	// A second promote is a conflict: the store is already a primary.
+	if code := replicaCall(t, fx, replica, "root", "POST", "/api/replication/promote", nil); code != http.StatusConflict {
+		t.Fatalf("second promote: %d, want 409", code)
+	}
+
+	// The probes flip without a restart: readyz 200 with the promotion
+	// visible, /api/replication reports the new primary role.
+	resp2, err := http.Get(replica.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready2 struct {
+		OK       bool   `json:"ok"`
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+	}
+	err = json.NewDecoder(resp2.Body).Decode(&ready2)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("readyz after promote: %d (%v), want 200", resp2.StatusCode, err)
+	}
+	if !ready2.OK || !ready2.Promoted || ready2.Epoch != 2 {
+		t.Fatalf("readyz after promote = %+v, want ok promoted epoch=2", ready2)
+	}
+	var rep struct {
+		Role     string `json:"role"`
+		Epoch    uint64 `json:"epoch"`
+		Promoted bool   `json:"promoted"`
+	}
+	if code := replicaCall(t, fx, replica, "", "GET", "/api/replication", &rep); code != http.StatusOK {
+		t.Fatalf("replication after promote: %d, want 200", code)
+	}
+	if rep.Role != "primary" || rep.Epoch != 2 || !rep.Promoted {
+		t.Fatalf("replication after promote = %+v, want role=primary epoch=2 promoted", rep)
+	}
+}
+
+// TestPromoteNotConfigured: a portal without a Promote hook (a plain
+// primary) answers 404 — there is nothing to promote.
+func TestPromoteNotConfigured(t *testing.T) {
+	fx := newFixture(t)
+	if code := fx.call(t, "root", "POST", "/api/replication/promote", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("promote on primary portal: %d, want 404", code)
+	}
+}

@@ -1,0 +1,527 @@
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/repl/netchaos"
+	"repro/internal/store"
+)
+
+// The promotion chaos campaign is the network-side sibling of the
+// follower fault campaign: instead of a dying disk, a dying network —
+// latency, throttling, torn connections, half-open stalls, and finally
+// a full partition that kills the primary mid-load. Each scenario runs
+// the complete failover story end to end:
+//
+//   - a durable primary and two followers replicate through netchaos
+//     proxies while one seeded network fault fires mid-load;
+//   - the primary is partitioned away and, as a zombie, keeps
+//     acknowledging writes nobody will ever see again;
+//   - one follower is promoted (epoch bump), starts its own timeline
+//     and its own shipping feed;
+//   - the surviving follower is re-pointed: fenced as stale, it
+//     resyncs via snapshot and adopts the new epoch;
+//   - the old primary resurrects from its own directory, is refused by
+//     the handshake (typed ErrFencedEpoch at the protocol level), and
+//     rejoins only through a wholesale snapshot resync.
+//
+// The asserted contract: zero phantom commits survive anywhere, every
+// node's visible state is an exact committed prefix of its epoch's
+// history, and after resync every node is byte-identical to the new
+// primary — fencing token included.
+//
+// The default run covers a deterministic subset of scenarios so
+// `go test ./...` always exercises the failover path; BFABRIC_CHAOS=full
+// (make test-chaos) sweeps every scenario with seeded fault assignment
+// (BFABRIC_CHAOS_SEED replays a sweep).
+
+const (
+	chaosPhase1N  = 6 // rows committed while the network is healthy
+	chaosPhase2N  = 6 // rows committed while the seeded fault is live
+	chaosPhantomN = 3 // rows the zombie primary acks after the partition
+	chaosEpoch2N  = 2 // rows the promoted primary commits on its timeline
+
+	// Disjoint n-ranges per timeline, so a phantom that leaked through
+	// would be identifiable by content, not just by count: commit seqs
+	// and row ids overlap across epochs by construction.
+	chaosPhantomBase = int64(10_000)
+	chaosEpoch2Base  = int64(20_000)
+)
+
+// chaosFollowerOptions are tuned for fast failure detection under a
+// misbehaving network: short read timeout (heartbeats come every 50ms),
+// tight reconnect backoff.
+func chaosFollowerOptions(t *testing.T) FollowerOptions {
+	return FollowerOptions{
+		RetryMin:    5 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
+		ReadTimeout: 400 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+}
+
+func putSample(t *testing.T, s *store.Store, n int64) {
+	t.Helper()
+	if err := s.Update(func(tx *store.Tx) error {
+		_, err := tx.Insert("sample", store.Record{"n": n})
+		return err
+	}); err != nil {
+		t.Fatalf("insert sample n=%d: %v", n, err)
+	}
+}
+
+// assertTimeline asserts the store holds exactly the rows in wantN, in
+// insertion order under contiguous ids from 1 — the strongest possible
+// "no phantoms, no gaps" statement for one node.
+func assertTimeline(t *testing.T, s *store.Store, label string, wantN []int64) {
+	t.Helper()
+	if got := s.Count("sample"); got != len(wantN) {
+		t.Fatalf("%s: row count = %d, want %d", label, got, len(wantN))
+	}
+	for i, n := range wantN {
+		r, err := s.Get("sample", int64(i+1))
+		if err != nil {
+			t.Fatalf("%s: row id %d missing: %v", label, i+1, err)
+		}
+		if r.Int("n") != n {
+			t.Fatalf("%s: row id %d carries n=%d, want %d", label, i+1, r.Int("n"), n)
+		}
+	}
+}
+
+// probeHandshake performs one raw protocol handshake against addr and
+// returns the primary's reply, bypassing the Follower's retry loop so a
+// test can observe the fence status itself.
+func probeHandshake(t *testing.T, addr string, lastSeq, epoch uint64) (status byte, headSeq, primaryEpoch uint64) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("probe dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeHello(conn, lastSeq, epoch, 0); err != nil {
+		t.Fatalf("probe hello: %v", err)
+	}
+	status, headSeq, primaryEpoch, err = readHelloReply(conn)
+	if err != nil {
+		t.Fatalf("probe reply: %v", err)
+	}
+	return status, headSeq, primaryEpoch
+}
+
+// chaosScenario is one seeded point in the campaign: which network
+// fault fires, on whose link, and after how many phase-2 commits.
+type chaosScenario struct {
+	fault    netchaos.Fault
+	target   string // "A" or "B"
+	injectAt int    // phase-2 commits before the fault fires
+}
+
+func (sc chaosScenario) label() string {
+	return fmt.Sprintf("%s-on-%s-at-%d", sc.fault.Mode, sc.target, sc.injectAt)
+}
+
+// chaosModes is the deterministic fault table; the full sweep draws
+// parameters from the seeded RNG instead.
+var chaosModes = []netchaos.Fault{
+	{Mode: netchaos.Latency, Delay: 15 * time.Millisecond},
+	{Mode: netchaos.Throttle, Rate: 16 << 10},
+	{Mode: netchaos.Torn, After: 600},
+	{Mode: netchaos.HalfOpen},
+}
+
+func TestPromotionChaosCampaign(t *testing.T) {
+	full := os.Getenv("BFABRIC_CHAOS") == "full"
+	seed := int64(1)
+	if env := os.Getenv("BFABRIC_CHAOS_SEED"); env != "" {
+		fmt.Sscanf(env, "%d", &seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// The full sweep covers every (mode, target) pair at seeded injection
+	// points; the fast subset takes every Nth scenario plus the last, so
+	// the default `go test` still crosses every fault mode once.
+	total := 2 * len(chaosModes)
+	var scenarios []chaosScenario
+	for i := 0; i < total; i++ {
+		sc := chaosScenario{fault: chaosModes[i%len(chaosModes)], target: "A", injectAt: i % chaosPhase2N}
+		if i >= len(chaosModes) {
+			sc.target = "B"
+		}
+		if full {
+			sc.injectAt = rng.Intn(chaosPhase2N)
+			switch sc.fault.Mode {
+			case netchaos.Latency:
+				sc.fault.Delay = time.Duration(5+rng.Intn(25)) * time.Millisecond
+			case netchaos.Throttle:
+				sc.fault.Rate = (4 + rng.Intn(28)) << 10
+			case netchaos.Torn:
+				sc.fault.After = int64(100 + rng.Intn(1500))
+			}
+		}
+		scenarios = append(scenarios, sc)
+	}
+	if !full {
+		var fast []chaosScenario
+		for i := 0; i < len(scenarios); i += 3 {
+			fast = append(fast, scenarios[i])
+		}
+		fast = append(fast, scenarios[len(scenarios)-1])
+		scenarios = fast
+	} else {
+		t.Logf("full promotion chaos campaign: %d scenarios, seed %d (replay with BFABRIC_CHAOS_SEED)", total, seed)
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.label(), func(t *testing.T) { runPromotionScenario(t, sc) })
+	}
+}
+
+func runPromotionScenario(t *testing.T, sc chaosScenario) {
+	// The primary is durable (its directory is the zombie's body later)
+	// and ships through per-follower netchaos proxies.
+	pdir := t.TempDir()
+	sP, err := openFollowerDir(pdir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaignSchema(t, sP)
+	srvP, addrP := startServer(t, sP)
+
+	pxA, err := netchaos.New(addrP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pxA.Close()
+	pxB, err := netchaos.New(addrP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pxB.Close()
+	faultProxy := pxA
+	if sc.target == "B" {
+		faultProxy = pxB
+	}
+
+	newChaosFollower := func(addr string) (*store.Store, *Follower) {
+		s, err := openFollowerDir(t.TempDir(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		campaignSchema(t, s)
+		s.SetReplica(true)
+		f := NewFollower(s, addr, chaosFollowerOptions(t))
+		f.Start()
+		t.Cleanup(f.Close)
+		return s, f
+	}
+	sA, fA := newChaosFollower(pxA.Addr())
+	sB, fB := newChaosFollower(pxB.Addr())
+
+	// Phase 1: healthy network.
+	var epoch1Rows []int64
+	for n := int64(1); n <= chaosPhase1N; n++ {
+		putSample(t, sP, n)
+		epoch1Rows = append(epoch1Rows, n)
+	}
+	for _, f := range []*Follower{fA, fB} {
+		if err := f.WaitForSeq(sP.CommitSeq(), 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 2: the seeded fault fires mid-load on one follower's link.
+	for i := 0; i < chaosPhase2N; i++ {
+		if i == sc.injectAt {
+			faultProxy.Set(sc.fault)
+		}
+		n := int64(chaosPhase1N + i + 1)
+		putSample(t, sP, n)
+		epoch1Rows = append(epoch1Rows, n)
+	}
+	faultProxy.Heal()
+	for _, f := range []*Follower{fA, fB} {
+		if err := f.WaitForSeq(sP.CommitSeq(), 20*time.Second); err != nil {
+			t.Fatalf("catch-up after %s fault: %v", sc.fault.Mode, err)
+		}
+	}
+	assertConverged(t, sP, sA)
+	assertConverged(t, sP, sB)
+	prePartitionSeq := sP.CommitSeq()
+
+	// The partition: both followers lose the primary for good.
+	pxA.Set(netchaos.Fault{Mode: netchaos.Partition})
+	pxB.Set(netchaos.Fault{Mode: netchaos.Partition})
+
+	// The zombie keeps acking writes into the void. Every one of these is
+	// a phantom: durable on the old primary, seen by nobody else, doomed.
+	for i := int64(1); i <= chaosPhantomN; i++ {
+		putSample(t, sP, chaosPhantomBase+i)
+	}
+	if sP.CommitSeq() <= prePartitionSeq {
+		t.Fatal("zombie primary did not advance past the partition point")
+	}
+
+	// Promote B. Its state must be the exact pre-partition prefix — the
+	// phantom acks beyond it are not part of the new timeline.
+	prom, err := fB.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if prom.Epoch != 2 {
+		t.Fatalf("promotion epoch = %d, want 2", prom.Epoch)
+	}
+	if prom.LastApplied != prePartitionSeq {
+		t.Fatalf("promotion lastApplied = %d, want the pre-partition seq %d", prom.LastApplied, prePartitionSeq)
+	}
+	if sB.IsReplica() {
+		t.Fatal("promoted store still refuses writes")
+	}
+	if sB.Epoch() != prom.Epoch {
+		t.Fatalf("store epoch = %d after promotion, want %d", sB.Epoch(), prom.Epoch)
+	}
+	assertTimeline(t, sB, "promoted B", epoch1Rows)
+
+	// The new timeline: B serves writes and ships its own feed.
+	epoch2Rows := append([]int64(nil), epoch1Rows...)
+	for i := int64(1); i <= chaosEpoch2N; i++ {
+		putSample(t, sB, chaosEpoch2Base+i)
+		epoch2Rows = append(epoch2Rows, chaosEpoch2Base+i)
+	}
+	_, addrB := startServer(t, sB)
+
+	// Re-point the survivor. A is at epoch 1: the handshake fences it as
+	// stale, it resyncs via snapshot and adopts epoch 2.
+	fA.Close()
+	fA2 := NewFollower(sA, addrB, chaosFollowerOptions(t))
+	fA2.Start()
+	t.Cleanup(fA2.Close)
+	if err := fA2.WaitForSeq(sB.CommitSeq(), 20*time.Second); err != nil {
+		t.Fatalf("re-pointed survivor never converged: %v", err)
+	}
+	if st := fA2.Status(); st.Resyncs == 0 {
+		t.Fatal("re-pointed epoch-1 survivor converged without a snapshot resync — the fence did not fire")
+	}
+	if sA.Epoch() != prom.Epoch {
+		t.Fatalf("survivor epoch = %d after resync, want %d", sA.Epoch(), prom.Epoch)
+	}
+	assertConverged(t, sB, sA)
+	assertTimeline(t, sA, "re-pointed A", epoch2Rows)
+
+	// Resurrect the zombie from its own directory. It comes back with the
+	// phantom rows and the old epoch...
+	srvP.Close()
+	if err := sP.Close(); err != nil {
+		t.Fatalf("closing old primary: %v", err)
+	}
+	sZ, err := openFollowerDir(pdir, nil)
+	if err != nil {
+		t.Fatalf("resurrecting zombie: %v", err)
+	}
+	defer sZ.Close()
+	if sZ.Epoch() != 1 {
+		t.Fatalf("zombie epoch = %d, want 1", sZ.Epoch())
+	}
+	if got := sZ.Count("sample"); got != len(epoch1Rows)+chaosPhantomN {
+		t.Fatalf("zombie resurrected with %d rows, want %d (including its %d phantoms)",
+			got, len(epoch1Rows)+chaosPhantomN, chaosPhantomN)
+	}
+
+	// ...and the raw handshake refuses it: stale epoch, no snapshot flag.
+	if status, _, pe := probeHandshake(t, addrB, sZ.CommitSeq(), sZ.Epoch()); status != statusFencedStale || pe != prom.Epoch {
+		t.Fatalf("zombie handshake = (status %d, epoch %d), want (statusFencedStale, %d)", status, pe, prom.Epoch)
+	}
+	// Rejoining through the Follower resyncs wholesale: the typed error
+	// fires once, the retry requests a snapshot, the phantoms die.
+	sZ.SetReplica(true)
+	fZ := NewFollower(sZ, addrB, chaosFollowerOptions(t))
+	fZ.Start()
+	t.Cleanup(fZ.Close)
+	// WaitForSeq is useless here — the zombie's raw seq (phantoms
+	// included) already exceeds the new primary's head; seqs are not
+	// comparable across epochs, which is the whole point. Wait for the
+	// observable fencing outcome instead: epoch adopted, heads equal.
+	deadline := time.Now().Add(20 * time.Second)
+	for sZ.Epoch() != prom.Epoch || sZ.CommitSeq() != sB.CommitSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie never converged after resync: epoch %d seq %d, want epoch %d seq %d",
+				sZ.Epoch(), sZ.CommitSeq(), prom.Epoch, sB.CommitSeq())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := fZ.Status(); st.Resyncs == 0 {
+		t.Fatal("zombie converged without a snapshot resync — phantom commits may have merged")
+	}
+	if sZ.Epoch() != prom.Epoch {
+		t.Fatalf("zombie epoch = %d after resync, want %d", sZ.Epoch(), prom.Epoch)
+	}
+	assertConverged(t, sB, sZ)
+	assertTimeline(t, sZ, "resynced zombie", epoch2Rows)
+}
+
+// TestFencedAheadRefusesZombie: a follower whose epoch is AHEAD of the
+// server's (the server is the zombie) is refused with statusFencedAhead
+// and must NOT resync — adopting the dead timeline would undo the
+// promotion. The follower's store stays untouched while it retries.
+func TestFencedAheadRefusesZombie(t *testing.T) {
+	zombie := newPrimary(t)
+	putAcct(t, zombie, "phantom", 1)
+	_, addr := startServer(t, zombie)
+
+	ahead := store.New()
+	mustSchema(t, ahead)
+	if _, err := ahead.AdvanceEpoch(1); err != nil { // epoch 2: promoted elsewhere
+		t.Fatal(err)
+	}
+	putAcct(t, ahead, "epoch2", 2)
+	beforeSeq := ahead.CommitSeq()
+
+	// Raw handshake first: the typed status, observable at the wire.
+	if status, _, pe := probeHandshake(t, addr, ahead.CommitSeq(), ahead.Epoch()); status != statusFencedAhead || pe != 1 {
+		t.Fatalf("ahead handshake = (status %d, epoch %d), want (statusFencedAhead, 1)", status, pe)
+	}
+
+	ahead.SetReplica(true)
+	f := NewFollower(ahead, addr, chaosFollowerOptions(t))
+	f.Start()
+	defer f.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Status().PrimaryEpoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never completed a handshake with the zombie")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // a few retry rounds
+	st := f.Status()
+	if !st.Fenced {
+		t.Fatal("follower pointed at a zombie is not reporting Fenced")
+	}
+	if st.Connected {
+		t.Fatal("follower claims a live session with a zombie that fenced it")
+	}
+	if st.Resyncs != 0 {
+		t.Fatalf("ahead-side fencing triggered %d resyncs — it must never adopt the dead timeline", st.Resyncs)
+	}
+	if ahead.CommitSeq() != beforeSeq || ahead.Epoch() != 2 {
+		t.Fatalf("follower store changed under a fenced-ahead session: seq %d (want %d), epoch %d (want 2)",
+			ahead.CommitSeq(), beforeSeq, ahead.Epoch())
+	}
+}
+
+// TestPromoteDisconnectRepoints: after promoting a mid-tier relay,
+// Server.Disconnect forces its downstream followers to re-handshake and
+// adopt the new epoch immediately.
+func TestPromoteDisconnectRepoints(t *testing.T) {
+	primary := newPrimary(t)
+	_, addr := startServer(t, primary)
+
+	mid := store.New()
+	mustSchema(t, mid)
+	mid.SetReplica(true)
+	fmid := NewFollower(mid, addr, chaosFollowerOptions(t))
+	fmid.Start()
+	t.Cleanup(fmid.Close)
+	srvMid, midAddr := startServer(t, mid)
+
+	leaf := store.New()
+	mustSchema(t, leaf)
+	leaf.SetReplica(true)
+	fleaf := NewFollower(leaf, midAddr, chaosFollowerOptions(t))
+	fleaf.Start()
+	t.Cleanup(fleaf.Close)
+
+	putAcct(t, primary, "a", 1)
+	if err := fmid.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleaf.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	prom, err := fmid.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvMid.Disconnect() // downstream re-handshakes against the new epoch
+
+	putAcct(t, mid, "epoch2", 2)
+	if err := fleaf.WaitForSeq(mid.CommitSeq(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for leaf.Epoch() != prom.Epoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaf epoch = %d, want %d after relay promotion", leaf.Epoch(), prom.Epoch)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	assertConverged(t, mid, leaf)
+}
+
+// TestHalfOpenFreezesLastContact (satellite): a half-open network —
+// connection alive, nothing delivered — freezes the follower's
+// LastContact, so the reported staleness age grows monotonically until
+// the link heals or the read timeout tears the session. This is exactly
+// the signal `bfabric-admin status -addr` and /api/replication surface.
+func TestHalfOpenFreezesLastContact(t *testing.T) {
+	primary := newPrimary(t)
+	putAcct(t, primary, "a", 1)
+	_, addr := startServer(t, primary)
+
+	px, err := netchaos.New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	fstore := store.New()
+	mustSchema(t, fstore)
+	fstore.SetReplica(true)
+	opts := chaosFollowerOptions(t)
+	opts.ReadTimeout = 2 * time.Second // outlast the stall window under test
+	f := NewFollower(fstore, px.Addr(), opts)
+	f.Start()
+	defer f.Close()
+	if err := f.WaitForSeq(primary.CommitSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitConnected(t, f)
+
+	px.Set(netchaos.Fault{Mode: netchaos.HalfOpen})
+	time.Sleep(30 * time.Millisecond) // let the stall take hold
+	frozen := f.Status().LastContact
+	lastAge := f.Report().LastContactAgeMS
+	for i := 0; i < 5; i++ {
+		time.Sleep(40 * time.Millisecond)
+		st := f.Status()
+		if !st.LastContact.Equal(frozen) {
+			t.Fatalf("LastContact advanced during a half-open stall: %v -> %v", frozen, st.LastContact)
+		}
+		age := f.Report().LastContactAgeMS
+		if age < lastAge {
+			t.Fatalf("staleness age went backwards during the stall: %d -> %d ms", lastAge, age)
+		}
+		lastAge = age
+	}
+	if lastAge < 150 {
+		t.Fatalf("after ~200ms of stall, reported age = %dms; the staleness bound is not growing", lastAge)
+	}
+
+	// Healing resumes contact: heartbeats advance LastContact again.
+	px.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Status().LastContact.After(frozen) {
+		if time.Now().After(deadline) {
+			t.Fatal("LastContact never advanced after the stall healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

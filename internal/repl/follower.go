@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
@@ -28,12 +29,24 @@ type Status struct {
 	// replica serves is no more stale than (now - LastContact) plus one
 	// heartbeat.
 	LastContact time.Time `json:"lastContact,omitzero"`
-	// Resyncs counts snapshot resyncs forced by divergence or gaps.
+	// Resyncs counts snapshot resyncs forced by divergence, gaps or
+	// epoch fencing.
 	Resyncs uint64 `json:"resyncs"`
 	// Degraded reports that the replica's local durable path failed and
 	// replication has STOPPED (the store refuses to apply): reads still
 	// serve the last applied state, loudly stale.
 	Degraded bool `json:"degraded"`
+	// Epoch is the local store's replication epoch (fencing token).
+	Epoch uint64 `json:"epoch"`
+	// PrimaryEpoch is the primary's epoch as of the last handshake (zero
+	// before the first one).
+	PrimaryEpoch uint64 `json:"primaryEpoch,omitempty"`
+	// Fenced reports that the last handshake was refused on epoch
+	// grounds. Stale-side fencing clears itself (the next handshake
+	// requests a snapshot and adopts the primary's epoch); ahead-side
+	// fencing — this follower pointed at a zombie primary — persists
+	// until the address serves the newer timeline.
+	Fenced bool `json:"fenced,omitempty"`
 }
 
 // Lag returns the replication lag in commits, as last observed.
@@ -42,6 +55,37 @@ func (st Status) Lag() uint64 {
 		return st.PrimarySeq - st.LastApplied
 	}
 	return 0
+}
+
+// StatusReport is Status plus the derived fields operators actually act
+// on — lag in commits and the age of the last primary contact — so
+// surfaces like GET /api/replication and `bfabric-admin status -addr`
+// don't make every consumer re-derive promotion-safety math from raw
+// seqs and timestamps.
+type StatusReport struct {
+	Status
+	// Role is "replica", or "primary" once the store has been promoted.
+	Role string `json:"role"`
+	// Lag is PrimarySeq - LastApplied in commits, as last observed.
+	Lag uint64 `json:"lag"`
+	// LastContactAgeMS is how long ago the primary was last heard from,
+	// in milliseconds; -1 before the first contact. The staleness bound
+	// is this plus one heartbeat period (docs/replication.md).
+	LastContactAgeMS int64 `json:"lastContactAgeMs"`
+}
+
+// Report returns the follower's status with the derived fields filled
+// in against the current clock.
+func (f *Follower) Report() StatusReport {
+	st := f.Status()
+	r := StatusReport{Status: st, Role: "replica", Lag: st.Lag(), LastContactAgeMS: -1}
+	if !f.s.IsReplica() {
+		r.Role = "primary"
+	}
+	if !st.LastContact.IsZero() {
+		r.LastContactAgeMS = time.Since(st.LastContact).Milliseconds()
+	}
+	return r
 }
 
 // FollowerOptions tunes a follower's connection management.
@@ -108,7 +152,7 @@ func NewFollower(s *store.Store, addr string, opts FollowerOptions) *Follower {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	f.status.Store(&Status{LastApplied: s.CommitSeq()})
+	f.status.Store(&Status{LastApplied: s.CommitSeq(), Epoch: s.Epoch()})
 	return f
 }
 
@@ -166,6 +210,7 @@ func (f *Follower) setStatus(mut func(*Status)) {
 	st := *f.status.Load()
 	mut(&st)
 	st.Resyncs = f.resyncs.Load()
+	st.Epoch = f.s.Epoch()
 	f.status.Store(&st)
 }
 
@@ -173,14 +218,14 @@ func (f *Follower) run() {
 	defer close(f.done)
 	defer f.setStatus(func(st *Status) { st.Connected = false })
 	backoff := f.opts.RetryMin
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		select {
 		case <-f.stop:
 			return
 		default:
 		}
-		start := time.Now()
-		err := f.session()
+		handshook, err := f.session()
 		f.setStatus(func(st *Status) { st.Connected = false })
 		if errors.Is(err, errReplStopped) {
 			f.logf("repl: follower stopped: store no longer accepts replication")
@@ -194,13 +239,17 @@ func (f *Follower) run() {
 		if err != nil {
 			f.logf("repl: session: %v", err)
 		}
-		if time.Since(start) > f.opts.RetryMax {
-			backoff = f.opts.RetryMin // a session that lasted a while resets the backoff
+		if handshook {
+			// The primary accepted us, so the address and the epoch are
+			// right; whatever ended the session (torn feed, timeout), the
+			// next attempt should come quickly. A failed dial or a fenced
+			// refusal keeps the backoff growing.
+			backoff = f.opts.RetryMin
 		}
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(jitter(rng, backoff)):
 		}
 		backoff *= 2
 		if backoff > f.opts.RetryMax {
@@ -209,12 +258,25 @@ func (f *Follower) run() {
 	}
 }
 
+// jitter spreads a backoff over [d/2, d], so a fleet of followers cut
+// off by the same event (a primary restart, a healed partition) does
+// not re-dial in lockstep, session after session.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
 // session runs one connection to the primary: handshake, then apply
-// messages until something breaks.
-func (f *Follower) session() error {
+// messages until something breaks. handshook reports that the primary
+// accepted the handshake (statusOK) — the signal that resets the
+// reconnect backoff.
+func (f *Follower) session() (handshook bool, err error) {
 	conn, err := net.DialTimeout("tcp", f.addr, f.opts.DialTimeout)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -236,19 +298,48 @@ func (f *Follower) session() error {
 	if f.resync.Load() {
 		flags |= flagSnapshot
 	}
+	localEpoch := f.s.Epoch()
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	if err := writeHello(conn, f.s.CommitSeq(), flags); err != nil {
-		return err
+	if err := writeHello(conn, f.s.CommitSeq(), localEpoch, flags); err != nil {
+		return false, err
 	}
 	br := bufio.NewReaderSize(conn, 256<<10)
 	conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
-	head, err := readHelloReply(br)
+	replyStatus, head, primaryEpoch, err := readHelloReply(br)
 	if err != nil {
-		return err
+		return false, err
+	}
+	switch replyStatus {
+	case statusOK:
+	case statusFencedStale:
+		// Our timeline is the abandoned one. The sanctioned way back in is
+		// a wholesale snapshot resync, which adopts the primary's epoch.
+		f.resync.Store(true)
+		f.resyncs.Add(1)
+		f.setStatus(func(st *Status) {
+			st.Fenced = true
+			st.PrimaryEpoch = primaryEpoch
+		})
+		return false, &store.FencedEpochError{Local: localEpoch, Remote: primaryEpoch}
+	case statusFencedAhead:
+		// The "primary" is a zombie from an epoch we have already left
+		// behind. Do NOT resync — that would adopt the dead timeline.
+		// Keep retrying (backing off) until the address serves the newer
+		// one; the operator re-points or restarts the zombie meanwhile.
+		f.setStatus(func(st *Status) {
+			st.Fenced = true
+			st.PrimaryEpoch = primaryEpoch
+		})
+		return false, fmt.Errorf("repl: primary at %s is a fenced zombie: %w",
+			f.addr, &store.FencedEpochError{Local: localEpoch, Remote: primaryEpoch})
+	default:
+		return false, fmt.Errorf("repl: unknown handshake status %d", replyStatus)
 	}
 	f.setStatus(func(st *Status) {
 		st.Connected = true
 		st.PrimarySeq = head
+		st.PrimaryEpoch = primaryEpoch
+		st.Fenced = false
 		st.LastContact = time.Now()
 	})
 
@@ -256,13 +347,13 @@ func (f *Follower) session() error {
 		conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
 		typ, payload, err := readMsg(br)
 		if err != nil {
-			return err
+			return true, err
 		}
 		switch typ {
 		case msgFrame:
 			seq, err := f.s.ApplyReplicated(payload)
 			if err != nil {
-				return f.applyError(err)
+				return true, f.applyError(err)
 			}
 			f.setStatus(func(st *Status) {
 				st.LastApplied = seq
@@ -273,7 +364,7 @@ func (f *Follower) session() error {
 			})
 		case msgHeartbeat:
 			if len(payload) != 8 {
-				return fmt.Errorf("repl: malformed heartbeat")
+				return true, fmt.Errorf("repl: malformed heartbeat")
 			}
 			head := leU64(payload)
 			f.setStatus(func(st *Status) {
@@ -282,13 +373,13 @@ func (f *Follower) session() error {
 			})
 		case msgSnapBegin:
 			if len(payload) != 8 {
-				return fmt.Errorf("repl: malformed snapshot begin")
+				return true, fmt.Errorf("repl: malformed snapshot begin")
 			}
 			if err := f.receiveSnapshot(conn, br, leU64(payload)); err != nil {
-				return err
+				return true, err
 			}
 		default:
-			return fmt.Errorf("repl: unexpected message type %q", typ)
+			return true, fmt.Errorf("repl: unexpected message type %q", typ)
 		}
 	}
 }

@@ -1,0 +1,260 @@
+// Package netchaos is a deterministic in-process network fault
+// injector: a TCP proxy a test places between a replication follower
+// and its primary (or any client and server) and then drives through a
+// sequence of failure modes — added latency, bandwidth throttling, torn
+// connections, half-open stalls, and full partitions.
+//
+// It is the network-side sibling of the store's FaultFS: the proxy
+// itself contains no randomness, so a seeded campaign that picks modes
+// and injection points from its own RNG replays identically. Tests flip
+// modes with Set at exact points in their workload and observe how the
+// replication layer reacts (reconnect, resync, fencing) with no real
+// network, no root, and no timing flakiness beyond the connection
+// timeouts under test.
+package netchaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the proxy's behavior for traffic in BOTH directions.
+type Mode int
+
+const (
+	// Pass forwards traffic unmodified.
+	Pass Mode = iota
+	// Latency delays each forwarded chunk by Fault.Delay.
+	Latency
+	// Throttle caps forwarding at Fault.Rate bytes/second per direction.
+	Throttle
+	// Torn forwards Fault.After bytes per direction, then severs the
+	// connection (both sides see a reset/EOF mid-stream).
+	Torn
+	// HalfOpen stops forwarding entirely but keeps every connection
+	// open: both endpoints see a live, silent peer until their own
+	// read deadlines fire. This is the "frozen LastContact" failure.
+	HalfOpen
+	// Partition severs every existing connection and refuses new ones
+	// until the mode changes: the hard network split.
+	Partition
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Pass:
+		return "pass"
+	case Latency:
+		return "latency"
+	case Throttle:
+		return "throttle"
+	case Torn:
+		return "torn"
+	case HalfOpen:
+		return "half-open"
+	case Partition:
+		return "partition"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one injected network condition.
+type Fault struct {
+	Mode Mode
+	// Delay is the per-chunk forwarding delay under Latency.
+	Delay time.Duration
+	// Rate is the per-direction forwarding cap in bytes/second under
+	// Throttle (minimum 1).
+	Rate int
+	// After is the number of bytes forwarded per direction before a Torn
+	// connection is severed.
+	After int64
+}
+
+// Proxy is one listener forwarding to one target address. Connections
+// accepted while healthy keep flowing through mode changes; Set takes
+// effect on live traffic immediately (the pumps re-read the mode for
+// every chunk).
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	fault  atomic.Pointer[Fault]
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a proxy on 127.0.0.1:0 forwarding to target.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.fault.Store(&Fault{Mode: Pass})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address; point the client here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Set installs a fault. Installing Partition severs every live
+// connection on the spot; every other mode applies to both live and
+// future connections from the next chunk on.
+func (p *Proxy) Set(f Fault) {
+	if f.Mode == Throttle && f.Rate < 1 {
+		f.Rate = 1
+	}
+	p.fault.Store(&f)
+	if f.Mode == Partition {
+		p.killConns()
+	}
+}
+
+// Heal returns the proxy to transparent forwarding.
+func (p *Proxy) Heal() { p.Set(Fault{Mode: Pass}) }
+
+// Kill severs every live connection without changing the mode: an
+// instantaneous connection loss with an immediately healthy network.
+func (p *Proxy) Kill() { p.killConns() }
+
+// Active reports the number of live proxied connections (both sides of
+// each pair counted once).
+func (p *Proxy) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns) / 2
+}
+
+// Close shuts the proxy down: listener and every connection.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+}
+
+func (p *Proxy) killConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.fault.Load().Mode == Partition {
+			conn.Close() // refused: the network is split
+			continue
+		}
+		upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if !p.track(conn) || !p.track(upstream) {
+			conn.Close()
+			upstream.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pump(conn, upstream)
+		go p.pump(upstream, conn)
+	}
+}
+
+// pump forwards src to dst one chunk at a time, consulting the current
+// fault before and after each read. Any error on either side ends both:
+// a proxied TCP connection fails as a unit, like a real one.
+func (p *Proxy) pump(src, dst net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer src.Close()
+	defer dst.Close()
+	buf := make([]byte, 8<<10)
+	var forwarded int64
+	for {
+		// A half-open network delivers nothing and closes nothing: stall
+		// here, keeping both endpoints' connections open, until the mode
+		// changes or the proxy dies.
+		for p.fault.Load().Mode == HalfOpen && !p.closed.Load() {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if p.closed.Load() {
+			return
+		}
+		// Bound each read so a mode change (to HalfOpen or Partition)
+		// takes effect even on an idle connection.
+		src.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.fault.Load()
+			switch f.Mode {
+			case Latency:
+				time.Sleep(f.Delay)
+			case Throttle:
+				time.Sleep(time.Duration(float64(n) / float64(f.Rate) * float64(time.Second)))
+			case Torn:
+				if forwarded+int64(n) > f.After {
+					// Deliver nothing past the cut: the stream tears
+					// mid-flight exactly at After bytes.
+					if keep := f.After - forwarded; keep > 0 {
+						dst.Write(buf[:keep])
+					}
+					return
+				}
+			case HalfOpen:
+				// Flipped mid-read: hold the chunk (like a kernel buffer
+				// across a stalled link) and deliver it only when the
+				// stall ends — a heal resumes the stream intact.
+				for p.fault.Load().Mode == HalfOpen && !p.closed.Load() {
+					time.Sleep(2 * time.Millisecond)
+				}
+				if p.closed.Load() {
+					return
+				}
+			}
+			forwarded += int64(n)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // idle poll; re-check the mode
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package netchaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes whatever it reads.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(t *testing.T, c net.Conn, msg string, timeout time.Duration) error {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(timeout))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo mismatch: sent %q, got %q", msg, buf)
+	}
+	return nil
+}
+
+func TestPassThrough(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "hello through the proxy", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfOpenStallsAndHealResumes(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "warm", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Set(Fault{Mode: HalfOpen})
+	time.Sleep(30 * time.Millisecond) // let the pumps observe the stall
+	// The connection stays open but delivers nothing: the read must time
+	// out rather than error or succeed.
+	if _, err := c.Write([]byte("stalled")); err != nil {
+		t.Fatalf("write into half-open conn: %v", err)
+	}
+	buf := make([]byte, 7)
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := io.ReadFull(c, buf); err == nil {
+		t.Fatal("read succeeded through a half-open proxy")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read through half-open proxy = %v, want timeout", err)
+	}
+
+	// Healing delivers the held bytes: nothing was lost in the stall.
+	p.Heal()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if !bytes.Equal(buf, []byte("stalled")) {
+		t.Fatalf("post-heal bytes = %q, want %q", buf, "stalled")
+	}
+}
+
+func TestPartitionSeversAndRefuses(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if err := roundTrip(t, c, "before", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Set(Fault{Mode: Partition})
+	// The live connection dies...
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded across a partition")
+	}
+	// ...and new ones are refused (accepted then dropped, or failing).
+	c2, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err == nil {
+		defer c2.Close()
+		c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+		c2.Write([]byte("x"))
+		if _, err := c2.Read(buf); err == nil {
+			t.Fatal("round trip succeeded across a partition")
+		}
+	}
+
+	// Healing restores service for fresh connections.
+	p.Heal()
+	c3 := dialProxy(t, p)
+	if err := roundTrip(t, c3, "after", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornCutsAtByteCount(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	p.Set(Fault{Mode: Torn, After: 4})
+	if _, err := c.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := io.ReadFull(c, got)
+	if n > 4 {
+		t.Fatalf("torn connection delivered %d bytes, want <= 4", n)
+	}
+	// The connection must die, not hang.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(got); err == nil {
+		t.Fatal("torn connection still alive")
+	}
+}
+
+func TestThrottleSlowsTransfer(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	p.Set(Fault{Mode: Throttle, Rate: 4 << 10}) // 4 KiB/s
+	payload := bytes.Repeat([]byte("x"), 2<<10) // 2 KiB: >= 500ms at the cap
+	start := time.Now()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Fatalf("2KiB through a 4KiB/s throttle took %v, want >= 300ms", elapsed)
+	}
+}

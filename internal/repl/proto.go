@@ -27,17 +27,38 @@ import (
 
 const (
 	// protoMagic opens both hello messages; the trailing digits version
-	// the protocol.
-	protoMagic = "BFREPL01"
+	// the protocol. v2 added the replication epoch to both directions of
+	// the handshake and a status byte to the reply (fencing).
+	protoMagic = "BFREPL02"
 
-	// helloSize is the follower's hello: magic, last applied seq, flags.
-	helloSize = len(protoMagic) + 8 + 1
-	// helloReplySize is the primary's reply: magic, head seq.
-	helloReplySize = len(protoMagic) + 8
+	// helloSize is the follower's hello: magic, last applied seq,
+	// replication epoch, flags.
+	helloSize = len(protoMagic) + 8 + 8 + 1
+	// helloReplySize is the primary's reply: magic, status, head seq,
+	// replication epoch.
+	helloReplySize = len(protoMagic) + 1 + 8 + 8
 
 	// flagSnapshot asks the primary for a full snapshot regardless of the
-	// advertised seq — the follower's divergence-recovery path.
+	// advertised seq — the follower's divergence-recovery path, and the
+	// only admissible way for a lower-epoch node to rejoin (the snapshot
+	// carries the primary's epoch, which the resync adopts).
 	flagSnapshot byte = 1 << 0
+
+	// Handshake reply statuses. Anything but statusOK ends the session
+	// right after the reply; no feed follows.
+	statusOK byte = 0
+	// statusFencedStale: the follower's epoch is behind the primary's and
+	// it did not ask for a snapshot. Commit seqs are not comparable across
+	// epochs (both timelines extended the shared prefix independently), so
+	// offset catch-up could silently merge phantom commits — the follower
+	// must reconnect with flagSnapshot and resync wholesale.
+	statusFencedStale byte = 1
+	// statusFencedAhead: the follower's epoch is AHEAD of the primary's —
+	// the primary is the zombie here (a resurrected ex-primary still
+	// shipping its abandoned timeline). The follower must not apply
+	// anything from it, and must NOT resync either; it keeps retrying
+	// until the address serves the newer timeline.
+	statusFencedAhead byte = 2
 
 	// Message types, primary → follower. Each message is
 	// [1 type][4 LE payload len][4 LE CRC32-IEEE of payload][payload].
@@ -53,48 +74,57 @@ const (
 	maxMsgSize = 1 << 30
 )
 
-// writeHello sends the follower's handshake: its last applied commit seq
-// and flags.
-func writeHello(w io.Writer, lastSeq uint64, flags byte) error {
+// writeHello sends the follower's handshake: its last applied commit
+// seq, its replication epoch, and flags.
+func writeHello(w io.Writer, lastSeq, epoch uint64, flags byte) error {
 	buf := make([]byte, 0, helloSize)
 	buf = append(buf, protoMagic...)
 	buf = binary.LittleEndian.AppendUint64(buf, lastSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	buf = append(buf, flags)
 	_, err := w.Write(buf)
 	return err
 }
 
 // readHello reads the follower's handshake.
-func readHello(r io.Reader) (lastSeq uint64, flags byte, err error) {
+func readHello(r io.Reader) (lastSeq, epoch uint64, flags byte, err error) {
 	buf := make([]byte, helloSize)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if string(buf[:len(protoMagic)]) != protoMagic {
-		return 0, 0, fmt.Errorf("repl: bad handshake magic")
+		return 0, 0, 0, fmt.Errorf("repl: bad handshake magic")
 	}
-	return binary.LittleEndian.Uint64(buf[len(protoMagic):]), buf[helloSize-1], nil
+	lastSeq = binary.LittleEndian.Uint64(buf[len(protoMagic):])
+	epoch = binary.LittleEndian.Uint64(buf[len(protoMagic)+8:])
+	return lastSeq, epoch, buf[helloSize-1], nil
 }
 
-// writeHelloReply sends the primary's handshake reply: its head seq.
-func writeHelloReply(w io.Writer, headSeq uint64) error {
+// writeHelloReply sends the primary's handshake reply: the fencing
+// status, its head seq and its replication epoch.
+func writeHelloReply(w io.Writer, status byte, headSeq, epoch uint64) error {
 	buf := make([]byte, 0, helloReplySize)
 	buf = append(buf, protoMagic...)
+	buf = append(buf, status)
 	buf = binary.LittleEndian.AppendUint64(buf, headSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	_, err := w.Write(buf)
 	return err
 }
 
 // readHelloReply reads the primary's handshake reply.
-func readHelloReply(r io.Reader) (headSeq uint64, err error) {
+func readHelloReply(r io.Reader) (status byte, headSeq, epoch uint64, err error) {
 	buf := make([]byte, helloReplySize)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, err
+		return 0, 0, 0, err
 	}
 	if string(buf[:len(protoMagic)]) != protoMagic {
-		return 0, fmt.Errorf("repl: bad handshake magic")
+		return 0, 0, 0, fmt.Errorf("repl: bad handshake magic")
 	}
-	return binary.LittleEndian.Uint64(buf[len(protoMagic):]), nil
+	status = buf[len(protoMagic)]
+	headSeq = binary.LittleEndian.Uint64(buf[len(protoMagic)+1:])
+	epoch = binary.LittleEndian.Uint64(buf[len(protoMagic)+9:])
+	return status, headSeq, epoch, nil
 }
 
 // writeMsg frames and writes one message. The checksum is computed over

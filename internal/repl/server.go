@@ -66,6 +66,20 @@ func (srv *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// Disconnect drops every live follower session without stopping the
+// listener; followers reconnect immediately and re-handshake. Call it
+// after promoting the store this server ships (a relay follower that
+// was just promoted, or any node whose epoch advanced): the fresh
+// handshakes observe the new epoch, so downstream followers are fenced
+// into adopting it now rather than at their next natural reconnect.
+func (srv *Server) Disconnect() {
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+}
+
 // Close stops accepting, disconnects every follower and waits for the
 // per-connection goroutines to finish.
 func (srv *Server) Close() error {
@@ -128,12 +142,37 @@ func (srv *Server) handle(conn net.Conn) {
 	}
 
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	lastSeq, flags, err := readHello(conn)
+	lastSeq, followerEpoch, flags, err := readHello(conn)
 	if err != nil {
 		srv.logf("repl: %s: handshake: %v", conn.RemoteAddr(), err)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
+
+	bw := bufio.NewWriterSize(conn, 256<<10)
+
+	// Fencing, before any catch-up plan. Seqs are only comparable within
+	// one epoch, so a cross-epoch session has exactly one sound shape:
+	// a lower-epoch follower asking for a wholesale snapshot (which
+	// carries our epoch and replaces its timeline). Everything else is
+	// refused with a status the follower turns into a typed error.
+	epoch := srv.s.Epoch()
+	fenceStatus := statusOK
+	switch {
+	case followerEpoch > epoch:
+		fenceStatus = statusFencedAhead // we are the stale one; never feed it
+	case followerEpoch < epoch && flags&flagSnapshot == 0:
+		fenceStatus = statusFencedStale // must resync, not offset-catch-up
+	}
+	if fenceStatus != statusOK {
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := writeHelloReply(bw, fenceStatus, srv.s.CommitSeq(), epoch); err == nil {
+			bw.Flush()
+		}
+		srv.logf("repl: %s: fenced (status %d): local epoch %d, follower epoch %d",
+			conn.RemoteAddr(), fenceStatus, epoch, followerEpoch)
+		return
+	}
 
 	// Subscribe BEFORE deciding how to catch up: the cut seq plus the
 	// feed cover every commit from the cut on, so catch-up only has to
@@ -145,9 +184,8 @@ func (srv *Server) handle(conn net.Conn) {
 	defer sub.Cancel()
 	cut := sub.FromSeq
 
-	bw := bufio.NewWriterSize(conn, 256<<10)
 	conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-	if err := writeHelloReply(bw, cut); err != nil {
+	if err := writeHelloReply(bw, statusOK, cut, epoch); err != nil {
 		return
 	}
 

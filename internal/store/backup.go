@@ -78,7 +78,7 @@ func clearBackupDir(dst string) error {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if name != snapshotFile && !strings.HasSuffix(name, ".tmp") {
+		if name != snapshotFile && name != epochFile && !strings.HasSuffix(name, ".tmp") {
 			if _, ok := parseWALSegmentName(name); !ok {
 				continue
 			}
@@ -94,6 +94,14 @@ func clearBackupDir(dst string) error {
 // last, everything fsynced (files and directory) so the backup is itself
 // crash-safe.
 func copyDataFiles(src, dst string) error {
+	// The EPOCH file is copied first: the epoch only ever increases, so
+	// copying it early can only understate it — and the snapshot (copied
+	// last) carries its own epoch, of which recovery takes the max. A
+	// backup cut before a promotion restores at the old epoch and is
+	// correctly fenced into a resync if it rejoins the new timeline.
+	if err := copyFileDurable(filepath.Join(src, epochFile), filepath.Join(dst, epochFile)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	segs, err := listWALSegments(osFS{}, src)
 	if err != nil {
 		return err

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestEpochAdvance pins the in-memory epoch arithmetic: stores start at
+// epoch 1, AdvanceEpoch goes to max(current, floor)+1, and the floor
+// fences an observed-higher epoch even when the local one lags.
+func TestEpochAdvance(t *testing.T) {
+	s := New()
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("fresh store epoch = %d, want 1", got)
+	}
+	if e, err := s.AdvanceEpoch(0); err != nil || e != 2 {
+		t.Fatalf("AdvanceEpoch(0) = %d, %v, want 2", e, err)
+	}
+	if e, err := s.AdvanceEpoch(10); err != nil || e != 11 {
+		t.Fatalf("AdvanceEpoch(10) = %d, %v, want 11", e, err)
+	}
+	if got := s.Epoch(); got != 11 {
+		t.Fatalf("epoch after advances = %d, want 11", got)
+	}
+}
+
+// TestEpochDurable: a promotion survives restart even when the snapshot
+// on disk predates it (the EPOCH file, not the snapshot, carries it),
+// and InspectDir reports what recovery would restore.
+func TestEpochDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DurabilityOptions{Sync: SyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("tt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		_, err := tx.Insert("tt", Record{"k": "v"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil { // snapshot at epoch 1
+		t.Fatal(err)
+	}
+	if e, err := s.AdvanceEpoch(0); err != nil || e != 2 {
+		t.Fatalf("AdvanceEpoch = %d, %v, want 2", e, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := InspectDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 {
+		t.Fatalf("InspectDir epoch = %d, want 2", info.Epoch)
+	}
+
+	s2, err := Open(dir, DurabilityOptions{Sync: SyncOff, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Epoch(); got != 2 {
+		t.Fatalf("reopened epoch = %d, want 2", got)
+	}
+	if got := s2.Count("tt"); got != 1 {
+		t.Fatalf("reopened rows = %d, want 1", got)
+	}
+}
+
+// TestSnapshotCarriesEpoch: Save/Load and ResetFromSnapshot both adopt
+// the producing store's epoch, so convergence (byte-identical Save)
+// includes the fencing token.
+func TestSnapshotCarriesEpoch(t *testing.T) {
+	src := New()
+	if err := src.CreateTable("tt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.AdvanceEpoch(2); err != nil { // epoch 3
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	viaLoad := New()
+	if err := viaLoad.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := viaLoad.Epoch(); got != 3 {
+		t.Fatalf("Load-adopted epoch = %d, want 3", got)
+	}
+
+	viaReset := New()
+	if _, err := viaReset.ResetFromSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := viaReset.Epoch(); got != 3 {
+		t.Fatalf("Reset-adopted epoch = %d, want 3", got)
+	}
+
+	var a, b bytes.Buffer
+	if err := src.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaReset.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot round-trip through ResetFromSnapshot is not byte-identical")
+	}
+}
+
+// TestResetFencesOlderEpoch: the inner fencing layer — a snapshot from
+// an older timeline must never replace a newer one, and the refusal is
+// the typed error.
+func TestResetFencesOlderEpoch(t *testing.T) {
+	old := New()
+	var snap bytes.Buffer
+	if err := old.Save(&snap); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+
+	s := New()
+	if _, err := s.AdvanceEpoch(0); err != nil { // epoch 2
+		t.Fatal(err)
+	}
+	_, err := s.ResetFromSnapshot(bytes.NewReader(snap.Bytes()))
+	if !errors.Is(err, ErrFencedEpoch) {
+		t.Fatalf("ResetFromSnapshot with stale epoch = %v, want ErrFencedEpoch", err)
+	}
+	var fe *FencedEpochError
+	if !errors.As(err, &fe) || fe.Local != 2 || fe.Remote != 1 {
+		t.Fatalf("fenced error detail = %+v, want Local 2 Remote 1", fe)
+	}
+	if got := s.Epoch(); got != 2 {
+		t.Fatalf("epoch after refused reset = %d, want 2", got)
+	}
+}

@@ -52,4 +52,10 @@ var (
 	// sequence has been truncated out of the log by a snapshot. Callers
 	// catch up from a snapshot instead.
 	ErrSeqGone = errors.New("wal sequence truncated")
+	// ErrFencedEpoch is the fencing sentinel: a replication peer (or an
+	// incoming snapshot) presented an epoch older than this store's. The
+	// concrete error is a *FencedEpochError carrying both epochs; see
+	// epoch.go. A fenced node must not serve or absorb frames across the
+	// epoch boundary — it resyncs from a snapshot of the newer timeline.
+	ErrFencedEpoch = errors.New("replication epoch fenced")
 )

@@ -16,7 +16,11 @@ type snapshot struct {
 	Version int
 	// Seq is the commit sequence the snapshot captures; WAL records at or
 	// below it are redundant. Zero on snapshots from before the WAL era.
-	Seq    uint64
+	Seq uint64
+	// Epoch is the replication epoch of the store that produced the
+	// snapshot (epoch.go). Zero on snapshots from before the fencing era;
+	// loaders normalize it to 1.
+	Epoch  uint64
 	Tables []tableSnapshot
 }
 
@@ -122,16 +126,19 @@ func (s *Store) freeze() *version {
 // sequence the snapshot captures. No lock is held at any point: the
 // pinned version is an immutable snapshot by construction.
 func (s *Store) writeSnapshot(w io.Writer) (uint64, error) {
-	return writeSnapshotVersion(s.freeze(), w)
+	return writeSnapshotVersion(s.freeze(), s.epoch.Load(), w)
 }
 
-// writeSnapshotVersion serializes one pinned version. The encoding is
-// deterministic — tables, rows, field keys and index names are all
-// emitted in sorted order through a single gob stream — so two stores
-// holding the same logical state at the same seq produce byte-identical
-// snapshots (the property replica convergence tests pin on).
-func writeSnapshotVersion(v *version, w io.Writer) (uint64, error) {
-	snap := snapshot{Version: 1, Seq: v.seq}
+// writeSnapshotVersion serializes one pinned version under the given
+// replication epoch. The encoding is deterministic — tables, rows,
+// field keys and index names are all emitted in sorted order through a
+// single gob stream — so two stores holding the same logical state at
+// the same seq and epoch produce byte-identical snapshots (the property
+// replica convergence tests pin on; the epoch is part of the state, so
+// a store still on an older timeline's epoch has, by definition, not
+// converged).
+func writeSnapshotVersion(v *version, epoch uint64, w io.Writer) (uint64, error) {
+	snap := snapshot{Version: 1, Seq: v.seq, Epoch: epoch}
 	for _, name := range v.tableNames() {
 		t := v.tables[name]
 		ts := tableSnapshot{Name: name, NextID: t.nextID}
@@ -193,6 +200,9 @@ func (s *Store) Load(r io.Reader) error {
 		return err
 	}
 	s.current.Store(nv)
+	if snap.Epoch > 1 {
+		s.epoch.Store(snap.Epoch) // adopt the producing store's epoch
+	}
 	return nil
 }
 
@@ -238,20 +248,21 @@ func (s *Store) SaveFile(path string) error {
 // directory so the rename itself is durable. It reports the commit
 // sequence the snapshot captured.
 func (s *Store) writeSnapshotFile(path string) (uint64, error) {
-	return s.writeVersionSnapshotFile(path, s.freeze())
+	return s.writeVersionSnapshotFile(path, s.freeze(), s.epoch.Load())
 }
 
 // writeVersionSnapshotFile runs the atomic-write protocol for one pinned
 // (or not-yet-published) version. ResetFromSnapshot uses it to persist a
-// resync before the rebuilt version becomes reachable.
-func (s *Store) writeVersionSnapshotFile(path string, v *version) (uint64, error) {
+// resync — under the incoming snapshot's epoch — before the rebuilt
+// version becomes reachable.
+func (s *Store) writeVersionSnapshotFile(path string, v *version, epoch uint64) (uint64, error) {
 	fsys := s.fileSystem()
 	tmp := path + ".tmp"
 	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, err
 	}
-	seq, err := writeSnapshotVersion(v, f)
+	seq, err := writeSnapshotVersion(v, epoch, f)
 	if err == nil {
 		err = f.Sync()
 	}

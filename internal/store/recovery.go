@@ -101,6 +101,17 @@ func Open(dir string, opts DurabilityOptions) (*Store, error) {
 		return fail(err)
 	}
 
+	// The restored epoch is the max of the EPOCH file (a promotion after
+	// the last snapshot) and the snapshot's own (already adopted by
+	// LoadFile); New started it at 1.
+	fileEpoch, err := readEpochFile(fsys, dir)
+	if err != nil {
+		return fail(err)
+	}
+	if fileEpoch > s.epoch.Load() {
+		s.epoch.Store(fileEpoch)
+	}
+
 	s.onError = opts.OnError
 	w := newWAL(dir, fsys, opts.Sync, opts.SyncEvery, s.walFailure)
 	if err := w.armSegments(segs, s.CommitSeq()); err != nil {
@@ -446,6 +457,9 @@ type DirInfo struct {
 	// gap in the commit sequence (e.g. a missing segment) — the cases
 	// recovery refuses with ErrCorrupt instead of repairing.
 	Damaged bool
+	// Epoch is the replication epoch recovery would restore: the max of
+	// the EPOCH file and the snapshot's embedded epoch, at least 1.
+	Epoch uint64
 }
 
 // InspectDir reads a data directory without opening or mutating it:
@@ -468,6 +482,7 @@ func InspectDir(dir string) (*DirInfo, error) {
 		var hdr struct {
 			Version int
 			Seq     uint64
+			Epoch   uint64
 		}
 		err = gob.NewDecoder(f).Decode(&hdr)
 		f.Close()
@@ -476,8 +491,17 @@ func InspectDir(dir string) (*DirInfo, error) {
 		}
 		info.SnapshotSeq = hdr.Seq
 		info.LastSeq = hdr.Seq
+		info.Epoch = hdr.Epoch
 	} else if !os.IsNotExist(err) {
 		return nil, err
+	}
+	if fileEpoch, err := readEpochFile(osFS{}, dir); err != nil {
+		return nil, err
+	} else if fileEpoch > info.Epoch {
+		info.Epoch = fileEpoch
+	}
+	if info.Epoch == 0 {
+		info.Epoch = 1
 	}
 
 	segs, err := listWALSegments(osFS{}, dir) // already in ascending base order

@@ -366,9 +366,9 @@ func (s *Store) ApplyReplicated(payload []byte) (uint64, error) {
 // so the serialization races with nothing; shippers use this to stream a
 // consistent snapshot to a joining follower while commits continue.
 func (s *Store) PinnedSnapshot() (uint64, func(io.Writer) error) {
-	v := s.freeze()
+	v, epoch := s.freeze(), s.epoch.Load()
 	return v.seq, func(w io.Writer) error {
-		_, err := writeSnapshotVersion(v, w)
+		_, err := writeSnapshotVersion(v, epoch, w)
 		return err
 	}
 }
@@ -400,6 +400,10 @@ func (s *Store) ResetFromSnapshot(r io.Reader) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	snapEpoch := snap.Epoch
+	if snapEpoch == 0 {
+		snapEpoch = 1 // pre-epoch snapshot
+	}
 	// Lock order: snapMu before writeMu mirrors no existing path (Snapshot
 	// takes snapMu alone; commits take writeMu alone) so no cycle is
 	// possible; holding both serializes the reset against background
@@ -414,17 +418,25 @@ func (s *Store) ResetFromSnapshot(r io.Reader) (uint64, error) {
 	if d := s.degraded.Load(); d != nil {
 		return 0, &DegradedError{Cause: d.cause, Since: d.since}
 	}
+	// Fencing, inner layer: a snapshot from an older epoch must never
+	// replace a newer timeline, whatever the transport said. (The
+	// handshake normally refuses this long before any snapshot flows;
+	// this is the last line of defense.)
+	if cur := s.epoch.Load(); snapEpoch < cur {
+		return 0, &FencedEpochError{Local: cur, Remote: snapEpoch}
+	}
 	if s.wal != nil {
 		if err := s.wal.reset(snap.Seq); err != nil {
 			s.degrade(err)
 			return 0, fmt.Errorf("store: resetting wal for snapshot resync: %w", err)
 		}
-		if _, err := s.writeVersionSnapshotFile(filepath.Join(s.dir, snapshotFile), nv); err != nil {
+		if _, err := s.writeVersionSnapshotFile(filepath.Join(s.dir, snapshotFile), nv, snapEpoch); err != nil {
 			s.degrade(err)
 			return 0, fmt.Errorf("store: persisting resync snapshot: %w", err)
 		}
 	}
 	s.current.Store(nv)
+	s.epoch.Store(snapEpoch) // adopt the primary's timeline, epoch and all
 	// Frame subscribers were promised a gapless feed from their cut; a
 	// reset moves the head wholesale, so drop them and let them re-cut.
 	s.closeSubsLocked()

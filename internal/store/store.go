@@ -141,6 +141,10 @@ type Store struct {
 	// with ErrReplica and the only mutations accepted are ApplyReplicated
 	// frames and ResetFromSnapshot resyncs. See repl.go.
 	replica atomic.Bool
+	// epoch is the replication fencing token (>= 1); see epoch.go.
+	// Advanced only by AdvanceEpoch (promotion) and snapshot adoption
+	// (Load, ResetFromSnapshot); read lock-free everywhere.
+	epoch atomic.Uint64
 	// replSubs are the committed-frame feed subscribers (WAL shippers).
 	// Guarded by writeMu; publication happens inside the commit section.
 	replSubs    []*CommitSub
@@ -156,6 +160,7 @@ type Store struct {
 func New() *Store {
 	s := &Store{}
 	s.current.Store(&version{tables: make(map[string]*table)})
+	s.epoch.Store(1)
 	return s
 }
 
